@@ -1,0 +1,1 @@
+bin/experiments.ml: Arg Array Bcclb_algorithms Bcclb_bcc Bcclb_bignum Bcclb_comm Bcclb_core Bcclb_graph Bcclb_partition Bcclb_plschemes Bcclb_rcc Bcclb_util Cmd Cmdliner Fun Int List Printf Term

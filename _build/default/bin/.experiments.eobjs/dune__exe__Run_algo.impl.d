@@ -1,0 +1,1 @@
+bin/run_algo.ml: Arg Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_util Cmd Cmdliner List Printf String Term

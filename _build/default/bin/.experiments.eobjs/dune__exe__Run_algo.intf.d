@@ -1,0 +1,1 @@
+bin/run_algo.mli:

@@ -1,0 +1,1 @@
+examples/census_explorer.ml: Array Bcclb_algorithms Bcclb_bcc Bcclb_bignum Bcclb_core Bcclb_graph Format List Printf

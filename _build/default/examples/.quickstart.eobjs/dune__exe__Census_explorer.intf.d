@@ -1,0 +1,1 @@
+examples/census_explorer.mli:

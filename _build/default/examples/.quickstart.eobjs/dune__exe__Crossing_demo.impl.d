@@ -1,0 +1,1 @@
+examples/crossing_demo.ml: Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_util List Printf String

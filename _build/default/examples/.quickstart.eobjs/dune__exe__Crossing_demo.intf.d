@@ -1,0 +1,1 @@
+examples/crossing_demo.mli:

@@ -1,0 +1,1 @@
+examples/general_graphs.ml: Array Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_util List Printf

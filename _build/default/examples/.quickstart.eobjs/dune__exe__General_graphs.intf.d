@@ -1,0 +1,1 @@
+examples/general_graphs.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_util Printf

@@ -1,0 +1,1 @@
+lib/algorithms/adjacency_matrix.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_util Graph Hashtbl Msg View

@@ -1,0 +1,1 @@
+lib/algorithms/adjacency_matrix.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/agm_connectivity.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_sketch Bcclb_util Buffer Edge_coding Hashtbl L0_sampler List Msg Option String Union_find View

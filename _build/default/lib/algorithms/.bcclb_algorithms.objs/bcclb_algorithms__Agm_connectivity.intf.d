@@ -1,0 +1,1 @@
+lib/algorithms/agm_connectivity.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/boruvka.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_util Codec Hashtbl Int List Map Msg Seq Union_find View

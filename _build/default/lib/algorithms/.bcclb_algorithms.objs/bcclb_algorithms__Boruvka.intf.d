@@ -1,0 +1,1 @@
+lib/algorithms/boruvka.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/codec.ml: Array Bcclb_bcc Bcclb_util List Msg

@@ -1,0 +1,1 @@
+lib/algorithms/codec.mli: Bcclb_bcc

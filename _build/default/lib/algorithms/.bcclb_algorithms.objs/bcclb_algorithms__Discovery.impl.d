@@ -1,0 +1,1 @@
+lib/algorithms/discovery.ml: Algo Array Bcclb_bcc Bcclb_graph Codec Graph Hashtbl Instance Int List Msg Printf View

@@ -1,0 +1,1 @@
+lib/algorithms/discovery.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/hashed_discovery.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_util Codec Int List Msg Printf Rng Union_find View

@@ -1,0 +1,1 @@
+lib/algorithms/hashed_discovery.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/kt0_compiler.ml: Algo Array Bcclb_bcc Bcclb_util Codec Int List Msg Printf View

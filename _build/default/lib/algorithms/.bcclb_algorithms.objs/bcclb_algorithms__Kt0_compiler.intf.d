@@ -1,0 +1,1 @@
+lib/algorithms/kt0_compiler.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/min_label.ml: Algo Array Bcclb_bcc Codec List Msg View

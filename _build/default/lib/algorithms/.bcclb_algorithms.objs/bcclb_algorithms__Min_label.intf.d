@@ -1,0 +1,1 @@
+lib/algorithms/min_label.mli: Bcclb_bcc

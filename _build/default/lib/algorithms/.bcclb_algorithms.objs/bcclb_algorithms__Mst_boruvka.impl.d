@@ -1,0 +1,1 @@
+lib/algorithms/mst_boruvka.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_util Codec Hashtbl Int List Msg Mst Union_find View

@@ -1,0 +1,1 @@
+lib/algorithms/mst_boruvka.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/algorithms/trivial.ml: Algo Bcclb_bcc Bcclb_util Msg View

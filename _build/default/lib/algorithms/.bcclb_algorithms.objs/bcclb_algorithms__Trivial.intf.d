@@ -1,0 +1,1 @@
+lib/algorithms/trivial.mli: Bcclb_bcc

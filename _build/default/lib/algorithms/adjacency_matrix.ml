@@ -1,0 +1,79 @@
+open Bcclb_bcc
+open Bcclb_graph
+
+(* The dense-graph baseline: in KT-1 BCC(1), vertex v broadcasts in round
+   p whether its port p-1 carries an input edge. After exactly n-1 rounds
+   everyone holds the full adjacency matrix (sender identity is known per
+   port, and the sender's port ordering is the shared ID order), so any
+   graph problem is solved locally. Θ(n) rounds regardless of density —
+   the generic upper bound that the O(log n) sparse algorithms beat. *)
+
+type state = { view : View.t; heard : bool array array (* heard.(p).(q): port q of sender behind p *) }
+
+let make ~name ~finish_of_graph =
+  let rounds ~n = n - 1 in
+  let init view =
+    match View.kt1 view with
+    | None -> invalid_arg (name ^ ": needs a KT-1 instance")
+    | Some _ ->
+      let ports = View.num_ports view in
+      { view; heard = Bcclb_util.Arrayx.init_matrix ports ports (fun _ _ -> false) }
+  in
+  let step st ~round ~inbox =
+    (* inbox carries round-1 broadcasts: bit for sender's port round-2. *)
+    if round >= 2 then
+      Array.iteri
+        (fun p m -> match m with Msg.Word b -> st.heard.(p).(round - 2) <- Bcclb_util.Bits.to_bool b | Msg.Silent -> ())
+        inbox;
+    (st, Msg.of_bit (View.is_input_port st.view (round - 1)))
+  in
+  let reconstruct st ~inbox =
+    let n = View.n st.view in
+    Array.iteri
+      (fun p m ->
+        match m with
+        | Msg.Word b -> st.heard.(p).(n - 2) <- Bcclb_util.Bits.to_bool b
+        | Msg.Silent -> ())
+      inbox;
+    (* Sender behind port p has some ID; its port q leads to the vertex
+       with the (q+1)-th smallest ID among the others. Build the graph on
+       the shared ID order. *)
+    let ids = View.all_ids st.view in
+    let index = Hashtbl.create n in
+    Array.iteri (fun i id -> Hashtbl.add index id i) ids;
+    let edges = ref [] in
+    (* Own row first. *)
+    let own = Hashtbl.find index (View.id st.view) in
+    for p = 0 to n - 2 do
+      if View.is_input_port st.view p then begin
+        let nbr = Hashtbl.find index (View.neighbor_id st.view p) in
+        edges := (own, nbr) :: !edges
+      end
+    done;
+    for p = 0 to n - 2 do
+      let sender = Hashtbl.find index (View.neighbor_id st.view p) in
+      (* The sender's port q skips itself in the sorted ID order. *)
+      for q = 0 to n - 2 do
+        if st.heard.(p).(q) then begin
+          let other = if q >= sender then q + 1 else q in
+          edges := (sender, other) :: !edges
+        end
+      done
+    done;
+    Graph.of_edges ~n !edges
+  in
+  let finish st ~inbox = finish_of_graph st (reconstruct st ~inbox) in
+  Algo.bcc1 ~name ~rounds ~init ~step ~finish
+
+let connectivity () =
+  Algo.pack (make ~name:"adjacency-matrix-connectivity" ~finish_of_graph:(fun _st g -> Graph.is_connected g))
+
+let components () =
+  Algo.pack
+    (make ~name:"adjacency-matrix-components"
+       ~finish_of_graph:(fun st g ->
+         let ids = View.all_ids st.view in
+         let index = Hashtbl.create (View.n st.view) in
+         Array.iteri (fun i id -> Hashtbl.add index id i) ids;
+         let labels = Graph.components g in
+         ids.(labels.(Hashtbl.find index (View.id st.view)))))

@@ -1,0 +1,10 @@
+(** The generic Θ(n)-round KT-1 BCC(1) upper bound: broadcast the full
+    adjacency row, one port per round; after n−1 rounds every vertex
+    holds the entire input graph, of any density. The yardstick that the
+    O(log n) bounded-degree algorithms ({!Discovery}) beat on the paper's
+    sparse promise inputs. *)
+
+val connectivity : unit -> bool Bcclb_bcc.Algo.packed
+
+val components : unit -> int Bcclb_bcc.Algo.packed
+(** Each vertex outputs the smallest ID in its component. *)

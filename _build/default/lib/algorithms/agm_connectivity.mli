@@ -1,0 +1,26 @@
+(** Randomized Connectivity/ConnectedComponents for ARBITRARY input
+    graphs in BCC(1), O(log³ n) rounds, via public-coin AGM linear
+    sketches — the polylog-round regime the paper's introduction cites
+    ("Connectivity can be solved in BCC(b) for any b ≥ 1 in just
+    O(poly(log n)) rounds"), realised as a concrete algorithm.
+
+    Every vertex broadcasts GF(2) ℓ₀-samplers of its incidence vector
+    (one per Borůvka phase and boosting copy, hashes drawn from the
+    shared coins), then every vertex locally replays the identical
+    sketch-Borůvka. Monte Carlo: per-phase sampling can fail (retried
+    across copies and extra phases) and checksum collisions can fabricate
+    edges; both are rare at the default parameters and are measured in
+    experiment E14. KT-1 instances only. *)
+
+type params = { copies : int; check_bits : int; phases : int }
+
+val default_params : n:int -> params
+
+val total_rounds : n:int -> params -> int
+(** Broadcast rounds = phases · copies · sampler bits = O(log³ n). *)
+
+val connectivity : unit -> bool Bcclb_bcc.Algo.packed
+
+val components : unit -> int Bcclb_bcc.Algo.packed
+(** Smallest member ID of the vertex's component (when the sketch
+    Borůvka fully converges). *)

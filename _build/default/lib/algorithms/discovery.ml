@@ -1,0 +1,235 @@
+open Bcclb_bcc
+open Bcclb_graph
+
+(* Full-graph discovery for bounded-degree inputs: the tightness witness
+   of §1.1 ("our lower bounds are tight for uniformly sparse graphs",
+   cf. [MT16]). Every vertex broadcasts its ID (KT-0 only, L rounds) and
+   then its input-neighbour ID list (d blocks of L rounds, 0-padded).
+   Broadcasts are heard by everyone, so after L + dL rounds (KT-0) or dL
+   rounds (KT-1) each vertex knows the entire input graph and answers
+   locally. Total rounds are O(d log n): Θ(log n) for the 2-regular
+   promise problems, matching the Ω(log n) lower bounds. *)
+
+type output = { connected : bool; component : int }
+
+type state = {
+  view : View.t;
+  l : int;
+  d : int;
+  inboxes : Msg.t array list;  (* newest first *)
+}
+
+(* IDs of this vertex's input-graph neighbours, ascending. In KT-1 they
+   are initial knowledge; in KT-0 they are decoded from the first L
+   broadcasts heard on input ports (available from round l+1 on). *)
+let own_neighbor_ids st =
+  match View.kt1 st.view with
+  | Some _ -> List.map (fun p -> View.neighbor_id st.view p) (View.input_ports st.view)
+  | None ->
+    let seqs =
+      Codec.broadcast_sequences ~num_ports:(View.num_ports st.view) ~inboxes:(List.rev st.inboxes)
+    in
+    List.filter_map
+      (fun p ->
+        let v, complete = Codec.decode_int ~first:1 ~width:st.l seqs.(p) in
+        if complete then Some v else None)
+      (View.input_ports st.view)
+
+let phase1_rounds st = match View.kt1 st.view with Some _ -> 0 | None -> st.l
+
+let schedule st ~round =
+  let p1 = phase1_rounds st in
+  if round <= p1 then
+    (* Broadcast own ID, big-endian. *)
+    Codec.msg_of_bit (Codec.bit_of_int ~width:st.l ~pos:(round - 1) (View.id st.view))
+  else begin
+    let r = round - p1 - 1 in
+    let block = r / st.l and pos = r mod st.l in
+    let nbrs = List.sort Int.compare (own_neighbor_ids st) in
+    let value = match List.nth_opt nbrs block with Some id -> id | None -> 0 in
+    Codec.msg_of_bit (Codec.bit_of_int ~width:st.l ~pos value)
+  end
+
+(* Decode everything heard (tolerating truncation) into a graph over IDs.
+   Returns the edge list over IDs and whether decoding was complete. *)
+let decode_graph st ~final_inbox =
+  let inboxes = List.rev (final_inbox :: st.inboxes) in
+  let seqs = Codec.broadcast_sequences ~num_ports:(View.num_ports st.view) ~inboxes in
+  let p1 = phase1_rounds st in
+  let complete = ref true in
+  let edges = ref [] in
+  (* Own adjacency: in KT-0 it is only known once phase 1 decoded. *)
+  let own = View.id st.view in
+  List.iter (fun nbr -> edges := (own, nbr) :: !edges) (own_neighbor_ids st);
+  (match View.kt1 st.view with
+  | Some _ -> ()
+  | None -> if List.length (own_neighbor_ids st) < View.degree st.view then complete := false);
+  for p = 0 to View.num_ports st.view - 1 do
+    let sender_id =
+      match View.kt1 st.view with
+      | Some _ -> Some (View.neighbor_id st.view p)
+      | None ->
+        let v, ok = Codec.decode_int ~first:1 ~width:st.l seqs.(p) in
+        if ok then Some v else None
+    in
+    match sender_id with
+    | None -> complete := false
+    | Some sid ->
+      for block = 0 to st.d - 1 do
+        let v, ok = Codec.decode_int ~first:(p1 + (block * st.l) + 1) ~width:st.l seqs.(p) in
+        if not ok then complete := false
+        else if v <> 0 then edges := (sid, v) :: !edges
+      done
+  done;
+  (!edges, !complete)
+
+let components_of_id_edges ~ids edges =
+  (* Graph over the ID space; unknown IDs are ignored defensively. *)
+  let index = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.add index id i) ids;
+  let ok (u, v) = Hashtbl.mem index u && Hashtbl.mem index v && u <> v in
+  let g =
+    Graph.of_edges ~n:(Array.length ids)
+      (List.map (fun (u, v) -> (Hashtbl.find index u, Hashtbl.find index v)) (List.filter ok edges))
+  in
+  let labels = Graph.components g in
+  (* Back to ID labels: component label = smallest ID in the component. *)
+  let comp_min = Hashtbl.create 16 in
+  Array.iteri
+    (fun i id ->
+      let c = labels.(i) in
+      match Hashtbl.find_opt comp_min c with
+      | None -> Hashtbl.add comp_min c id
+      | Some m -> if id < m then Hashtbl.replace comp_min c id)
+    ids;
+  (Graph.num_components g, fun id -> Hashtbl.find comp_min labels.(Hashtbl.find index id))
+
+(* [on_incomplete] decides behaviour under truncation: what to output when
+   the transcript does not determine the graph. *)
+let make ~knowledge ~max_degree ~name ~on_incomplete () =
+  let rounds ~n =
+    let l = Codec.id_width ~n in
+    (match knowledge with Instance.KT0 -> l | Instance.KT1 -> 0) + (max_degree * l)
+  in
+  let init view =
+    if View.degree view > max_degree then
+      invalid_arg (Printf.sprintf "%s: vertex degree exceeds declared bound %d" name max_degree);
+    (match (knowledge, View.kt1 view) with
+    | Instance.KT1, None -> invalid_arg (name ^ ": needs a KT-1 instance")
+    | _ -> ());
+    { view; l = Codec.id_width ~n:(View.n view); d = max_degree; inboxes = [] }
+  in
+  let step st ~round ~inbox =
+    let st = { st with inboxes = inbox :: st.inboxes } in
+    (st, schedule st ~round)
+  in
+  let finish st ~inbox =
+    let edges, complete = decode_graph st ~final_inbox:inbox in
+    if not complete then on_incomplete st edges
+    else begin
+      (* All IDs are known: 1..n by repository convention in KT-0; exact
+         list in KT-1. *)
+      let ids =
+        match View.kt1 st.view with
+        | Some k -> k.View.all_ids
+        | None -> Array.init (View.n st.view) (fun i -> i + 1)
+      in
+      let num_components, label_of = components_of_id_edges ~ids edges in
+      { connected = num_components = 1; component = label_of (View.id st.view) }
+    end
+  in
+  Algo.bcc1 ~name ~rounds ~init ~step ~finish
+
+let connectivity ~knowledge ~max_degree =
+  let name =
+    Printf.sprintf "discovery-connectivity[%s,d<=%d]"
+      (match knowledge with Instance.KT0 -> "KT-0" | Instance.KT1 -> "KT-1")
+      max_degree
+  in
+  let algo =
+    make ~knowledge ~max_degree ~name
+      ~on_incomplete:(fun st _edges -> { connected = true; component = View.id st.view })
+      ()
+  in
+  Algo.pack (Algo.map_output (fun o -> o.connected) algo)
+
+let components ~knowledge ~max_degree =
+  let name =
+    Printf.sprintf "discovery-components[%s,d<=%d]"
+      (match knowledge with Instance.KT0 -> "KT-0" | Instance.KT1 -> "KT-1")
+      max_degree
+  in
+  let algo =
+    make ~knowledge ~max_degree ~name
+      ~on_incomplete:(fun st _edges -> { connected = true; component = View.id st.view })
+      ()
+  in
+  Algo.pack (Algo.map_output (fun o -> o.component) algo)
+
+let connectivity_guess_no ~knowledge ~max_degree =
+  let name =
+    Printf.sprintf "discovery-connectivity-pessimist[%s,d<=%d]"
+      (match knowledge with Instance.KT0 -> "KT-0" | Instance.KT1 -> "KT-1")
+      max_degree
+  in
+  let algo =
+    make ~knowledge ~max_degree ~name
+      ~on_incomplete:(fun st _edges -> { connected = false; component = View.id st.view })
+      ()
+  in
+  Algo.pack (Algo.map_output (fun o -> o.connected) algo)
+
+let connectivity_truncated ~knowledge ~max_degree ~rounds ~optimist =
+  let name =
+    Printf.sprintf "discovery[%s,d<=%d,%s]"
+      (match knowledge with Instance.KT0 -> "KT-0" | Instance.KT1 -> "KT-1")
+      max_degree
+      (if optimist then "yes-bias" else "no-bias")
+  in
+  let guess st _edges = { connected = optimist; component = View.id st.view } in
+  let algo = make ~knowledge ~max_degree ~name ~on_incomplete:guess () in
+  Algo.pack (Algo.truncate ~rounds (Algo.map_output (fun o -> o.connected) algo))
+
+(* A smarter truncation: use whatever part of the graph the transcript
+   already determines. If the known edges close a cycle shorter than n,
+   the input must be a two-cycle instance (answer NO with certainty);
+   otherwise fall back to the optimist/pessimist guess. This gives the
+   error-vs-rounds sweep of E3 a gradient between "knows nothing" and
+   "knows everything". *)
+let connectivity_partial ~knowledge ~max_degree ~rounds ~optimist =
+  let name =
+    Printf.sprintf "discovery-partial[%s,d<=%d,%s]"
+      (match knowledge with Instance.KT0 -> "KT-0" | Instance.KT1 -> "KT-1")
+      max_degree
+      (if optimist then "yes-bias" else "no-bias")
+  in
+  let infer st edges =
+    let n = View.n st.view in
+    (* Known edges are over IDs 1..n (KT-0 convention); each edge can be
+       reported by both endpoints, so deduplicate before cycle-testing. *)
+    let seen = Hashtbl.create 16 in
+    let distinct = ref [] in
+    List.iter
+      (fun (u, v) ->
+        if u >= 1 && u <= n && v >= 1 && v <= n && u <> v then begin
+          let key = (min u v, max u v) in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            distinct := key :: !distinct
+          end
+        end)
+      edges;
+    (* Closing a cycle with fewer than n known edges certifies that some
+       cycle shorter than n exists: a NO-certificate for TwoCycle. *)
+    let uf = Bcclb_graph.Union_find.create (n + 1) in
+    let short_cycle = ref false in
+    let known = List.length !distinct in
+    List.iter
+      (fun (u, v) ->
+        if (not (Bcclb_graph.Union_find.union uf u v)) && known < n then short_cycle := true)
+      !distinct;
+    if !short_cycle then { connected = false; component = View.id st.view }
+    else { connected = optimist; component = View.id st.view }
+  in
+  let algo = make ~knowledge ~max_degree ~name ~on_incomplete:infer () in
+  Algo.pack (Algo.truncate ~rounds (Algo.map_output (fun o -> o.connected) algo))

@@ -1,0 +1,107 @@
+open Bcclb_bcc
+open Bcclb_graph
+open Bcclb_util
+
+(* A genuinely randomized Monte Carlo TwoCycle algorithm (KT-0 BCC(1)),
+   the randomized subject of the Theorem 3.1 experiment: instead of full
+   Theta(log n)-bit IDs, vertices broadcast k-bit public-coin HASHES of
+   their IDs and run graph discovery on hash values, in 3k rounds.
+
+   Identifying vertices by hash can only merge them, so a hashed
+   one-cycle instance always looks connected (no error on YES inputs),
+   while a two-cycle instance looks connected iff some cross-cycle pair
+   collides — probability roughly 1 - exp(-|C1||C2| / 2^k). This is an
+   eps-error Monte Carlo algorithm with 3k = O(log n + log(1/eps))
+   rounds, and for k = o(log n) its error is constant: exactly the
+   trade-off Theorem 3.1 proves unavoidable. *)
+
+type state = {
+  view : View.t;
+  k : int;
+  hash : int;  (* own k-bit hash *)
+  inboxes : Msg.t array list;
+}
+
+(* Public-coin universal-style hash: (a*id + b) mod p, truncated to k
+   bits. All vertices draw the same (a, b) from the shared coin stream. *)
+let hash_of ~coins ~k id =
+  let p = 2147483647 in
+  let a = 1 + Rng.int coins (p - 1) in
+  let b = Rng.int coins p in
+  (((a * id) + b) mod p) land ((1 lsl k) - 1)
+
+let make ~k () =
+  if k < 1 || k > 20 then invalid_arg "Hashed_discovery.make: k out of range";
+  let name = Printf.sprintf "hashed-discovery[k=%d]" k in
+  let rounds ~n:_ = 3 * k in
+  let init view =
+    if View.degree view > 2 then invalid_arg (name ^ ": needs a 2-regular input");
+    { view; k; hash = hash_of ~coins:(View.coins view) ~k (View.id view); inboxes = [] }
+  in
+  (* Schedule: rounds 1..k own hash; rounds k+1..3k the two neighbour
+     hashes (decoded from what arrived on the input ports). *)
+  let neighbor_hashes st =
+    let seqs = Codec.broadcast_sequences ~num_ports:(View.num_ports st.view) ~inboxes:(List.rev st.inboxes) in
+    List.filter_map
+      (fun p ->
+        let v, ok = Codec.decode_int ~first:1 ~width:st.k seqs.(p) in
+        if ok then Some v else None)
+      (View.input_ports st.view)
+  in
+  let step st ~round ~inbox =
+    let st = { st with inboxes = inbox :: st.inboxes } in
+    let msg =
+      if round <= st.k then Codec.msg_of_bit (Codec.bit_of_int ~width:st.k ~pos:(round - 1) st.hash)
+      else begin
+        let r = round - st.k - 1 in
+        let block = r / st.k and pos = r mod st.k in
+        let nbrs = List.sort Int.compare (neighbor_hashes st) in
+        let value = match List.nth_opt nbrs block with Some h -> h | None -> 0 in
+        Codec.msg_of_bit (Codec.bit_of_int ~width:st.k ~pos value)
+      end
+    in
+    (st, msg)
+  in
+  let finish st ~inbox =
+    let inboxes = List.rev (inbox :: st.inboxes) in
+    let seqs = Codec.broadcast_sequences ~num_ports:(View.num_ports st.view) ~inboxes in
+    (* Union hashed endpoints: every sender's hash with both of its
+       neighbour hashes, plus our own. *)
+    let buckets = 1 lsl st.k in
+    let uf = Union_find.create buckets in
+    let touched = Array.make buckets false in
+    let link h1 h2 =
+      touched.(h1) <- true;
+      touched.(h2) <- true;
+      ignore (Union_find.union uf h1 h2)
+    in
+    List.iter (fun h -> link st.hash h) (neighbor_hashes st);
+    for p = 0 to View.num_ports st.view - 1 do
+      let sender, ok0 = Codec.decode_int ~first:1 ~width:st.k seqs.(p) in
+      let n1, ok1 = Codec.decode_int ~first:(st.k + 1) ~width:st.k seqs.(p) in
+      let n2, ok2 = Codec.decode_int ~first:((2 * st.k) + 1) ~width:st.k seqs.(p) in
+      if ok0 && ok1 then link sender n1;
+      if ok0 && ok2 then link sender n2
+    done;
+    (* Connected iff all touched buckets share one class. *)
+    let root = ref (-1) in
+    let connected = ref true in
+    for h = 0 to buckets - 1 do
+      if touched.(h) then begin
+        let r = Union_find.find uf h in
+        if !root = -1 then root := r else if r <> !root then connected := false
+      end
+    done;
+    !connected
+  in
+  Algo.bcc1 ~name ~rounds ~init ~step ~finish
+
+let connectivity ~k = Algo.pack (make ~k ())
+
+(* Cross-cycle collision probability for two cycles of sizes (s, n-s):
+   1 - prod over pairs is pessimistic; the union bound s(n-s)/2^k is the
+   convenient analytic companion printed next to measured error. *)
+let predicted_error ~n ~k =
+  let s = float_of_int (n / 2) in
+  let pairs = s *. (float_of_int n -. s) in
+  min 1.0 (pairs /. float_of_int (1 lsl k))

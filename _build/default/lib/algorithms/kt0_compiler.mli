@@ -1,0 +1,16 @@
+(** Knowledge translation (§1.1): compile any KT-1 BCC(b) algorithm into
+    a KT-0 algorithm by prepending ⌈L/b⌉ ID-learning rounds (L = ID
+    bits). Each vertex broadcasts its ID; everyone then knows the ID
+    behind every port and the inner algorithm runs on a synthesised KT-1
+    view over the instance's true wiring.
+
+    The additive O(log n / b) cost is the paper's observation that KT-0
+    and KT-1 coincide once b = Ω(log n) — and why proving the KT-1 lower
+    bound (Theorem 4.4) is the stronger feat. *)
+
+val compile : 'o Bcclb_bcc.Algo.packed -> 'o Bcclb_bcc.Algo.packed
+(** The compiled algorithm rejects KT-1 instances (it expects to learn).
+    Requires the default ID space (IDs fitting [Codec.id_width] bits). *)
+
+val learning_rounds : n:int -> bandwidth:int -> int
+(** ⌈L/b⌉. *)

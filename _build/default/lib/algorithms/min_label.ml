@@ -1,0 +1,82 @@
+open Bcclb_bcc
+
+(* Min-label flooding, the trivial baseline (E10): labels start as own
+   IDs and repeatedly drop to the minimum over input-graph neighbours.
+   Each phase broadcasts the current label over L = id_width rounds; after
+   [phases] phases the label equals the minimum ID within distance
+   [phases], so any [phases] >= diameter converges. A final phase
+   broadcasts the converged label so that every vertex can compare all n
+   labels and decide Connectivity. Θ(n log n) rounds on a cycle — the
+   baseline the O(log n) discovery algorithm beats by a factor Θ(n). *)
+
+type state = {
+  view : View.t;
+  l : int;
+  phases : int;
+  label : int;
+  acc : Msg.t array list;  (* inboxes of the current phase, newest first *)
+}
+
+let decode_phase_labels st =
+  (* acc holds the inboxes of rounds 2..L+1 relative to the phase start,
+     i.e. exactly the L broadcast bits of the phase, for every port. *)
+  let inboxes = List.rev st.acc in
+  let num_ports = View.num_ports st.view in
+  let labels = Array.make num_ports None in
+  let seq p = Array.of_list (List.map (fun inbox -> inbox.(p)) inboxes) in
+  for p = 0 to num_ports - 1 do
+    let v, ok = Codec.decode_int ~first:1 ~width:st.l (seq p) in
+    labels.(p) <- (if ok then Some v else None)
+  done;
+  labels
+
+let make ~phases_of =
+  let rounds ~n =
+    let l = Codec.id_width ~n in
+    (phases_of ~n + 1) * l
+  in
+  let init view =
+    { view;
+      l = Codec.id_width ~n:(View.n view);
+      phases = phases_of ~n:(View.n view) + 1;
+      label = View.id view;
+      acc = [] }
+  in
+  let step st ~round ~inbox =
+    let pos = (round - 1) mod st.l in
+    (* A phase's bits are received one round late: collect inboxes of
+       rounds 2..L+1 of each phase, then update the label. *)
+    let st =
+      if pos = 0 && round > 1 then begin
+        let labels = decode_phase_labels { st with acc = inbox :: st.acc } in
+        let lbl = ref st.label in
+        List.iter
+          (fun p -> match labels.(p) with Some v -> lbl := min !lbl v | None -> ())
+          (View.input_ports st.view);
+        { st with label = !lbl; acc = [] }
+      end
+      else if pos = 1 then { st with acc = [ inbox ] }
+      else { st with acc = inbox :: st.acc }
+    in
+    (st, Codec.msg_of_bit (Codec.bit_of_int ~width:st.l ~pos st.label))
+  in
+  (rounds, init, step)
+
+let connectivity ?phases () =
+  let phases_of ~n = match phases with Some p -> p | None -> (n / 2) + 1 in
+  let name = "min-label-connectivity" in
+  let rounds, init, step = make ~phases_of in
+  let finish st ~inbox =
+    (* The last phase broadcast everyone's converged label; all labels
+       (over all ports) must equal ours for a YES. *)
+    let labels = decode_phase_labels { st with acc = inbox :: st.acc } in
+    Array.for_all (function Some v -> v = st.label | None -> false) labels
+  in
+  Algo.pack (Algo.bcc1 ~name ~rounds ~init ~step ~finish)
+
+let components ?phases () =
+  let phases_of ~n = match phases with Some p -> p | None -> (n / 2) + 1 in
+  let name = "min-label-components" in
+  let rounds, init, step = make ~phases_of in
+  let finish st ~inbox:_ = st.label in
+  Algo.pack (Algo.bcc1 ~name ~rounds ~init ~step ~finish)

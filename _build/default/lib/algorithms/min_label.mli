@@ -1,0 +1,17 @@
+(** Min-label flooding: the Θ(n log n)-round BCC(1) baseline (experiment
+    E10's slow series).
+
+    Works in both KT-0 and KT-1 (it never needs neighbour IDs): a vertex's
+    label starts at its own ID and, phase by phase, drops to the minimum
+    label heard over its input ports. With the default [phases] = ⌊n/2⌋+1
+    it converges on any input (diameter ≤ n/2 per component of a
+    2-regular graph; pass a larger value for general graphs). *)
+
+val connectivity : ?phases:int -> unit -> bool Bcclb_bcc.Algo.packed
+(** YES iff all converged labels coincide (checked by a final broadcast
+    phase visible to everyone). *)
+
+val components : ?phases:int -> unit -> int Bcclb_bcc.Algo.packed
+(** Each vertex outputs its converged label: the smallest ID within
+    [phases] hops, which is the smallest ID of its component once
+    converged. *)

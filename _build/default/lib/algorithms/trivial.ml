@@ -1,0 +1,38 @@
+open Bcclb_bcc
+
+(* Degenerate 0-round baselines: the yardsticks against which the error
+   floor of the lower-bound experiments is read. Under the hard
+   distribution μ of §3.1 (half YES, half NO), each errs with probability
+   exactly 1/2. *)
+
+let constant ~name answer =
+  Algo.pack
+    (Algo.bcc1 ~name
+       ~rounds:(fun ~n:_ -> 0)
+       ~init:(fun _view -> ())
+       ~step:(fun () ~round:_ ~inbox:_ -> ((), Msg.silent))
+       ~finish:(fun () ~inbox:_ -> answer))
+
+let always_yes () = constant ~name:"always-yes" true
+let always_no () = constant ~name:"always-no" false
+
+(* Public-coin guess: every vertex flips the SAME coin (shared random
+   string), so the system's answer is a fair coin — erring with
+   probability 1/2 on every instance. *)
+let coin_guess () =
+  Algo.pack
+    (Algo.bcc1 ~name:"coin-guess"
+       ~rounds:(fun ~n:_ -> 0)
+       ~init:(fun view -> Bcclb_util.Rng.bool (View.coins view))
+       ~step:(fun guess ~round:_ ~inbox:_ -> (guess, Msg.silent))
+       ~finish:(fun guess ~inbox:_ -> guess))
+
+(* Broadcast own degree parity forever; decides nothing useful. Exists to
+   exercise transcripts with non-trivial traffic in tests. *)
+let chatter ~rounds () =
+  Algo.pack
+    (Algo.bcc1 ~name:"chatter"
+       ~rounds:(fun ~n:_ -> rounds)
+       ~init:(fun view -> View.degree view land 1 = 1)
+       ~step:(fun parity ~round:_ ~inbox:_ -> (parity, Msg.of_bit parity))
+       ~finish:(fun _parity ~inbox:_ -> true))

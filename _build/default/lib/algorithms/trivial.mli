@@ -1,0 +1,14 @@
+(** Degenerate baseline algorithms (0 rounds, or pure noise). Under the
+    hard distribution μ of §3.1 each decision baseline errs with
+    probability exactly 1/2 — the ceiling that any t-round algorithm in
+    experiment E3 should be compared against. *)
+
+val always_yes : unit -> bool Bcclb_bcc.Algo.packed
+val always_no : unit -> bool Bcclb_bcc.Algo.packed
+
+val coin_guess : unit -> bool Bcclb_bcc.Algo.packed
+(** All vertices flip the same public coin. *)
+
+val chatter : rounds:int -> unit -> bool Bcclb_bcc.Algo.packed
+(** Broadcasts degree parity every round and answers YES; a traffic
+    generator for transcript tests. *)

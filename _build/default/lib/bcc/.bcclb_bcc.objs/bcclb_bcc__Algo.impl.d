@@ -1,0 +1,1 @@
+lib/bcc/algo.ml: Msg Printf View

@@ -1,0 +1,1 @@
+lib/bcc/algo.mli: Msg View

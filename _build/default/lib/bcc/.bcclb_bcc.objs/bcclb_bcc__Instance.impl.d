@@ -1,0 +1,1 @@
+lib/bcc/instance.ml: Array Arrayx Bcclb_graph Bcclb_util Format Graph Hashtbl Int List Rng View

@@ -1,0 +1,1 @@
+lib/bcc/instance.mli: Bcclb_graph Bcclb_util Format View

@@ -1,0 +1,1 @@
+lib/bcc/msg.ml: Bcclb_util Bits Format

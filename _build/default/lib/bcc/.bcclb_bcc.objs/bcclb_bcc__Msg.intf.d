@@ -1,0 +1,1 @@
+lib/bcc/msg.mli: Bcclb_util Format

@@ -1,0 +1,1 @@
+lib/bcc/problems.ml: Array Bcclb_graph Cycles Fun Graph Hashtbl List Simulator

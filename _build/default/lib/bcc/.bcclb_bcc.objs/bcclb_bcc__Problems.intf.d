@@ -1,0 +1,1 @@
+lib/bcc/problems.mli: Algo Bcclb_graph Instance

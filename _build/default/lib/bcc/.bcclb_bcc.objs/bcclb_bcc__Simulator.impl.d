@@ -1,0 +1,1 @@
+lib/bcc/simulator.ml: Algo Array Instance Msg Printf Transcript View

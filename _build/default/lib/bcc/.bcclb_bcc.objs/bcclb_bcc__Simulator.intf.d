@@ -1,0 +1,1 @@
+lib/bcc/simulator.mli: Algo Instance Transcript

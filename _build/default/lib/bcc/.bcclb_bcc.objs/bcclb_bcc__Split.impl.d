@@ -1,0 +1,1 @@
+lib/bcc/split.ml: Algo Array Bcclb_util Bits List Mathx Msg Printf View

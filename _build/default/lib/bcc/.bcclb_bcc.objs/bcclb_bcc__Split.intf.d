@@ -1,0 +1,1 @@
+lib/bcc/split.mli: Algo

@@ -1,0 +1,1 @@
+lib/bcc/transcript.ml: Array Bcclb_util Format Msg String

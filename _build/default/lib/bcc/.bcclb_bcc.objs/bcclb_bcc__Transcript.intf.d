@@ -1,0 +1,1 @@
+lib/bcc/transcript.mli: Format Msg

@@ -1,0 +1,1 @@
+lib/bcc/view.ml: Array Arrayx Bcclb_util Fun Int Printf Rng String

@@ -1,0 +1,1 @@
+lib/bcc/view.mli: Bcclb_util

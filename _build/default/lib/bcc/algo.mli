@@ -1,0 +1,47 @@
+(** A vertex algorithm for the BCC(b) model.
+
+    All n vertices run the same code; a vertex's behaviour may depend only
+    on its {!View.t} (initial knowledge) and the messages it has received.
+    Round semantics follow §1.2: in round r a vertex receives the round
+    r−1 broadcasts ([inbox], indexed by port), computes, and broadcasts a
+    message of at most [bandwidth ~n] bits; outputs are produced by
+    [finish], which receives the final round's broadcasts. *)
+
+type ('s, 'o) t = {
+  name : string;
+  bandwidth : n:int -> int;  (** b; the simulator rejects wider messages. *)
+  rounds : n:int -> int;  (** Declared round bound T(n). *)
+  init : View.t -> 's;
+  step : 's -> round:int -> inbox:Msg.t array -> 's * Msg.t;
+      (** Rounds are numbered 1..T; [inbox.(p)] is the message that
+          arrived through port [p] (all-[Silent] in round 1). *)
+  finish : 's -> inbox:Msg.t array -> 'o;
+      (** Final output, consuming the round-T broadcasts. *)
+}
+
+type 'o packed = Packed : ('s, 'o) t -> 'o packed
+(** Existentially hides the state type so heterogeneous algorithm
+    families (e.g. all truncations of an optimal algorithm) can share a
+    list. *)
+
+val pack : ('s, 'o) t -> 'o packed
+
+val name : 'o packed -> string
+val bandwidth : 'o packed -> n:int -> int
+val rounds : 'o packed -> n:int -> int
+
+val bcc1 :
+  name:string ->
+  rounds:(n:int -> int) ->
+  init:(View.t -> 's) ->
+  step:('s -> round:int -> inbox:Msg.t array -> 's * Msg.t) ->
+  finish:('s -> inbox:Msg.t array -> 'o) ->
+  ('s, 'o) t
+(** Convenience constructor with bandwidth fixed to 1 bit. *)
+
+val map_output : ('o -> 'p) -> ('s, 'o) t -> ('s, 'p) t
+
+val truncate : rounds:int -> ('s, 'o) t -> ('s, 'o) t
+(** Run only the first [rounds] rounds, then decide from the truncated
+    state — the family of t-round algorithms the lower-bound experiments
+    quantify over. *)

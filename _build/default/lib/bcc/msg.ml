@@ -1,0 +1,46 @@
+open Bcclb_util
+
+type t = Silent | Word of Bits.t
+
+let silent = Silent
+
+let zero = Word (Bits.of_bool false)
+let one = Word (Bits.of_bool true)
+
+let of_bit b = Word (Bits.of_bool b)
+
+let of_bits b = Word b
+
+let of_int ~width v = Word (Bits.of_int ~width v)
+
+let width = function Silent -> 0 | Word b -> Bits.width b
+
+let is_silent = function Silent -> true | Word _ -> false
+
+let to_bits_opt = function Silent -> None | Word b -> Some b
+
+let equal a b =
+  match (a, b) with
+  | Silent, Silent -> true
+  | Word x, Word y -> Bits.equal x y
+  | Silent, Word _ | Word _, Silent -> false
+
+let compare a b =
+  match (a, b) with
+  | Silent, Silent -> 0
+  | Silent, Word _ -> -1
+  | Word _, Silent -> 1
+  | Word x, Word y -> Bits.compare x y
+
+(* Stable textual key; used to label edges with broadcast sequences when
+   building the indistinguishability graph. "_" is the silent character,
+   matching the paper's alphabet {0, 1, ⊥}. *)
+let to_char1 = function
+  | Silent -> '_'
+  | Word b ->
+    if Bits.width b <> 1 then invalid_arg "Msg.to_char1: message is not 1-bit";
+    if Bits.to_bool b then '1' else '0'
+
+let to_string = function Silent -> "_" | Word b -> Bits.to_string b
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,33 @@
+(** A single round's broadcast in the BCC(b) model: either silence (⊥) or
+    a word of at most b bits. In BCC(1) the per-round alphabet is exactly
+    the paper's {0, 1, ⊥}. *)
+
+type t = Silent | Word of Bcclb_util.Bits.t
+
+val silent : t
+
+val zero : t
+(** 1-bit 0. *)
+
+val one : t
+(** 1-bit 1. *)
+
+val of_bit : bool -> t
+val of_bits : Bcclb_util.Bits.t -> t
+val of_int : width:int -> int -> t
+
+val width : t -> int
+(** 0 for silence. *)
+
+val is_silent : t -> bool
+val to_bits_opt : t -> Bcclb_util.Bits.t option
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_char1 : t -> char
+(** ['0'], ['1'], or ['_'] for a BCC(1) message.
+    @raise Invalid_argument on wider words. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** The synchronous BCC(b) round simulator.
+
+    Faithful to §1.2: in each round every vertex receives the previous
+    round's broadcasts through its ports, updates its state, and
+    broadcasts at most b bits (or stays silent); outputs consume the last
+    round's broadcasts. Bandwidth violations raise immediately — an
+    algorithm cannot cheat the model. Randomness is public-coin: all
+    vertices receive generators with the same [seed]. *)
+
+type 'o result = {
+  outputs : 'o array;  (** Per-vertex outputs. *)
+  transcripts : Transcript.t array;  (** Per-vertex transcripts. *)
+  rounds_used : int;
+}
+
+val run : ?seed:int -> 'o Algo.packed -> Instance.t -> 'o result
+(** Execute the algorithm on the instance.
+    @raise Invalid_argument if a vertex exceeds the declared bandwidth. *)
+
+val indistinguishable : ?seed:int -> 'o Algo.packed -> Instance.t -> Instance.t -> bool
+(** Do the two instances produce identical per-vertex states (initial
+    knowledge + transcript) under this algorithm — the relation of
+    Lemma 3.4? Vertices are compared by index, which is the natural
+    correspondence for crossed instances. *)
+
+val total_bits_broadcast : 'o result -> int
+(** Σ over vertices of bits actually broadcast; the "information volume"
+    the bottleneck arguments of §4 count. *)

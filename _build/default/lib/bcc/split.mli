@@ -1,0 +1,19 @@
+(** Bandwidth translation (§1.1): compile any BCC(b) algorithm into a
+    BCC(1) algorithm with identical outputs and a
+    (b + ⌈log₂(b+1)⌉)-factor round blow-up, by serialising each b-bit
+    message as a width header plus payload bits.
+
+    This is the constructive converse of the paper's remark that a
+    t-round BCC(1) lower bound is a t/b-round BCC(b) lower bound: if
+    BCC(b) could solve Connectivity in t/b rounds, this compiler would
+    produce a ~t-round BCC(1) algorithm. It also lets every BCC(log n)
+    algorithm in the repository (e.g. {!Bcclb_algorithms.Boruvka}) run —
+    and be tested — in the strict BCC(1) model. *)
+
+val compile : 'o Algo.packed -> 'o Algo.packed
+(** Output-equivalent BCC(1) algorithm (deterministic inner algorithms
+    produce bit-identical outputs; public coins are passed through). *)
+
+val header_bits : b:int -> int
+val block_len : b:int -> int
+(** Outer rounds per inner round. *)

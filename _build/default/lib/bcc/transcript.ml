@@ -1,0 +1,32 @@
+type t = { fingerprint : string; sent : Msg.t array; received : Msg.t array array }
+
+let make ~fingerprint ~sent ~received = { fingerprint; sent; received }
+
+let rounds t = Array.length t.sent
+
+let fingerprint t = t.fingerprint
+
+let sent t r =
+  if r < 1 || r > rounds t then invalid_arg "Transcript.sent: round out of range";
+  t.sent.(r - 1)
+
+let received t r p =
+  if r < 1 || r > rounds t then invalid_arg "Transcript.received: round out of range";
+  t.received.(r - 1).(p)
+
+let sent_sequence t = Array.copy t.sent
+
+let sent_string t = String.init (rounds t) (fun i -> Msg.to_char1 t.sent.(i))
+
+let equal a b =
+  String.equal a.fingerprint b.fingerprint
+  && Array.length a.sent = Array.length b.sent
+  && Bcclb_util.Arrayx.for_all2 Msg.equal a.sent b.sent
+  && Array.length a.received = Array.length b.received
+  && Bcclb_util.Arrayx.for_all2 (Bcclb_util.Arrayx.for_all2 Msg.equal) a.received b.received
+
+let bits_broadcast t = Array.fold_left (fun acc m -> acc + Msg.width m) 0 t.sent
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>sent: %s@]"
+    (String.concat "," (Array.to_list (Array.map Msg.to_string t.sent)))

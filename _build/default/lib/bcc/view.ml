@@ -1,0 +1,69 @@
+open Bcclb_util
+
+type kt1_info = { all_ids : int array; neighbor_ids : int array }
+
+type t = {
+  n : int;
+  id : int;
+  num_ports : int;
+  input_ports : bool array;
+  kt1 : kt1_info option;
+  coins : Rng.t;
+}
+
+let n t = t.n
+let id t = t.id
+let num_ports t = t.num_ports
+
+let is_input_port t p =
+  if p < 0 || p >= t.num_ports then invalid_arg "View.is_input_port: port out of range";
+  t.input_ports.(p)
+
+let input_ports t =
+  let acc = ref [] in
+  for p = t.num_ports - 1 downto 0 do
+    if t.input_ports.(p) then acc := p :: !acc
+  done;
+  !acc
+
+let degree t = Arrayx.count Fun.id t.input_ports
+
+let kt1 t = t.kt1
+
+let neighbor_id t p =
+  match t.kt1 with
+  | None -> invalid_arg "View.neighbor_id: not available in KT-0"
+  | Some k ->
+    if p < 0 || p >= t.num_ports then invalid_arg "View.neighbor_id: port out of range";
+    k.neighbor_ids.(p)
+
+let all_ids t =
+  match t.kt1 with
+  | None -> invalid_arg "View.all_ids: not available in KT-0"
+  | Some k -> Array.copy k.all_ids
+
+let port_of_id t target =
+  match t.kt1 with
+  | None -> invalid_arg "View.port_of_id: not available in KT-0"
+  | Some k ->
+    (match Arrayx.find_index (Int.equal target) k.neighbor_ids with
+    | Some p -> p
+    | None -> raise Not_found)
+
+let coins t = t.coins
+
+(* The initial knowledge that indistinguishability compares (§3): id, port
+   count, which ports carry input edges, and — in KT-1 — the ID labelling
+   of ports. The coin stream is shared (public coins), so it is excluded. *)
+let fingerprint t =
+  let kt1_part =
+    match t.kt1 with
+    | None -> ""
+    | Some k ->
+      Printf.sprintf "|ids=%s|nbr=%s"
+        (String.concat "," (Array.to_list (Array.map string_of_int k.all_ids)))
+        (String.concat "," (Array.to_list (Array.map string_of_int k.neighbor_ids)))
+  in
+  Printf.sprintf "n=%d|id=%d|in=%s%s" t.n t.id
+    (String.init t.num_ports (fun p -> if t.input_ports.(p) then '1' else '0'))
+    kt1_part

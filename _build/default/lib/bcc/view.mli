@@ -1,0 +1,54 @@
+(** A vertex's initial knowledge (§1.2).
+
+    In KT-0 a vertex knows: its own ID, that there are n−1 ports, which
+    ports carry input-graph edges, and a public random string. Port labels
+    carry {e no} information about who is on the other side. In KT-1 it
+    additionally knows all n IDs and the ID at the far end of every port.
+    The KT-1 extras are simply absent from a KT-0 view, so an algorithm
+    cannot access knowledge its model does not grant. *)
+
+type kt1_info = {
+  all_ids : int array;  (** All n IDs, sorted. *)
+  neighbor_ids : int array;  (** [neighbor_ids.(p)] = ID across port [p]. *)
+}
+
+type t = {
+  n : int;
+  id : int;
+  num_ports : int;
+  input_ports : bool array;
+  kt1 : kt1_info option;
+  coins : Bcclb_util.Rng.t;
+}
+
+val n : t -> int
+val id : t -> int
+val num_ports : t -> int
+
+val is_input_port : t -> int -> bool
+(** @raise Invalid_argument on out-of-range port. *)
+
+val input_ports : t -> int list
+(** Ports carrying input edges, ascending. *)
+
+val degree : t -> int
+(** Input-graph degree. *)
+
+val kt1 : t -> kt1_info option
+
+val neighbor_id : t -> int -> int
+(** KT-1 only. @raise Invalid_argument in KT-0. *)
+
+val all_ids : t -> int array
+(** KT-1 only (fresh copy). @raise Invalid_argument in KT-0. *)
+
+val port_of_id : t -> int -> int
+(** KT-1 only: the port whose far end has the given ID.
+    @raise Not_found if no such neighbour, Invalid_argument in KT-0. *)
+
+val coins : t -> Bcclb_util.Rng.t
+(** Public-coin stream: every vertex of a run gets an identical copy. *)
+
+val fingerprint : t -> string
+(** Canonical encoding of the coin-free initial knowledge; two vertices
+    are "initially indistinguishable" iff fingerprints are equal. *)

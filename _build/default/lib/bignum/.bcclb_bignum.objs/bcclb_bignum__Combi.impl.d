@@ -1,0 +1,1 @@
+lib/bignum/combi.ml: Array Nat

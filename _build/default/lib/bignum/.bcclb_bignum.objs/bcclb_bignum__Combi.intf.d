@@ -1,0 +1,1 @@
+lib/bignum/combi.mli: Nat

@@ -1,0 +1,1 @@
+lib/bignum/nat.ml: Array Bcclb_util Buffer Char Format Int List String

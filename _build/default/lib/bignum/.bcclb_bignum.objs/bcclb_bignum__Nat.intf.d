@@ -1,0 +1,1 @@
+lib/bignum/nat.mli: Format

@@ -1,0 +1,1 @@
+lib/bignum/ratio.ml: Format Zint

@@ -1,0 +1,1 @@
+lib/bignum/ratio.mli: Format Zint

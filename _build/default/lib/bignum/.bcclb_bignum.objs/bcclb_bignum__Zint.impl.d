@@ -1,0 +1,1 @@
+lib/bignum/zint.ml: Format Nat String

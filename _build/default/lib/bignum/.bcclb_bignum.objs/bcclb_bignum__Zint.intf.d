@@ -1,0 +1,1 @@
+lib/bignum/zint.mli: Format Nat

@@ -1,0 +1,86 @@
+let factorial n =
+  if n < 0 then invalid_arg "Combi.factorial: negative argument";
+  let rec loop acc i = if i > n then acc else loop (Nat.mul_int acc i) (i + 1) in
+  loop Nat.one 1
+
+let binomial n k =
+  if k < 0 || k > n then Nat.zero
+  else begin
+    let k = min k (n - k) in
+    let rec loop acc i =
+      if i > k then acc
+      else begin
+        let acc = Nat.mul_int acc (n - k + i) in
+        loop (fst (Nat.divmod_small acc i)) (i + 1)
+      end
+    in
+    loop Nat.one 1
+  end
+
+(* Bell numbers via the Bell triangle: each row is built from the previous
+   by prefix sums; the first element of row n is B_n. *)
+let bell_numbers n_max =
+  if n_max < 0 then invalid_arg "Combi.bell_numbers: negative argument";
+  let bells = Array.make (n_max + 1) Nat.one in
+  let row = ref [| Nat.one |] in
+  for n = 1 to n_max do
+    let prev = !row in
+    let len = Array.length prev in
+    let next = Array.make (len + 1) Nat.zero in
+    next.(0) <- prev.(len - 1);
+    for i = 0 to len - 1 do
+      next.(i + 1) <- Nat.add next.(i) prev.(i)
+    done;
+    bells.(n) <- next.(0);
+    row := next
+  done;
+  bells
+
+let bell n = (bell_numbers n).(n)
+
+(* Stirling numbers of the second kind, row n: S(n, 0..n). *)
+let stirling2_row n =
+  if n < 0 then invalid_arg "Combi.stirling2_row: negative argument";
+  let row = ref [| Nat.one |] in
+  for m = 1 to n do
+    let prev = !row in
+    let next = Array.make (m + 1) Nat.zero in
+    for k = 1 to m do
+      let carry = if k < m then Nat.mul_int prev.(k) k else Nat.zero in
+      next.(k) <- Nat.add prev.(k - 1) carry
+    done;
+    row := next
+  done;
+  !row
+
+(* Number of perfect matchings of [2m] = (2m)! / (2^m m!), the dimension r
+   of the TwoPartition matrix E^n in Lemma 4.1 (n = 2m). *)
+let perfect_matchings n =
+  if n < 0 || n land 1 = 1 then invalid_arg "Combi.perfect_matchings: n must be even and non-negative";
+  let m = n / 2 in
+  let numer = factorial n in
+  let denom = Nat.mul (Nat.pow Nat.two m) (factorial m) in
+  Nat.div numer denom
+
+(* Number of distinct cycles on k >= 3 labelled vertices: (k-1)!/2. *)
+let cycles_on k =
+  if k < 3 then invalid_arg "Combi.cycles_on: cycles need length at least 3";
+  fst (Nat.divmod_small (factorial (k - 1)) 2)
+
+(* |V1|: one-cycle instances on n labelled vertices, as input graphs. *)
+let one_cycle_count n = cycles_on n
+
+(* |V2|: unordered pairs of disjoint cycles covering [n], each length >= 3
+   (the TwoCycle NO-instances of §3). *)
+let two_cycle_count n =
+  if n < 6 then Nat.zero
+  else begin
+    let total = ref Nat.zero in
+    for i = 3 to n / 2 do
+      let ways = Nat.mul (binomial n i) (Nat.mul (cycles_on i) (cycles_on (n - i))) in
+      (* Choosing S then its complement double-counts the balanced split. *)
+      let ways = if 2 * i = n then fst (Nat.divmod_small ways 2) else ways in
+      total := Nat.add !total ways
+    done;
+    !total
+  end

@@ -1,0 +1,43 @@
+(** Exact rational numbers, always in lowest terms with positive
+    denominator. Used for exact Gaussian elimination cross-checks and for
+    exact probability mass accounting in the hard distribution μ of §3.1. *)
+
+type t
+
+val zero : t
+val one : t
+
+val make : Zint.t -> Zint.t -> t
+(** [make num den], normalised. @raise Division_by_zero on zero denominator. *)
+
+val of_zint : Zint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints num den]. @raise Division_by_zero on zero denominator. *)
+
+val num : t -> Zint.t
+val den : t -> Zint.t
+(** Always positive. *)
+
+val is_zero : t -> bool
+
+val sign : t -> int
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val div : t -> t -> t
+(** @raise Division_by_zero on zero divisor. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

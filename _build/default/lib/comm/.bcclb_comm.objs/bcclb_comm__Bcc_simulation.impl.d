@@ -1,0 +1,1 @@
+lib/comm/bcc_simulation.ml: Algo Array Bcclb_bcc Bcclb_graph Bcclb_partition Instance Msg Problems Reduction_graph

@@ -1,0 +1,1 @@
+lib/comm/bcc_simulation.mli: Bcclb_bcc Bcclb_graph Bcclb_partition

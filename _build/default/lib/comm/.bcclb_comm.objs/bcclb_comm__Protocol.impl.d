@@ -1,0 +1,1 @@
+lib/comm/protocol.ml: List Printf String

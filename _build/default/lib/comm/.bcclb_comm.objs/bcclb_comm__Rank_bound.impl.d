@@ -1,0 +1,1 @@
+lib/comm/rank_bound.ml: Array Bcclb_bignum Bcclb_linalg Bcclb_util Combi Nat

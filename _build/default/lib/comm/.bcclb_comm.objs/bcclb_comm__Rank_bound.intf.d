@@ -1,0 +1,1 @@
+lib/comm/rank_bound.mli:

@@ -1,0 +1,1 @@
+lib/comm/reduction_graph.ml: Array Bcclb_graph Bcclb_partition Graph List Set_partition Two_partition

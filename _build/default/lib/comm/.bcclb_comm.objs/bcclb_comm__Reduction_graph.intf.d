@@ -1,0 +1,1 @@
+lib/comm/reduction_graph.mli: Bcclb_graph Bcclb_partition

@@ -1,0 +1,1 @@
+lib/comm/upper_bounds.ml: Array Bcclb_graph Bcclb_partition Bcclb_util List Mathx Protocol Set_partition

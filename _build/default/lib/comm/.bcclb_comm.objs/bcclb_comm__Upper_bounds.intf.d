@@ -1,0 +1,1 @@
+lib/comm/upper_bounds.mli: Bcclb_partition Protocol

@@ -1,0 +1,47 @@
+(** The §4.3 reduction: compile any KT-1 BCC(b) algorithm into a 2-party
+    protocol on a vertex-partitioned input graph, with measured
+    communication.
+
+    Per simulated round each party ships the broadcast characters of its
+    hosted vertices ({⊥} ∪ {0,1}^{≤b}, encoded in b+1 bits each), so an
+    r-round BCC(1) algorithm on an N-vertex graph costs exactly 2·N·r
+    bits here (N characters per round across both parties) — the O(rn)
+    accounting in the proof of Theorem 4.4. Combined with
+    {!Rank_bound}, a fast KT-1 Connectivity algorithm would violate the
+    Ω(n log n) Partition bound: that is the lower bound, executed. *)
+
+type 'o result = {
+  outputs : 'o array;
+  rounds : int;
+  chars_per_round : int;
+  bits_total : int;
+  bits_alice : int;
+  bits_bob : int;
+}
+
+val run :
+  ?seed:int -> 'o Bcclb_bcc.Algo.packed -> Bcclb_graph.Graph.t -> alice_hosts:(int -> bool) ->
+  'o result
+(** Simulate the algorithm on the KT-1 instance of the graph, hosting
+    vertex v with Alice iff [alice_hosts v].
+    @raise Invalid_argument on bandwidth violation. *)
+
+type partition_result = { answer : bool; bits : int; bcc_rounds : int; gadget_n : int }
+
+val partition_via_bcc :
+  ?seed:int -> bool Bcclb_bcc.Algo.packed -> Bcclb_partition.Set_partition.t ->
+  Bcclb_partition.Set_partition.t -> partition_result
+(** Solve Partition through the full pipeline: build G(P_A, P_B), host
+    A ∪ L with Alice, simulate the given KT-1 Connectivity algorithm. *)
+
+val two_partition_via_bcc :
+  ?seed:int -> bool Bcclb_bcc.Algo.packed -> Bcclb_partition.Set_partition.t ->
+  Bcclb_partition.Set_partition.t -> partition_result
+(** TwoPartition through the 2-regular MultiCycle gadget. *)
+
+val partition_comp_via_bcc :
+  ?seed:int -> int Bcclb_bcc.Algo.packed -> Bcclb_partition.Set_partition.t ->
+  Bcclb_partition.Set_partition.t ->
+  Bcclb_partition.Set_partition.t * int result
+(** PartitionComp via a ConnectedComponents algorithm: the join is read
+    off the component labels of the ℓ-vertices (Theorem 4.5's use). *)

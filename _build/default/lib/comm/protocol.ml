@@ -1,0 +1,76 @@
+(* Two-party deterministic protocols with simultaneous exchange: in each
+   round Alice and Bob both emit a bit string computed from their own
+   input and everything received so far, then both receive. This subsumes
+   alternating protocols (send "" when it is not your turn) and models the
+   §4.3 BCC simulation directly (both parties send every round). *)
+
+type ('ia, 'ib, 'oa, 'ob) spec = {
+  name : string;
+  rounds : int;
+  alice : 'ia -> round:int -> received:string list -> string;
+  bob : 'ib -> round:int -> received:string list -> string;
+  output_a : 'ia -> received:string list -> 'oa;
+  output_b : 'ib -> received:string list -> 'ob;
+}
+
+type ('oa, 'ob) result = {
+  out_a : 'oa;
+  out_b : 'ob;
+  transcript : (string * string) list;  (* (alice_msg, bob_msg) per round *)
+  bits_a : int;
+  bits_b : int;
+}
+
+let check_bits name s =
+  String.iter
+    (fun c ->
+      if c <> '0' && c <> '1' then
+        invalid_arg (Printf.sprintf "Protocol %s: message contains non-bit character %c" name c))
+    s
+
+let run spec ia ib =
+  let a_received = ref [] and b_received = ref [] in
+  let transcript = ref [] in
+  let bits_a = ref 0 and bits_b = ref 0 in
+  for round = 1 to spec.rounds do
+    let ma = spec.alice ia ~round ~received:(List.rev !a_received) in
+    let mb = spec.bob ib ~round ~received:(List.rev !b_received) in
+    check_bits spec.name ma;
+    check_bits spec.name mb;
+    bits_a := !bits_a + String.length ma;
+    bits_b := !bits_b + String.length mb;
+    a_received := mb :: !a_received;
+    b_received := ma :: !b_received;
+    transcript := (ma, mb) :: !transcript
+  done;
+  { out_a = spec.output_a ia ~received:(List.rev !a_received);
+    out_b = spec.output_b ib ~received:(List.rev !b_received);
+    transcript = List.rev !transcript;
+    bits_a = !bits_a;
+    bits_b = !bits_b }
+
+let total_bits r = r.bits_a + r.bits_b
+
+let transcript_string r =
+  String.concat "|" (List.map (fun (a, b) -> a ^ ";" ^ b) r.transcript)
+
+(* Fixed-width big-endian integer codecs for building messages. *)
+let encode_int ~width v =
+  if v < 0 || (width < 62 && v lsr width <> 0) then invalid_arg "Protocol.encode_int: value does not fit";
+  String.init width (fun i -> if (v lsr (width - 1 - i)) land 1 = 1 then '1' else '0')
+
+let decode_int s =
+  String.fold_left
+    (fun acc c ->
+      match c with
+      | '0' -> acc * 2
+      | '1' -> (acc * 2) + 1
+      | _ -> invalid_arg "Protocol.decode_int: non-bit character")
+    0 s
+
+let encode_ints ~width vs = String.concat "" (List.map (encode_int ~width) vs)
+
+let decode_ints ~width s =
+  let len = String.length s in
+  if len mod width <> 0 then invalid_arg "Protocol.decode_ints: length not a multiple of width";
+  List.init (len / width) (fun i -> decode_int (String.sub s (i * width) width))

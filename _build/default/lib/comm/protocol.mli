@@ -1,0 +1,43 @@
+(** Two-party deterministic communication protocols with measured cost.
+
+    The model of §4: Alice and Bob hold private inputs, exchange bit
+    strings over rounds (simultaneous exchange each round — alternating
+    protocols just send [""] off-turn), and produce outputs from their
+    input plus everything received. The driver counts every bit, giving
+    the measured side of the Ω(n log n)-vs-O(n log n) sandwich. *)
+
+type ('ia, 'ib, 'oa, 'ob) spec = {
+  name : string;
+  rounds : int;
+  alice : 'ia -> round:int -> received:string list -> string;
+      (** Message for this round, from own input and Bob's messages of
+          rounds 1..round−1 (oldest first). Bits only ('0'/'1'). *)
+  bob : 'ib -> round:int -> received:string list -> string;
+  output_a : 'ia -> received:string list -> 'oa;
+  output_b : 'ib -> received:string list -> 'ob;
+}
+
+type ('oa, 'ob) result = {
+  out_a : 'oa;
+  out_b : 'ob;
+  transcript : (string * string) list;
+  bits_a : int;  (** Bits Alice sent. *)
+  bits_b : int;
+}
+
+val run : ('ia, 'ib, 'oa, 'ob) spec -> 'ia -> 'ib -> ('oa, 'ob) result
+(** @raise Invalid_argument if a message contains non-bit characters. *)
+
+val total_bits : ('oa, 'ob) result -> int
+
+val transcript_string : ('oa, 'ob) result -> string
+(** Canonical encoding of the whole conversation — the random variable Π
+    of Theorem 4.5. *)
+
+val encode_int : width:int -> int -> string
+(** Fixed-width big-endian bits. @raise Invalid_argument if it does not fit. *)
+
+val decode_int : string -> int
+
+val encode_ints : width:int -> int list -> string
+val decode_ints : width:int -> string -> int list

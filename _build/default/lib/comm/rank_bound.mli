@@ -1,0 +1,24 @@
+(** Deterministic communication lower bounds via matrix rank
+    (Corollaries 2.4 and 4.2): any deterministic protocol needs at least
+    log₂ rank(M) bits [KN97, Lemma 1.28]. *)
+
+val partition_bits : n:int -> float
+(** log₂ Bₙ = Θ(n log n): the Partition lower bound, using the exact Bell
+    number (Theorem 2.3 supplies rank(Mⁿ) = Bₙ). Works for any n. *)
+
+val two_partition_bits : n:int -> float
+(** log₂ r with r = n!/(2^{n/2}(n/2)!): the TwoPartition lower bound
+    (Lemma 4.1). @raise Invalid_argument on odd n. *)
+
+val verified_partition_bits : n:int -> float
+(** Builds Mⁿ and certifies full rank over ℚ (full rank mod p); the
+    lower bound with the rank fact {e checked}, not assumed. Feasible to
+    n ≈ 7. @raise Failure if the matrix is ever rank-deficient. *)
+
+val verified_two_partition_bits : n:int -> float
+(** Same for Eⁿ; feasible to n ≈ 10. *)
+
+val kt1_round_lb : bits_per_round:int -> float -> float
+(** Rounds forced on a KT-1 BCC(1) algorithm by a communication lower
+    bound of [lb_bits], given that the §4.3 simulation spends
+    [bits_per_round] bits per simulated round. *)

@@ -1,0 +1,68 @@
+open Bcclb_graph
+open Bcclb_partition
+
+(* The §4.2 gadget graphs G(P_A, P_B).
+
+   Vertex layout (0-based indices; paper IDs are index + 1):
+     a_i = i          (Alice's part-vertices)
+     l_i = n + i      (Alice's element-vertices)
+     r_i = 2n + i     (Bob's element-vertices)
+     b_i = 3n + i     (Bob's part-vertices)
+   The spine edges (l_i, r_i) exist for every i independent of the
+   inputs; Alice wires parts of P_A to L, Bob wires parts of P_B to R. *)
+
+let vertex_a ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.vertex_a" else i
+let vertex_l ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.vertex_l" else n + i
+let vertex_r ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.vertex_r" else (2 * n) + i
+let vertex_b ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.vertex_b" else (3 * n) + i
+
+let side_edges ~n ~element_vertex ~part_vertex partition =
+  let blocks = Set_partition.blocks partition in
+  let edges = ref [] in
+  List.iteri
+    (fun j block -> List.iter (fun i -> edges := (part_vertex j, element_vertex i) :: !edges) block)
+    blocks;
+  (* Part-vertices beyond the number of actual parts are tied to the last
+     element-vertex so that the graph has no isolated vertices (the
+     "connected to ℓ_*" trick of Figure 2). *)
+  for j = List.length blocks to n - 1 do
+    edges := (part_vertex j, element_vertex (n - 1)) :: !edges
+  done;
+  !edges
+
+let gadget pa pb =
+  let n = Set_partition.ground_size pa in
+  if Set_partition.ground_size pb <> n then invalid_arg "Reduction_graph.gadget: ground sets differ";
+  let spine = List.init n (fun i -> (vertex_l ~n i, vertex_r ~n i)) in
+  let alice = side_edges ~n ~element_vertex:(vertex_l ~n) ~part_vertex:(vertex_a ~n) pa in
+  let bob = side_edges ~n ~element_vertex:(vertex_r ~n) ~part_vertex:(vertex_b ~n) pb in
+  Graph.of_edges ~n:(4 * n) (spine @ alice @ bob)
+
+let alice_hosts ~n v = v < 2 * n
+
+(* TwoPartition variant: no part-vertices; pairs become direct edges on
+   the element-vertices, so every vertex has degree exactly 2. Layout:
+   l_i = i, r_i = n + i. *)
+let two_vertex_l ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.two_vertex_l" else i
+let two_vertex_r ~n i = if i < 0 || i >= n then invalid_arg "Reduction_graph.two_vertex_r" else n + i
+
+let two_gadget pa pb =
+  let n = Set_partition.ground_size pa in
+  if Set_partition.ground_size pb <> n then invalid_arg "Reduction_graph.two_gadget: ground sets differ";
+  let pairs_a = Two_partition.pairs pa and pairs_b = Two_partition.pairs pb in
+  let spine = List.init n (fun i -> (two_vertex_l ~n i, two_vertex_r ~n i)) in
+  let alice = List.map (fun (i, j) -> (two_vertex_l ~n i, two_vertex_l ~n j)) pairs_a in
+  let bob = List.map (fun (i, j) -> (two_vertex_r ~n i, two_vertex_r ~n j)) pairs_b in
+  Graph.of_edges ~n:(2 * n) (spine @ alice @ bob)
+
+let two_alice_hosts ~n v = v < n
+
+(* The partition of [n] induced on the element-vertices by the connected
+   components of a gadget — Theorem 4.3 says this equals P_A ∨ P_B. *)
+let induced_partition ~n ~element_vertex g =
+  let labels = Graph.components g in
+  Bcclb_partition.Set_partition.of_labels (Array.init n (fun i -> labels.(element_vertex i)))
+
+let gadget_partition g ~n = induced_partition ~n ~element_vertex:(fun i -> n + i) g
+
+let two_gadget_partition g ~n = induced_partition ~n ~element_vertex:(fun i -> i) g

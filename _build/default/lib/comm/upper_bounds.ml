@@ -1,0 +1,89 @@
+open Bcclb_partition
+open Bcclb_util
+
+(* The O(n log n)-bit deterministic upper bounds that sandwich the rank
+   lower bounds of Corollaries 2.4 and 4.2 from above. *)
+
+let label_width ~n = Mathx.ceil_log2 (max 2 n)
+
+(* Partition: Alice ships her whole partition (RGS, n labels of
+   ceil(log n) bits); Bob joins locally and answers with one bit. *)
+let partition_protocol ~n =
+  let w = label_width ~n in
+  { Protocol.name = "partition-trivial";
+    rounds = 2;
+    alice =
+      (fun pa ~round ~received:_ ->
+        if round = 1 then Protocol.encode_ints ~width:w (Array.to_list (Set_partition.to_rgs pa))
+        else "");
+    bob =
+      (fun pb ~round ~received ->
+        match (round, received) with
+        | 2, [ msg ] ->
+          let pa = Set_partition.of_labels (Array.of_list (Protocol.decode_ints ~width:w msg)) in
+          if Set_partition.is_coarsest (Set_partition.join pa pb) then "1" else "0"
+        | _ -> "");
+    output_a = (fun _pa ~received -> List.nth received 1 = "1");
+    output_b =
+      (fun pb ~received ->
+        let pa = Set_partition.of_labels (Array.of_list (Protocol.decode_ints ~width:w (List.hd received))) in
+        Set_partition.is_coarsest (Set_partition.join pa pb)) }
+
+(* PartitionComp: as above, but Bob must ship the join back so that both
+   parties can output it — 2·n·ceil(log n) bits in total. *)
+let partition_comp_protocol ~n =
+  let w = label_width ~n in
+  { Protocol.name = "partition-comp-trivial";
+    rounds = 2;
+    alice =
+      (fun pa ~round ~received:_ ->
+        if round = 1 then Protocol.encode_ints ~width:w (Array.to_list (Set_partition.to_rgs pa))
+        else "");
+    bob =
+      (fun pb ~round ~received ->
+        match (round, received) with
+        | 2, [ msg ] ->
+          let pa = Set_partition.of_labels (Array.of_list (Protocol.decode_ints ~width:w msg)) in
+          Protocol.encode_ints ~width:w (Array.to_list (Set_partition.to_rgs (Set_partition.join pa pb)))
+        | _ -> "");
+    output_a =
+      (fun _pa ~received -> Set_partition.of_labels (Array.of_list (Protocol.decode_ints ~width:w (List.nth received 1))));
+    output_b =
+      (fun pb ~received ->
+        let pa = Set_partition.of_labels (Array.of_list (Protocol.decode_ints ~width:w (List.hd received))) in
+        Set_partition.join pa pb) }
+
+(* Vertex-partitioned 2-party Connectivity on a shared vertex set [n]:
+   each party knows its private edge list (plus both know the public
+   spine, folded into Alice's here for simplicity in tests). Alice sends
+   the component labelling induced by her edges; Bob finishes. This is
+   the [HMT88] protocol adapted to our setting. *)
+let connectivity2_protocol ~n =
+  let w = label_width ~n in
+  { Protocol.name = "connectivity2-trivial";
+    rounds = 2;
+    alice =
+      (fun edges_a ~round ~received:_ ->
+        if round = 1 then begin
+          let g = Bcclb_graph.Graph.of_edges ~n edges_a in
+          Protocol.encode_ints ~width:w (Array.to_list (Bcclb_graph.Graph.components g))
+        end
+        else "");
+    bob =
+      (fun edges_b ~round ~received ->
+        match (round, received) with
+        | 2, [ msg ] ->
+          let labels = Array.of_list (Protocol.decode_ints ~width:w msg) in
+          let uf = Bcclb_graph.Union_find.create n in
+          Array.iteri (fun v l -> ignore (Bcclb_graph.Union_find.union uf v l)) labels;
+          List.iter (fun (u, v) -> ignore (Bcclb_graph.Union_find.union uf u v)) edges_b;
+          if Bcclb_graph.Union_find.components uf = 1 then "1" else "0"
+        | _ -> "");
+    output_a = (fun _ ~received -> List.nth received 1 = "1");
+    output_b =
+      (fun edges_b ~received ->
+        let labels = Array.of_list (Protocol.decode_ints ~width:w (List.hd received)) in
+        let uf = Bcclb_graph.Union_find.create n in
+        Array.iteri (fun v l -> ignore (Bcclb_graph.Union_find.union uf v l)) labels;
+        List.iter (fun (u, v) -> ignore (Bcclb_graph.Union_find.union uf u v)) edges_b;
+        Bcclb_graph.Union_find.components uf = 1) }

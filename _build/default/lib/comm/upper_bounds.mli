@@ -1,0 +1,27 @@
+(** Deterministic O(n log n)-bit protocols: the upper halves of the
+    communication sandwiches in §2 and §4 (the "simple deterministic
+    protocol" the paper describes: ship the partition / the component
+    labelling, finish locally). *)
+
+val partition_protocol :
+  n:int ->
+  ( Bcclb_partition.Set_partition.t, Bcclb_partition.Set_partition.t, bool, bool )
+  Protocol.spec
+(** Decide P_A ∨ P_B = 1 in n·⌈log₂ n⌉ + 1 bits. *)
+
+val partition_comp_protocol :
+  n:int ->
+  ( Bcclb_partition.Set_partition.t,
+    Bcclb_partition.Set_partition.t,
+    Bcclb_partition.Set_partition.t,
+    Bcclb_partition.Set_partition.t )
+  Protocol.spec
+(** Both parties output P_A ∨ P_B in 2·n·⌈log₂ n⌉ bits. *)
+
+val connectivity2_protocol :
+  n:int -> ((int * int) list, (int * int) list, bool, bool) Protocol.spec
+(** Vertex-partitioned 2-party Connectivity over edge lists on a shared
+    vertex set [0..n−1]: Alice sends her induced component labelling
+    (n·⌈log₂ n⌉ bits), Bob merges with his edges and answers. *)
+
+val label_width : n:int -> int

@@ -1,0 +1,1 @@
+lib/core/census.ml: Array Bcclb_bcc Bcclb_graph Bcclb_util Cycles Fun Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/core/census.mli: Bcclb_bcc Bcclb_graph

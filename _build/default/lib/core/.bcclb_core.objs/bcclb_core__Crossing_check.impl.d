@@ -1,0 +1,1 @@
+lib/core/crossing_check.ml: Array Bcclb_bcc Bcclb_graph Cycles Gen Instance List Simulator Transcript

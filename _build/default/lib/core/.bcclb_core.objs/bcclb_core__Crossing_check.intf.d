@@ -1,0 +1,1 @@
+lib/core/crossing_check.mli: Bcclb_bcc Bcclb_util

@@ -1,0 +1,1 @@
+lib/core/hard_distribution.ml: Algo Array Bcclb_bcc Bcclb_bignum Bcclb_graph Bcclb_util Census Fun Instance List Problems Ratio Simulator

@@ -1,0 +1,1 @@
+lib/core/hard_distribution.mli: Bcclb_bcc Bcclb_bignum Bcclb_graph Bcclb_util

@@ -1,0 +1,1 @@
+lib/core/indist_graph.ml: Array Bcclb_bignum Bcclb_graph Bcclb_util Census Cycles Hashtbl Hopcroft_karp Int Labels List Option

@@ -1,0 +1,1 @@
+lib/core/indist_graph.mli: Bcclb_bcc Bcclb_bignum Bcclb_graph Bcclb_util

@@ -1,0 +1,1 @@
+lib/core/info_bound.ml: Array Bcc_simulation Bcclb_algorithms Bcclb_bcc Bcclb_comm Bcclb_info Bcclb_partition Dist Entropy List Protocol Reduction_graph Set_partition String Upper_bounds

@@ -1,0 +1,1 @@
+lib/core/info_bound.mli:

@@ -1,0 +1,1 @@
+lib/core/kt0_bound.ml: Algo Array Bcclb_bcc Bcclb_bignum Bcclb_graph Bcclb_util Census Combi Hard_distribution Indist_graph Labels Nat

@@ -1,0 +1,1 @@
+lib/core/kt0_bound.mli: Bcclb_bcc Bcclb_bignum Bcclb_util

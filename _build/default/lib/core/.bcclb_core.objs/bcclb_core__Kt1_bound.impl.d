@@ -1,0 +1,1 @@
+lib/core/kt1_bound.ml: Array Bcc_simulation Bcclb_algorithms Bcclb_bcc Bcclb_comm Bcclb_linalg Bcclb_partition Bcclb_util Protocol Rank_bound Upper_bounds

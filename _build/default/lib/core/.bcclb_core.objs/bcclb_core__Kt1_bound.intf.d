@@ -1,0 +1,1 @@
+lib/core/kt1_bound.mli: Bcclb_util

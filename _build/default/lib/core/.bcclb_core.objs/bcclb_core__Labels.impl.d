@@ -1,0 +1,1 @@
+lib/core/labels.ml: Array Bcclb_bcc Bcclb_graph Census Cycles Hashtbl List Option Simulator Transcript

@@ -1,0 +1,1 @@
+lib/core/labels.mli: Bcclb_bcc Bcclb_graph Hashtbl

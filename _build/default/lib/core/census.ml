@@ -1,0 +1,123 @@
+open Bcclb_graph
+
+(* Exhaustive enumeration of the instance sets of §3.1:
+   V1 = all one-cycle input graphs on [n]  (|V1| = (n-1)!/2),
+   V2 = all two-disjoint-cycle input graphs, cycle lengths >= 3.
+   Feasible to n = 10 (|V1| = 181440). Instances are canonical
+   Cycles.t structures over the shared circulant background wiring
+   (see DESIGN.md). *)
+
+(* All distinct cycles on a given vertex set: fix the smallest vertex
+   first and quotient reflections by requiring second < last. *)
+let iter_cycles_on vertices f =
+  let k = Array.length vertices in
+  if k < 3 then invalid_arg "Census.iter_cycles_on: need at least 3 vertices";
+  let vs = Array.copy vertices in
+  Array.sort Int.compare vs;
+  let first = vs.(0) in
+  let rest = Array.sub vs 1 (k - 1) in
+  let used = Array.make (k - 1) false in
+  let seq = Array.make k first in
+  let rec go depth =
+    if depth = k then begin
+      if seq.(1) < seq.(k - 1) then f (Array.copy seq)
+    end
+    else
+      for i = 0 to k - 2 do
+        if not used.(i) then begin
+          used.(i) <- true;
+          seq.(depth) <- rest.(i);
+          go (depth + 1);
+          used.(i) <- false
+        end
+      done
+  in
+  go 1
+
+let iter_one_cycles ~n f =
+  if n < 3 then invalid_arg "Census.iter_one_cycles: need n >= 3";
+  iter_cycles_on (Array.init n Fun.id) (fun seq -> f (Cycles.make [ seq ]))
+
+let one_cycles ~n =
+  let acc = ref [] in
+  iter_one_cycles ~n (fun s -> acc := s :: !acc);
+  Array.of_list (List.rev !acc)
+
+(* Subsets of {1..n-1} of size k-1, combined with vertex 0: enumerating
+   the cycle containing 0 ensures each unordered pair of cycles appears
+   exactly once. *)
+let iter_two_cycles ~n f =
+  if n < 6 then invalid_arg "Census.iter_two_cycles: need n >= 6";
+  let rec subsets start size acc =
+    if size = 0 then begin
+      let s = Array.of_list (0 :: List.rev acc) in
+      let in_s = Array.make n false in
+      Array.iter (fun v -> in_s.(v) <- true) s;
+      let complement = Array.of_list (List.filter (fun v -> not in_s.(v)) (Bcclb_util.Arrayx.range 0 n)) in
+      iter_cycles_on s (fun c1 -> iter_cycles_on complement (fun c2 -> f (Cycles.make [ c1; c2 ])))
+    end
+    else
+      for v = start to n - 1 do
+        subsets (v + 1) (size - 1) (v :: acc)
+      done
+  in
+  for size_with_zero = 3 to n - 3 do
+    subsets 1 (size_with_zero - 1) []
+  done
+
+let two_cycles ~n =
+  let acc = ref [] in
+  iter_two_cycles ~n (fun s -> acc := s :: !acc);
+  Array.of_list (List.rev !acc)
+
+let to_instance ?ids s ~n = Bcclb_bcc.Instance.kt0_circulant ?ids (Cycles.to_graph ~n s)
+
+(* Structure-level crossing: cross directed edges (c_i, c_{i+1}) and
+   (c_j, c_{j+1}) of a one-cycle instance, replacing them by
+   (c_i, c_{j+1}) and (c_j, c_{i+1}) — splitting the cycle into the arcs
+   c_{i+1}..c_j and c_{j+1}..c_i. Defined when both arcs have length >= 3
+   (this implies edge independence on a cycle of length >= 6). *)
+let cross_one_cycle cyc i j =
+  let k = Array.length cyc in
+  let i, j = if i < j then (i, j) else (j, i) in
+  if i < 0 || j >= k then invalid_arg "Census.cross_one_cycle: edge index out of range";
+  let len1 = j - i and len2 = k - (j - i) in
+  if len1 < 3 || len2 < 3 then invalid_arg "Census.cross_one_cycle: arcs must have length >= 3";
+  let arc1 = Array.sub cyc (i + 1) (j - i) in
+  let arc2 = Array.init len2 (fun idx -> cyc.((j + 1 + idx) mod k)) in
+  Cycles.make [ arc1; arc2 ]
+
+(* Crossing one directed edge in each cycle of a two-cycle instance
+   merges the cycles: (a_i, a_{i+1}) x (b_j, b_{j+1}) yields the single
+   cycle a_{<=i} b_{>j} b_{<=j} a_{>i} ... concretely: follow a up to
+   a_i, jump to b_{j+1}, follow b around to b_j, jump back to a_{i+1}. *)
+let cross_two_cycles c1 c2 i j =
+  let k1 = Array.length c1 and k2 = Array.length c2 in
+  if i < 0 || i >= k1 || j < 0 || j >= k2 then invalid_arg "Census.cross_two_cycles: edge index out of range";
+  let merged = Array.make (k1 + k2) 0 in
+  let pos = ref 0 in
+  let push v =
+    merged.(!pos) <- v;
+    incr pos
+  in
+  for idx = 0 to i do
+    push c1.(idx)
+  done;
+  (* After a_i comes b_{j+1}, then the rest of b in order, ending at b_j. *)
+  for idx = 1 to k2 do
+    push c2.((j + idx) mod k2)
+  done;
+  for idx = i + 1 to k1 - 1 do
+    push c1.(idx)
+  done;
+  Cycles.make [ merged ]
+
+(* |T_i| of Lemma 3.9: two-cycle instances whose smaller cycle has length
+   i, counted exactly and compared against the proof's double-counting
+   bound |T_i| <= |V1| * n / (i (n - i)). *)
+let t_i_counts ~n =
+  let counts = Hashtbl.create 8 in
+  iter_two_cycles ~n (fun s ->
+      let smaller = List.fold_left min n (Cycles.lengths s) in
+      Hashtbl.replace counts smaller (1 + Option.value ~default:0 (Hashtbl.find_opt counts smaller)));
+  List.sort compare (Hashtbl.fold (fun i c acc -> (i, c) :: acc) counts [])

@@ -1,0 +1,38 @@
+(** Exhaustive census of the §3.1 instance sets V₁ (one-cycle input
+    graphs) and V₂ (two-disjoint-cycle input graphs) on [n] labelled
+    vertices, with the structure-level crossing operations that link them.
+
+    Instances are canonical {!Bcclb_graph.Cycles.t} values over the shared
+    circulant background wiring (DESIGN.md): Lemma 3.9's counting and the
+    indistinguishability graph of Definition 3.6 live at this level, while
+    the full port-rewiring semantics of crossings is exercised separately
+    through {!Bcclb_bcc.Instance.cross}. *)
+
+val iter_one_cycles : n:int -> (Bcclb_graph.Cycles.t -> unit) -> unit
+(** All (n−1)!/2 one-cycle instances. @raise Invalid_argument for n < 3. *)
+
+val one_cycles : n:int -> Bcclb_graph.Cycles.t array
+
+val iter_two_cycles : n:int -> (Bcclb_graph.Cycles.t -> unit) -> unit
+(** All two-cycle instances (both lengths ≥ 3), each exactly once.
+    @raise Invalid_argument for n < 6. *)
+
+val two_cycles : n:int -> Bcclb_graph.Cycles.t array
+
+val to_instance : ?ids:int array -> Bcclb_graph.Cycles.t -> n:int -> Bcclb_bcc.Instance.t
+(** KT-0 instance of the structure over the circulant background wiring. *)
+
+val cross_one_cycle : int array -> int -> int -> Bcclb_graph.Cycles.t
+(** [cross_one_cycle cyc i j]: cross the directed cycle edges
+    (cᵢ, cᵢ₊₁) and (cⱼ, cⱼ₊₁), splitting into two cycles. Defined iff
+    both arcs have length ≥ 3 — exactly edge independence on a cycle.
+    @raise Invalid_argument otherwise. *)
+
+val cross_two_cycles : int array -> int array -> int -> int -> Bcclb_graph.Cycles.t
+(** Cross edge i of the first cycle with edge j of the second, merging
+    them into one cycle (always independent across disjoint cycles).
+    @raise Invalid_argument on bad indices. *)
+
+val t_i_counts : n:int -> (int * int) list
+(** Exact |Tᵢ| (two-cycle instances with smaller cycle length i) by
+    direct enumeration — the quantity Lemma 3.9's proof double-counts. *)

@@ -1,0 +1,64 @@
+open Bcclb_bcc
+open Bcclb_graph
+
+(* Lemma 3.4, checked by execution (E4): if the endpoints of two
+   independent input edges broadcast pairwise-equal sequences during t
+   rounds, then the genuinely rewired crossed instance (Definition 3.3,
+   via Instance.cross) is execution-indistinguishable from the original:
+   every vertex has the same initial knowledge and transcript in both. *)
+
+type report = {
+  instances : int;
+  crossable_pairs : int;  (* independent pairs examined *)
+  same_label_pairs : int;  (* pairs satisfying Lemma 3.4's hypothesis *)
+  indistinguishable : int;  (* of those, how many were indistinguishable *)
+  violations : int;  (* must be 0 for the lemma to hold *)
+  distinguishable_diff_label : int;  (* diagnostic: distinguishable pairs with different labels *)
+}
+
+let directed_edges structure =
+  List.concat_map
+    (fun cyc ->
+      let k = Array.length cyc in
+      List.init k (fun i -> (cyc.(i), cyc.((i + 1) mod k))))
+    (Cycles.cycles structure)
+
+let check ?(seed = 0) algo ~n ~instances ~wiring rng =
+  let crossable = ref 0 and same_label = ref 0 and indist = ref 0 in
+  let violations = ref 0 and diff_dist = ref 0 in
+  for _ = 1 to instances do
+    let g = Gen.random_cycle rng n in
+    let inst =
+      match wiring with
+      | `Circulant -> Instance.kt0_circulant g
+      | `Random -> Instance.kt0_random rng g
+    in
+    let result = Simulator.run ~seed algo inst in
+    let sent v = Transcript.sent_string result.Simulator.transcripts.(v) in
+    match Cycles.of_graph g with
+    | None -> ()
+    | Some s ->
+      let edges = Array.of_list (directed_edges s) in
+      let m = Array.length edges in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let (v1, u1) = edges.(i) and (v2, u2) = edges.(j) in
+          if Instance.independent inst (v1, u1) (v2, u2) then begin
+            incr crossable;
+            let crossed = Instance.cross inst (v1, u1) (v2, u2) in
+            let ind = Simulator.indistinguishable ~seed algo inst crossed in
+            if sent v1 = sent v2 && sent u1 = sent u2 then begin
+              incr same_label;
+              if ind then incr indist else incr violations
+            end
+            else if not ind then incr diff_dist
+          end
+        done
+      done
+  done;
+  { instances;
+    crossable_pairs = !crossable;
+    same_label_pairs = !same_label;
+    indistinguishable = !indist;
+    violations = !violations;
+    distinguishable_diff_label = !diff_dist }

@@ -1,0 +1,25 @@
+(** Lemma 3.4 checked by execution (E4): crossings of same-label
+    independent edge pairs produce instances whose per-vertex states
+    (initial knowledge + transcript) are identical to the original's —
+    over genuinely rewired ports, not just at the census level. *)
+
+type report = {
+  instances : int;
+  crossable_pairs : int;
+  same_label_pairs : int;
+  indistinguishable : int;
+  violations : int;  (** Same-label pairs that were distinguishable: the
+                         lemma asserts this is always 0. *)
+  distinguishable_diff_label : int;
+}
+
+val check :
+  ?seed:int ->
+  'o Bcclb_bcc.Algo.packed ->
+  n:int ->
+  instances:int ->
+  wiring:[ `Circulant | `Random ] ->
+  Bcclb_util.Rng.t ->
+  report
+(** Examine every independent directed-edge pair of [instances] random
+    one-cycle instances under the given algorithm. *)

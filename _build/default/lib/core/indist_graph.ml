@@ -1,0 +1,189 @@
+open Bcclb_graph
+
+(* The bipartite indistinguishability graph G^t_{x,y} of Definition 3.6,
+   materialised for small n: left vertices are all one-cycle instances,
+   right vertices all two-cycle instances, and {I1, I2} is an edge iff
+   I2 = I1(e1, e2) for active independent directed edges e1, e2 of I1
+   (active = head broadcasts x, tail broadcasts y during the t rounds of
+   the algorithm). *)
+
+type t = {
+  n : int;
+  x : string;
+  y : string;
+  v1 : Cycles.t array;
+  v2 : Cycles.t array;
+  adj : int array array;  (* v1 index -> sorted distinct v2 indices *)
+  radj : int array array;  (* v2 index -> sorted distinct v1 indices *)
+}
+
+let active_positions sent cyc ~x ~y =
+  let k = Array.length cyc in
+  List.filter (fun i -> sent.(cyc.(i)) = x && sent.(cyc.((i + 1) mod k)) = y) (Bcclb_util.Arrayx.range 0 k)
+
+let build ?(seed = 0) algo ~n ?xy () =
+  let v1 = Census.one_cycles ~n in
+  let v2 = Census.two_cycles ~n in
+  let v2_index = Hashtbl.create (Array.length v2) in
+  Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
+  let sent1 = Array.map (fun s -> Labels.sent_strings ~seed algo ~n s) v1 in
+  let x, y =
+    match xy with
+    | Some p -> p
+    | None ->
+      (* Most frequent label across all one-cycle instances. *)
+      let tbl = Hashtbl.create 256 in
+      Array.iteri
+        (fun idx s ->
+          List.iter
+            (fun (_, lbl) ->
+              Hashtbl.replace tbl lbl (1 + Option.value ~default:0 (Hashtbl.find_opt tbl lbl)))
+            (Labels.edge_labels sent1.(idx) s))
+        v1;
+      Labels.most_frequent_label tbl
+  in
+  let adj_sets = Array.make (Array.length v1) [] in
+  let radj_sets = Array.make (Array.length v2) [] in
+  Array.iteri
+    (fun i1 s ->
+      let cyc = List.hd (Cycles.cycles s) in
+      let k = Array.length cyc in
+      let actives = active_positions sent1.(i1) cyc ~x ~y in
+      List.iter
+        (fun i ->
+          List.iter
+            (fun j ->
+              if i < j then begin
+                let len1 = j - i and len2 = k - (j - i) in
+                if len1 >= 3 && len2 >= 3 then begin
+                  let s2 = Census.cross_one_cycle cyc i j in
+                  let i2 = Hashtbl.find v2_index s2 in
+                  adj_sets.(i1) <- i2 :: adj_sets.(i1);
+                  radj_sets.(i2) <- i1 :: radj_sets.(i2)
+                end
+              end)
+            actives)
+        actives)
+    v1;
+  let dedup l =
+    let a = Array.of_list l in
+    Array.sort Int.compare a;
+    let out = ref [] in
+    Array.iteri (fun i v -> if i = 0 || a.(i - 1) <> v then out := v :: !out) a;
+    Array.of_list (List.rev !out)
+  in
+  { n; x; y; v1; v2; adj = Array.map dedup adj_sets; radj = Array.map dedup radj_sets }
+
+let num_edges t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.adj
+
+let degree_v1 t i = Array.length t.adj.(i)
+let degree_v2 t i = Array.length t.radj.(i)
+
+let neighborhood t indices =
+  let seen = Hashtbl.create 64 in
+  List.iter (fun i -> Array.iter (fun j -> Hashtbl.replace seen j ()) t.adj.(i)) indices;
+  Hashtbl.length seen
+
+(* Check the Polygamous Hall condition |N(S)| >= k|S| on sampled subsets
+   of the positive-degree left vertices; exhaustive subsets are
+   exponential, so we sample [samples] random subsets. A violating
+   witness S is returned if found. *)
+let hall_condition_sampled ?(samples = 200) rng t ~k =
+  let live = List.filter (fun i -> degree_v1 t i > 0) (Bcclb_util.Arrayx.range 0 (Array.length t.v1)) in
+  let live = Array.of_list live in
+  let m = Array.length live in
+  if m = 0 then Ok ()
+  else begin
+    (* The full live set is the extremal witness whenever k|L| > |R|;
+       check it first, then random subsets of varied sizes. *)
+    let full = Array.to_list live in
+    let violation = ref (if neighborhood t full < k * m then Some full else None) in
+    for _ = 1 to samples do
+      if !violation = None then begin
+        let size = 1 + Bcclb_util.Rng.int rng m in
+        let perm = Bcclb_util.Rng.permutation rng m in
+        let s = List.init size (fun i -> live.(perm.(i))) in
+        if neighborhood t s < k * size then violation := Some s
+      end
+    done;
+    match !violation with None -> Ok () | Some s -> Error s
+  end
+
+(* Construct an explicit k-matching of size |V1| (Theorem 2.1's
+   conclusion) with Hopcroft-Karp on the k-fold blow-up; only left
+   vertices of positive degree participate (isolated one-cycle instances
+   have no active pair at all and are excluded, as in Lemma 3.8). *)
+let k_matching t ~k =
+  let live = List.filter (fun i -> degree_v1 t i > 0) (Bcclb_util.Arrayx.range 0 (Array.length t.v1)) in
+  let live = Array.of_list live in
+  let adj = Array.map (fun i -> t.adj.(i)) live in
+  match Hopcroft_karp.k_matching ~k ~nl:(Array.length live) ~nr:(Array.length t.v2) ~adj with
+  | None -> None
+  | Some groups -> Some (live, groups)
+
+(* The union over ALL label pairs (x, y): {I1, I2} is an edge iff SOME
+   same-label active independent pair of I1 crosses to I2. By Lemma 3.4
+   every such pair is indistinguishable under the algorithm, so in any
+   output assignment at least one endpoint of every edge errs: a maximum
+   matching certifies a lower bound on the algorithm's error under mu. *)
+let build_full ?(seed = 0) algo ~n () =
+  let v1 = Census.one_cycles ~n in
+  let v2 = Census.two_cycles ~n in
+  let v2_index = Hashtbl.create (Array.length v2) in
+  Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
+  let adj_sets = Array.make (Array.length v1) [] in
+  let radj_sets = Array.make (Array.length v2) [] in
+  Array.iteri
+    (fun i1 s ->
+      let sent = Labels.sent_strings ~seed algo ~n s in
+      let cyc = List.hd (Cycles.cycles s) in
+      let k = Array.length cyc in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          let len1 = j - i and len2 = k - (j - i) in
+          if len1 >= 3 && len2 >= 3 then begin
+            (* Same-label condition of Lemma 3.4 for this directed pair. *)
+            let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
+            let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
+            if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then begin
+              let s2 = Census.cross_one_cycle cyc i j in
+              let i2 = Hashtbl.find v2_index s2 in
+              adj_sets.(i1) <- i2 :: adj_sets.(i1);
+              radj_sets.(i2) <- i1 :: radj_sets.(i2)
+            end
+          end
+        done
+      done)
+    v1;
+  let dedup l =
+    let a = Array.of_list l in
+    Array.sort Int.compare a;
+    let out = ref [] in
+    Array.iteri (fun i v -> if i = 0 || a.(i - 1) <> v then out := v :: !out) a;
+    Array.of_list (List.rev !out)
+  in
+  { n; x = "*"; y = "*"; v1; v2; adj = Array.map dedup adj_sets; radj = Array.map dedup radj_sets }
+
+(* Certified error lower bound under mu for THIS algorithm: a maximum
+   matching M in the full indistinguishability graph forces, for every
+   matched pair, an error of mass at least min(mu(I1), mu(I2)) =
+   1 / (2 max(|V1|, |V2|)). *)
+let certified_error_lb t =
+  let nl = Array.length t.v1 and nr = Array.length t.v2 in
+  let m = Hopcroft_karp.max_matching ~nl ~nr ~adj:t.adj in
+  let denom = 2 * max nl nr in
+  (m.Hopcroft_karp.size, Bcclb_bignum.Ratio.of_ints m.Hopcroft_karp.size denom)
+
+(* Lemma 3.7's quantitative content at t = 0 for one instance: the
+   multiset of neighbour degrees of I1, grouped by the smaller cycle
+   length i of the neighbour. *)
+let neighbor_degree_histogram t i1 =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun i2 ->
+      let smaller = List.fold_left min t.n (Cycles.lengths t.v2.(i2)) in
+      let d = degree_v2 t i2 in
+      let key = (smaller, d) in
+      Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    t.adj.(i1);
+  List.sort compare (Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl [])

@@ -1,0 +1,34 @@
+(** Experiment kernel for Theorem 4.5 (E9): exact mutual information
+    between Alice's uniform partition P_A and the protocol transcript Π
+    for ε-error PartitionComp protocols, under the hard distribution
+    (P_B fixed to the finest partition, so P_A ∨ P_B = P_A and the
+    transcript must essentially reveal P_A). *)
+
+type row = {
+  n : int;
+  epsilon : float;  (** Realised error fraction of the corrupted protocol. *)
+  h_pa : float;  (** H(P_A) = log₂ Bₙ. *)
+  mi : float;  (** I(P_A; Π), exact over all Bₙ inputs. *)
+  bound : float;  (** (1 − ε)·H(P_A), the Theorem 4.5 floor. *)
+  holds : bool;
+  errors : int;
+  total : int;
+}
+
+val row : n:int -> epsilon:float -> row
+(** The trivial PartitionComp protocol corrupted on an ε-fraction of
+    inputs (all corrupted inputs share one constant transcript — the
+    information-cheapest way to err). @raise Invalid_argument for n > 10. *)
+
+type bcc_row = {
+  n : int;
+  h_pa : float;
+  mi : float;  (** Information carried by the §4.3 simulation transcript. *)
+  comp_correct : bool;  (** The pipeline recovered P_A ∨ P_B on every input. *)
+}
+
+val bcc_row : n:int -> bcc_row
+(** Same computation with Π = the broadcast transcript of a real KT-1
+    ConnectedComponents algorithm run on the G(P_A, P_B) gadget; since
+    the algorithm is errorless, I(P_A; Π) = H(P_A) exactly.
+    @raise Invalid_argument for n > 6 (enumerates Bₙ pipelines). *)

@@ -1,0 +1,59 @@
+open Bcclb_bcc
+open Bcclb_graph
+
+(* Broadcast-sequence labels (§3.1): running a deterministic algorithm for
+   t rounds on an instance assigns every vertex the string of characters
+   it broadcast, and every directed input edge (v, u) the label
+   (sent v, sent u). Edges with equal labels are interchangeable by
+   crossings (Lemma 3.4). *)
+
+let sent_strings ?(seed = 0) algo ~n structure =
+  let inst = Census.to_instance structure ~n in
+  let result = Simulator.run ~seed algo inst in
+  Array.map Transcript.sent_string result.Simulator.transcripts
+
+(* Directed edges along each cycle's stored orientation, with labels. *)
+let edge_labels sent structure =
+  List.concat_map
+    (fun cyc ->
+      let k = Array.length cyc in
+      List.init k (fun i ->
+          let v = cyc.(i) and u = cyc.((i + 1) mod k) in
+          ((v, u), (sent.(v), sent.(u)))))
+    (Cycles.cycles structure)
+
+(* Count label multiplicities over a whole family of instances. *)
+let label_histogram ?(seed = 0) algo ~n structures =
+  let tbl = Hashtbl.create 256 in
+  Array.iter
+    (fun s ->
+      let sent = sent_strings ~seed algo ~n s in
+      List.iter
+        (fun (_, lbl) ->
+          Hashtbl.replace tbl lbl (1 + Option.value ~default:0 (Hashtbl.find_opt tbl lbl)))
+        (edge_labels sent s))
+    structures;
+  tbl
+
+let most_frequent_label histogram =
+  let best = ref None in
+  Hashtbl.iter
+    (fun lbl count ->
+      match !best with
+      | None -> best := Some (lbl, count)
+      | Some (lbl', count') -> if count > count' || (count = count' && lbl < lbl') then best := Some (lbl, count))
+    histogram;
+  match !best with
+  | None -> invalid_arg "Labels.most_frequent_label: empty histogram"
+  | Some (lbl, _) -> lbl
+
+(* Largest class of positions with the same (head, tail) label within one
+   instance — the pigeonhole quantity of Theorems 3.1/3.5: at least
+   n/3^{2t} of the n cycle edges share a label. *)
+let largest_active_set ?(seed = 0) algo ~n structure =
+  let sent = sent_strings ~seed algo ~n structure in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (_, lbl) -> Hashtbl.replace counts lbl (1 + Option.value ~default:0 (Hashtbl.find_opt counts lbl)))
+    (edge_labels sent structure);
+  Hashtbl.fold (fun _ c acc -> max c acc) counts 0

@@ -1,0 +1,25 @@
+(** Broadcast-sequence labels of vertices and directed edges under a
+    deterministic BCC(1) algorithm (§3.1): the raw material of the
+    indistinguishability graph. Labels are strings over {'0','1','_'}
+    ({!Bcclb_bcc.Transcript.sent_string}). *)
+
+val sent_strings : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> Bcclb_graph.Cycles.t -> string array
+(** Per-vertex broadcast strings after running the algorithm on the
+    structure's canonical instance. *)
+
+val edge_labels :
+  string array -> Bcclb_graph.Cycles.t -> ((int * int) * (string * string)) list
+(** Directed edges along each cycle's stored orientation with their
+    (head-string, tail-string) labels. *)
+
+val label_histogram :
+  ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> Bcclb_graph.Cycles.t array ->
+  (string * string, int) Hashtbl.t
+(** Multiplicity of every edge label across a family of instances. *)
+
+val most_frequent_label : (string * string, int) Hashtbl.t -> string * string
+(** Ties broken lexicographically. @raise Invalid_argument if empty. *)
+
+val largest_active_set : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> Bcclb_graph.Cycles.t -> int
+(** Size of the largest same-label edge class in one instance; the
+    pigeonhole lower bound of §3 says ≥ n/3^{2t} after t rounds. *)

@@ -1,0 +1,1 @@
+lib/graph/cycles.ml: Array Bcclb_util Format Graph Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/graph/gen.ml: Array Arrayx Bcclb_util Fun Graph Hashtbl List Rng

@@ -1,0 +1,1 @@
+lib/graph/gen.mli: Bcclb_util Graph

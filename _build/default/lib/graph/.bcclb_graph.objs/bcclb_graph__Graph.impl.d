@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Array Format Hashtbl Int List Union_find

@@ -1,0 +1,1 @@
+lib/graph/hopcroft_karp.ml: Array Queue

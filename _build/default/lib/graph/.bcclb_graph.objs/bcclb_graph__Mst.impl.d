@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Bcclb_util Graph Int List Union_find

@@ -1,0 +1,1 @@
+lib/graph/union_find.ml: Array Fun Hashtbl

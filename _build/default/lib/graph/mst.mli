@@ -1,0 +1,16 @@
+(** Minimum spanning forests (sequential oracle for the distributed MST
+    algorithm; cf. the CC-vs-BCC MST contrast of the paper's §1). *)
+
+val kruskal : Graph.t -> weight:(int -> int -> int) -> (int * int) list
+(** Minimum spanning forest edges, (u, v) with u < v. Deterministic under
+    ties (lexicographic tie-break); unique when weights are distinct. *)
+
+val total_weight : weight:(int -> int -> int) -> (int * int) list -> int
+
+val is_spanning_forest : Graph.t -> (int * int) list -> bool
+(** Acyclic, uses only graph edges, and spans every component. *)
+
+val weight_of_ids : max_id:int -> int -> int -> int
+(** Canonical injective (hence distinct) symmetric weight on ID pairs:
+    lets every vertex of a KT-1 algorithm compute any known edge's weight
+    locally without shipping weights around. *)

@@ -1,0 +1,43 @@
+type t = { parent : int array; rank : int array; mutable components : int }
+
+let create n =
+  if n < 0 then invalid_arg "Union_find.create: negative size";
+  { parent = Array.init n Fun.id; rank = Array.make n 0; components = n }
+
+let size t = Array.length t.parent
+
+let components t = t.components
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    t.components <- t.components - 1;
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end;
+    true
+  end
+
+let same t x y = find t x = find t y
+
+let labels t =
+  (* Canonical label: the smallest member of each component. *)
+  let n = size t in
+  let min_of_root = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    Hashtbl.replace min_of_root (find t v) v
+  done;
+  Array.init n (fun v -> Hashtbl.find min_of_root (find t v))

@@ -1,0 +1,1 @@
+lib/info/dist.mli:

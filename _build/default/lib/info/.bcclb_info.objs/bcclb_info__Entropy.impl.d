@@ -1,0 +1,1 @@
+lib/info/entropy.ml: Bcclb_util Dist List

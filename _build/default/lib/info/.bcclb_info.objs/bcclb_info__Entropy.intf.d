@@ -1,0 +1,1 @@
+lib/info/entropy.mli: Dist

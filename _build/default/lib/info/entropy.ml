@@ -1,0 +1,39 @@
+let log2 = Bcclb_util.Mathx.log2
+
+let term p = if p <= 0.0 then 0.0 else -.p *. log2 p
+
+let entropy dist = Dist.fold (fun _ p acc -> acc +. term p) dist 0.0
+
+(* Joint distribution over pairs, built from weighted (x, y) pairs. *)
+let joint pairs = Dist.of_weighted pairs
+
+let marginal_x joint = Dist.map_support fst joint
+let marginal_y joint = Dist.map_support snd joint
+
+let joint_entropy j = entropy j
+
+(* H(X|Y) = H(X,Y) - H(Y): the chain rule, numerically robust. *)
+let conditional_entropy j = joint_entropy j -. entropy (marginal_y j)
+
+(* I(X;Y) = H(X) + H(Y) - H(X,Y). *)
+let mutual_information j = entropy (marginal_x j) +. entropy (marginal_y j) -. joint_entropy j
+
+(* Convenience: exact I(X; f(X)) for X uniform over [xs] and a
+   deterministic map f — the shape of Theorem 4.5's computation where X
+   is Alice's partition and f is the protocol transcript. *)
+let mutual_information_fn xs f =
+  mutual_information (joint (List.map (fun x -> ((x, f x), 1.0)) xs))
+
+let binary_entropy p =
+  if p < 0.0 || p > 1.0 then invalid_arg "Entropy.binary_entropy: probability out of range";
+  term p +. term (1.0 -. p)
+
+(* I(X; Y | Z) from a joint distribution over ((x, y), z) triples:
+   I(X;Y|Z) = H(X,Z) + H(Y,Z) - H(Z) - H(X,Y,Z). *)
+let conditional_mutual_information triples =
+  let d = Dist.of_weighted triples in
+  let hxyz = entropy d in
+  let hxz = entropy (Dist.map_support (fun ((x, _y), z) -> (x, z)) d) in
+  let hyz = entropy (Dist.map_support (fun ((_x, y), z) -> (y, z)) d) in
+  let hz = entropy (Dist.map_support snd d) in
+  hxz +. hyz -. hz -. hxyz

@@ -1,0 +1,34 @@
+(** Exact Shannon entropy and mutual information over finite
+    distributions (§2, "Information Theory"; used by Theorem 4.5's
+    argument I(P_A; Π) = H(P_A) − H(P_A | Π) = Ω(n log n)).
+
+    All quantities are in bits (log base 2). *)
+
+val entropy : 'a Dist.t -> float
+(** H(X). *)
+
+val joint : (('a * 'b) * float) list -> ('a * 'b) Dist.t
+(** Build a joint distribution from weighted pairs. *)
+
+val marginal_x : ('a * 'b) Dist.t -> 'a Dist.t
+val marginal_y : ('a * 'b) Dist.t -> 'b Dist.t
+
+val joint_entropy : ('a * 'b) Dist.t -> float
+(** H(X, Y). *)
+
+val conditional_entropy : ('a * 'b) Dist.t -> float
+(** H(X | Y), via the chain rule H(X,Y) − H(Y). *)
+
+val mutual_information : ('a * 'b) Dist.t -> float
+(** I(X; Y) = H(X) + H(Y) − H(X,Y) ≥ 0. *)
+
+val mutual_information_fn : 'a list -> ('a -> 'b) -> float
+(** I(X; f(X)) for X uniform over the list and f deterministic — equals
+    H(f(X)); the form in which transcript information is computed. *)
+
+val binary_entropy : float -> float
+(** H(p) = −p log p − (1−p) log(1−p). @raise Invalid_argument outside [0,1]. *)
+
+val conditional_mutual_information : ((('x * 'y) * 'z) * float) list -> float
+(** I(X; Y | Z) from weighted ((x, y), z) triples (§2's conditional
+    mutual information); ≥ 0, and = I(X;Y) when Z is constant. *)

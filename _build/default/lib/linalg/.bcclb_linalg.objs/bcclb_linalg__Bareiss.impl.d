@@ -1,0 +1,1 @@
+lib/linalg/bareiss.ml: Array Bcclb_bignum Zint

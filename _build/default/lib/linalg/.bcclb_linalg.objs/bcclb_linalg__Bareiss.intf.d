@@ -1,0 +1,1 @@
+lib/linalg/bareiss.mli: Bcclb_bignum

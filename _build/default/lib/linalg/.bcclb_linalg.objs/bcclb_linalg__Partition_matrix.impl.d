@@ -1,0 +1,1 @@
+lib/linalg/partition_matrix.ml: Array Bcclb_partition Bcclb_util Set_partition Two_partition

@@ -1,0 +1,1 @@
+lib/linalg/partition_matrix.mli: Bcclb_partition

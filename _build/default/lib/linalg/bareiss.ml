@@ -1,0 +1,99 @@
+open Bcclb_bignum
+
+(* Fraction-free Bareiss elimination over the integers. Every division is
+   exact (by the previous pivot), so all intermediate entries are exact
+   minors of the input matrix — no rationals, no rounding. *)
+
+let rank m =
+  let rows = Array.length m in
+  if rows = 0 then 0
+  else begin
+    let cols = Array.length m.(0) in
+    let m = Array.map Array.copy m in
+    let prev = ref Zint.one in
+    let rank = ref 0 in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < rows && !col < cols do
+      let pivot = ref (-1) in
+      (try
+         for r = !row to rows - 1 do
+           if not (Zint.is_zero m.(r).(!col)) then begin
+             pivot := r;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot = -1 then incr col
+      else begin
+        if !pivot <> !row then begin
+          let tmp = m.(!pivot) in
+          m.(!pivot) <- m.(!row);
+          m.(!row) <- tmp
+        end;
+        let p = m.(!row).(!col) in
+        for r = !row + 1 to rows - 1 do
+          for c = !col + 1 to cols - 1 do
+            let num = Zint.sub (Zint.mul p m.(r).(c)) (Zint.mul m.(r).(!col) m.(!row).(c)) in
+            m.(r).(c) <- Zint.divexact num !prev
+          done;
+          m.(r).(!col) <- Zint.zero
+        done;
+        prev := p;
+        incr rank;
+        incr row;
+        incr col
+      end
+    done;
+    !rank
+  end
+
+let rank_int m = rank (Array.map (Array.map Zint.of_int) m)
+
+(* Determinant of a square matrix: the last pivot of full Bareiss
+   elimination, with sign tracking for row swaps. *)
+let det m =
+  let n = Array.length m in
+  if n = 0 then Zint.one
+  else begin
+    if Array.exists (fun row -> Array.length row <> n) m then invalid_arg "Bareiss.det: matrix not square";
+    let m = Array.map Array.copy m in
+    let prev = ref Zint.one in
+    let sign = ref 1 in
+    let result = ref Zint.one in
+    (try
+       for k = 0 to n - 1 do
+         if Zint.is_zero m.(k).(k) then begin
+           let pivot = ref (-1) in
+           (try
+              for r = k + 1 to n - 1 do
+                if not (Zint.is_zero m.(r).(k)) then begin
+                  pivot := r;
+                  raise Exit
+                end
+              done
+            with Exit -> ());
+           if !pivot = -1 then begin
+             result := Zint.zero;
+             raise Exit
+           end;
+           let tmp = m.(!pivot) in
+           m.(!pivot) <- m.(k);
+           m.(k) <- tmp;
+           sign := - !sign
+         end;
+         for r = k + 1 to n - 1 do
+           for c = k + 1 to n - 1 do
+             let num = Zint.sub (Zint.mul m.(k).(k) m.(r).(c)) (Zint.mul m.(r).(k) m.(k).(c)) in
+             m.(r).(c) <- Zint.divexact num !prev
+           done;
+           m.(r).(k) <- Zint.zero
+         done;
+         prev := m.(k).(k)
+       done;
+       result := m.(n - 1).(n - 1)
+     with Exit -> ());
+    if !sign = 1 then !result else Zint.neg !result
+  end
+
+let det_int m = det (Array.map (Array.map Zint.of_int) m)

@@ -1,0 +1,22 @@
+open Bcclb_partition
+
+(* The 0-1 matrices of §2 and §4.1: rows and columns are indexed by set
+   partitions (all of them for M^n, perfect matchings for E^n), and the
+   (i, j) entry is 1 iff P_i ∨ P_j = 1 (the one-block partition). *)
+
+let entry p q = if Set_partition.is_coarsest (Set_partition.join p q) then 1 else 0
+
+let of_index index =
+  let k = Array.length index in
+  Bcclb_util.Arrayx.init_matrix k k (fun i j -> entry index.(i) index.(j))
+
+let m_matrix ~n =
+  if n <= 0 then invalid_arg "Partition_matrix.m_matrix: n must be positive";
+  of_index (Array.of_list (Set_partition.all ~n))
+
+let e_matrix ~n =
+  if n <= 0 || n land 1 = 1 then invalid_arg "Partition_matrix.e_matrix: n must be positive and even";
+  of_index (Array.of_list (Two_partition.all ~n))
+
+let m_index ~n = Array.of_list (Set_partition.all ~n)
+let e_index ~n = Array.of_list (Two_partition.all ~n)

@@ -1,0 +1,24 @@
+(** The communication matrices of the Partition problems.
+
+    [Mⁿ(i,j) = 1] iff [Pᵢ ∨ Pⱼ = 1] over all Bₙ set partitions
+    (Theorem 2.3 asserts rank(Mⁿ) = Bₙ); [Eⁿ] is the principal submatrix
+    indexed by perfect matchings (Lemma 4.1 asserts it has full rank
+    r = n!/(2^{n/2}(n/2)!)). With [Lemma 1.28, KN97], full rank gives the
+    Ω(n log n) deterministic communication lower bounds of
+    Corollaries 2.4 and 4.2. *)
+
+val entry : Bcclb_partition.Set_partition.t -> Bcclb_partition.Set_partition.t -> int
+(** 1 iff the join of the two partitions is the one-block partition. *)
+
+val m_matrix : n:int -> int array array
+(** The Bₙ × Bₙ matrix Mⁿ. Feasible up to n ≈ 6 (203 × 203) for exact
+    rank, n = 7 (877 × 877) for mod-p rank. *)
+
+val e_matrix : n:int -> int array array
+(** The r × r matrix Eⁿ. @raise Invalid_argument on odd n. *)
+
+val m_index : n:int -> Bcclb_partition.Set_partition.t array
+(** Row order of {!m_matrix}. *)
+
+val e_index : n:int -> Bcclb_partition.Set_partition.t array
+(** Row order of {!e_matrix}. *)

@@ -1,0 +1,1 @@
+lib/partition/set_partition.ml: Array Arrayx Bcclb_graph Bcclb_util Format Fun Hashtbl List Printf Rng String

@@ -1,0 +1,1 @@
+lib/partition/set_partition.mli: Bcclb_util Format

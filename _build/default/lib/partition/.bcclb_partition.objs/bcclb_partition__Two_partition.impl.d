@@ -1,0 +1,1 @@
+lib/partition/two_partition.ml: Array Bcclb_util List Set_partition

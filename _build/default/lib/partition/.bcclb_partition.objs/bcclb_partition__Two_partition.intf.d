@@ -1,0 +1,1 @@
+lib/partition/two_partition.mli: Bcclb_util Set_partition

@@ -1,0 +1,56 @@
+(* TwoPartition inputs (§4.1): partitions of [n], n even, with every part
+   of size exactly two — i.e. perfect matchings of the complete graph. *)
+
+let is_two_partition p =
+  List.for_all (fun b -> List.length b = 2) (Set_partition.blocks p)
+
+let of_pairs ~n pairs = Set_partition.of_blocks ~n (List.map (fun (a, b) -> [ a; b ]) pairs)
+
+let pairs p =
+  if not (is_two_partition p) then invalid_arg "Two_partition.pairs: parts are not all of size two";
+  List.map
+    (fun b -> match b with [ a; c ] -> (a, c) | _ -> assert false)
+    (Set_partition.blocks p)
+
+let iter ~n f =
+  if n <= 0 || n land 1 = 1 then invalid_arg "Two_partition.iter: n must be positive and even";
+  (* Pair the smallest unused element with each other unused element. *)
+  let used = Array.make n false in
+  let acc = ref [] in
+  let rec go remaining =
+    if remaining = 0 then f (of_pairs ~n !acc)
+    else begin
+      let a = ref 0 in
+      while used.(!a) do
+        incr a
+      done;
+      let a = !a in
+      used.(a) <- true;
+      for b = a + 1 to n - 1 do
+        if not used.(b) then begin
+          used.(b) <- true;
+          acc := (a, b) :: !acc;
+          go (remaining - 2);
+          acc := List.tl !acc;
+          used.(b) <- false
+        end
+      done;
+      used.(a) <- false
+    end
+  in
+  go n
+
+let all ~n =
+  let acc = ref [] in
+  iter ~n (fun p -> acc := p :: !acc);
+  List.rev !acc
+
+let count ~n =
+  let c = ref 0 in
+  iter ~n (fun _ -> incr c);
+  !c
+
+let random rng ~n =
+  if n <= 0 || n land 1 = 1 then invalid_arg "Two_partition.random: n must be positive and even";
+  let perm = Bcclb_util.Rng.permutation rng n in
+  of_pairs ~n (List.init (n / 2) (fun i -> (perm.(2 * i), perm.((2 * i) + 1))))

@@ -1,0 +1,27 @@
+(** The TwoPartition special case of §4.1: partitions of an even ground
+    set with every part of size exactly two (perfect matchings). These
+    index the rows/columns of the full-rank matrix Eⁿ of Lemma 4.1, and
+    the reduction of §4.2 turns a pair of them into a 2-regular gadget
+    graph (the MultiCycle instance). *)
+
+val is_two_partition : Set_partition.t -> bool
+
+val of_pairs : n:int -> (int * int) list -> Set_partition.t
+(** @raise Invalid_argument unless the pairs partition [0..n−1]. *)
+
+val pairs : Set_partition.t -> (int * int) list
+(** The parts as ordered pairs (a, b), a < b.
+    @raise Invalid_argument if some part has size ≠ 2. *)
+
+val iter : n:int -> (Set_partition.t -> unit) -> unit
+(** All r = n!/(2^{n/2}(n/2)!) perfect matchings, in a fixed order.
+    @raise Invalid_argument on odd n. *)
+
+val all : n:int -> Set_partition.t list
+
+val count : n:int -> int
+(** r by direct enumeration (check against
+    {!Bcclb_bignum.Combi.perfect_matchings}). *)
+
+val random : Bcclb_util.Rng.t -> n:int -> Set_partition.t
+(** Uniformly random perfect matching. *)

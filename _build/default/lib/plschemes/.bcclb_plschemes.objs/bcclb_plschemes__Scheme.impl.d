@@ -1,0 +1,1 @@
+lib/plschemes/scheme.ml: Array Bcclb_bcc Bcclb_util Instance List String View

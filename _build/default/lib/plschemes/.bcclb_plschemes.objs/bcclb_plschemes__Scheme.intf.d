@@ -1,0 +1,1 @@
+lib/plschemes/scheme.mli: Bcclb_bcc Bcclb_util

@@ -1,0 +1,1 @@
+lib/plschemes/spanning_tree.ml: Array Bcclb_bcc Bcclb_graph Bcclb_util Graph Instance List Option Queue Scheme String View

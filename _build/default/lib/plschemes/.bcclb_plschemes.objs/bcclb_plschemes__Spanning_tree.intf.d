@@ -1,0 +1,1 @@
+lib/plschemes/spanning_tree.mli: Scheme

@@ -1,0 +1,1 @@
+lib/plschemes/transcript_scheme.ml: Algo Array Bcclb_bcc Msg Printf Problems Scheme Simulator String Transcript View

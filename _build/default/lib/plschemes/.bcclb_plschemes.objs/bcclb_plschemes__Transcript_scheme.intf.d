@@ -1,0 +1,1 @@
+lib/plschemes/transcript_scheme.mli: Bcclb_bcc Scheme

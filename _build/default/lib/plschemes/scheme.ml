@@ -1,0 +1,69 @@
+open Bcclb_bcc
+
+(* Proof-labeling schemes in the broadcast congested clique (§1.3 of the
+   paper, after [KKP10; BFP15; PP17]): a prover assigns each vertex a
+   label; verification is a single broadcast round in which every vertex
+   broadcasts its label and then accepts or rejects from its own initial
+   knowledge plus all labels heard. The scheme verifies a predicate P
+   when (completeness) on every instance satisfying P the honest prover
+   makes all vertices accept, and (soundness) on every instance violating
+   P, EVERY labelling leaves some vertex rejecting. The verification
+   complexity is the label size. *)
+
+type t = {
+  name : string;
+  label_bits : n:int -> int;
+  prove : Instance.t -> string array option;
+      (* Honest prover: labels per vertex, or None when the predicate
+         fails (no honest proof exists). *)
+  verify : View.t -> own:string -> by_port:string array -> bool;
+      (* One vertex's decision from its initial knowledge, its own label,
+         and the label received through each port. *)
+}
+
+type result = { accepted : bool; rejecting : int list }
+
+let run scheme inst ~labels =
+  let n = Instance.n inst in
+  if Array.length labels <> n then invalid_arg "Scheme.run: one label per vertex required";
+  let rejecting = ref [] in
+  for v = n - 1 downto 0 do
+    let view = Instance.view inst v in
+    let by_port = Array.init (n - 1) (fun p -> labels.(Instance.peer inst v p)) in
+    if not (scheme.verify view ~own:labels.(v) ~by_port) then rejecting := v :: !rejecting
+  done;
+  { accepted = !rejecting = []; rejecting = !rejecting }
+
+let accepts scheme inst ~labels = (run scheme inst ~labels).accepted
+
+(* Exhaustive-ish soundness check: on an instance violating the
+   predicate, try the honest labelling of a nearby YES instance plus
+   [trials] random perturbations and fully random labelings; all must be
+   rejected. Returns the first accepted (fooling) labelling if any. *)
+let soundness_check ?(trials = 200) rng scheme inst ~candidate_labels =
+  let n = Instance.n inst in
+  let random_label len = String.init len (fun _ -> if Bcclb_util.Rng.bool rng then '1' else '0') in
+  let check labels = if accepts scheme inst ~labels then Some labels else None in
+  let rec try_all i =
+    if i >= trials then None
+    else begin
+      let labels =
+        if i < List.length candidate_labels then List.nth candidate_labels i
+        else begin
+          let base =
+            match candidate_labels with
+            | [] -> Array.init n (fun _ -> random_label (scheme.label_bits ~n))
+            | l :: _ -> Array.copy l
+          in
+          (* Perturb a few labels. *)
+          for _ = 0 to Bcclb_util.Rng.int rng 3 do
+            let v = Bcclb_util.Rng.int rng n in
+            base.(v) <- random_label (String.length base.(v))
+          done;
+          base
+        end
+      in
+      match check labels with Some l -> Some l | None -> try_all (i + 1)
+    end
+  in
+  try_all 0

@@ -1,0 +1,41 @@
+(** Proof-labeling schemes in the broadcast congested clique (§1.3;
+    [KKP10; BFP15; PP17]).
+
+    A scheme consists of a prover that labels vertices and a distributed
+    verifier: one broadcast round in which every vertex announces its
+    label and then decides from its initial knowledge plus all heard
+    labels. Verification complexity = label size. Patt-Shamir–Perry's
+    Ω(log n) verification bound for MST, combined with the
+    transcript-as-labels transformation ({!Transcript_scheme}), is the
+    deterministic ancestor of the paper's Theorem 3.1. *)
+
+type t = {
+  name : string;
+  label_bits : n:int -> int;  (** Verification complexity κ(n). *)
+  prove : Bcclb_bcc.Instance.t -> string array option;
+      (** Honest prover; [None] when the predicate fails. *)
+  verify : Bcclb_bcc.View.t -> own:string -> by_port:string array -> bool;
+      (** One vertex's accept/reject decision. *)
+}
+
+type result = {
+  accepted : bool;  (** All vertices accepted. *)
+  rejecting : int list;
+}
+
+val run : t -> Bcclb_bcc.Instance.t -> labels:string array -> result
+(** Execute the verification round with the given labelling.
+    @raise Invalid_argument unless there is one label per vertex. *)
+
+val accepts : t -> Bcclb_bcc.Instance.t -> labels:string array -> bool
+
+val soundness_check :
+  ?trials:int ->
+  Bcclb_util.Rng.t ->
+  t ->
+  Bcclb_bcc.Instance.t ->
+  candidate_labels:string array list ->
+  string array option
+(** Adversarial probe on a predicate-violating instance: candidate
+    labelings, their perturbations, and random labelings; returns a
+    fooling labelling if one is found (soundness demands [None]). *)

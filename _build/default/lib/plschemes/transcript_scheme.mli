@@ -1,0 +1,14 @@
+(** The §1.3 transformation, executable: compile any (correct,
+    deterministic) BCC(1) Connectivity algorithm into a proof-labeling
+    scheme whose labels are the per-vertex broadcast transcripts and
+    whose verification complexity is twice the algorithm's round count.
+
+    This is the bridge between verification lower bounds [PP17] and
+    round lower bounds: an o(log n)-round algorithm would give an
+    o(log n)-bit connectivity scheme. *)
+
+val of_algorithm : bool Bcclb_bcc.Algo.packed -> Scheme.t
+(** The honest prover runs the algorithm (a proof exists only on
+    YES instances); the verifier replays the algorithm locally against
+    the broadcast labels. Sound whenever the compiled algorithm is
+    correct. *)

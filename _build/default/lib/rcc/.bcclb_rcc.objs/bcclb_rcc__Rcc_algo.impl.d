@@ -1,0 +1,1 @@
+lib/rcc/rcc_algo.ml: Algo Array Bcclb_bcc Bcclb_util Hashtbl Msg View

@@ -1,0 +1,1 @@
+lib/rcc/rcc_algo.mli: Bcclb_bcc

@@ -1,0 +1,1 @@
+lib/rcc/rcc_simulator.ml: Array Bcclb_bcc Instance Msg Printf Rcc_algo

@@ -1,0 +1,1 @@
+lib/rcc/rcc_simulator.mli: Bcclb_bcc Rcc_algo

@@ -1,0 +1,1 @@
+lib/rcc/token_routing.ml: Array Bcclb_bcc Bcclb_util Bits Hashtbl Mathx Msg Printf Rcc_algo View

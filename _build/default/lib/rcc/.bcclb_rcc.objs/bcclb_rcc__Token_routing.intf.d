@@ -1,0 +1,1 @@
+lib/rcc/token_routing.mli: Rcc_algo

@@ -1,0 +1,11 @@
+(** Synchronous simulator for RCC(b, r) algorithms on BCC instances.
+    Enforces both the bandwidth and the range constraint each round. *)
+
+type 'o result = {
+  outputs : 'o array;
+  rounds_used : int;
+  max_distinct : int;  (** Largest per-round distinct-message count seen. *)
+}
+
+val run : ?seed:int -> 'o Rcc_algo.packed -> Bcclb_bcc.Instance.t -> 'o result
+(** @raise Invalid_argument on bandwidth or range violations. *)

@@ -1,0 +1,1 @@
+lib/sketch/edge_coding.mli:

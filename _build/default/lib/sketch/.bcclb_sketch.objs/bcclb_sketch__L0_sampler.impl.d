@@ -1,0 +1,1 @@
+lib/sketch/l0_sampler.ml: Array Bcclb_util Buffer Bytes Char Mathx Rng String

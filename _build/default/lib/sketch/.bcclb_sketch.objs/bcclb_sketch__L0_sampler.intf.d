@@ -1,0 +1,1 @@
+lib/sketch/l0_sampler.mli: Bcclb_util

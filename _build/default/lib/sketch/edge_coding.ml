@@ -1,0 +1,23 @@
+(* Dense encoding of undirected edges {u, v}, 0 <= u < v < n, as integers
+   in [0, n(n-1)/2): the coordinate space of the incidence vectors that
+   the AGM-style connectivity sketches live in. *)
+
+let universe ~n = n * (n - 1) / 2
+
+(* Row-major over ordered pairs: id(u, v) = C(v, 2) + u for u < v. *)
+let encode ~n u v =
+  if u = v || u < 0 || v < 0 || u >= n || v >= n then invalid_arg "Edge_coding.encode: bad endpoints";
+  let u, v = if u < v then (u, v) else (v, u) in
+  (v * (v - 1) / 2) + u
+
+let decode ~n id =
+  if id < 0 || id >= universe ~n then invalid_arg "Edge_coding.decode: id out of range";
+  (* v = largest integer with C(v,2) <= id. *)
+  let v = ref 1 in
+  while (!v + 1) * !v / 2 <= id do
+    incr v
+  done;
+  let u = id - (!v * (!v - 1) / 2) in
+  (u, !v)
+
+let bits ~n = Bcclb_util.Mathx.ceil_log2 (max 2 (universe ~n))

@@ -1,0 +1,14 @@
+(** Dense integer ids for undirected edges {u, v} on [0..n−1] — the
+    coordinate space of the AGM incidence sketches. *)
+
+val universe : n:int -> int
+(** n(n−1)/2. *)
+
+val encode : n:int -> int -> int -> int
+(** Order-insensitive. @raise Invalid_argument on loops / out of range. *)
+
+val decode : n:int -> int -> int * int
+(** Inverse, returning (u, v) with u < v. @raise Invalid_argument. *)
+
+val bits : n:int -> int
+(** Bits needed for an edge id. *)

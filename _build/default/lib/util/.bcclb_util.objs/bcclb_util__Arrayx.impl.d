@@ -1,0 +1,1 @@
+lib/util/arrayx.ml: Array Hashtbl List

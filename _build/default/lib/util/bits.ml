@@ -1,0 +1,58 @@
+type t = { width : int; value : int }
+
+let max_width = 62
+
+let make ~width ~value =
+  if width < 0 || width > max_width then invalid_arg "Bits.make: width out of range";
+  if value < 0 || (width < max_width && value lsr width <> 0) then
+    invalid_arg "Bits.make: value does not fit in width";
+  { width; value }
+
+let empty = { width = 0; value = 0 }
+
+let width t = t.width
+
+let value t = t.value
+
+let bit t i =
+  if i < 0 || i >= t.width then invalid_arg "Bits.bit: index out of range";
+  (t.value lsr i) land 1 = 1
+
+let of_bool b = { width = 1; value = (if b then 1 else 0) }
+
+let to_bool t =
+  if t.width <> 1 then invalid_arg "Bits.to_bool: width is not 1";
+  t.value = 1
+
+let of_int ~width value = make ~width ~value
+
+let append a b =
+  if a.width + b.width > max_width then invalid_arg "Bits.append: result too wide";
+  { width = a.width + b.width; value = a.value lor (b.value lsl a.width) }
+
+let slice t ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > t.width then invalid_arg "Bits.slice: out of range";
+  { width = len; value = (t.value lsr pos) land ((1 lsl len) - 1) }
+
+let equal a b = a.width = b.width && a.value = b.value
+
+let compare a b =
+  let c = Int.compare a.width b.width in
+  if c <> 0 then c else Int.compare a.value b.value
+
+let to_string t = String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+
+let of_string s =
+  let width = String.length s in
+  let value =
+    String.fold_left
+      (fun acc c ->
+        match c with
+        | '0' -> acc * 2
+        | '1' -> (acc * 2) + 1
+        | _ -> invalid_arg "Bits.of_string: expected only '0' and '1'")
+      0 s
+  in
+  make ~width ~value
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

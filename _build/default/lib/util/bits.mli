@@ -1,0 +1,50 @@
+(** Fixed-width bit words of at most 62 bits.
+
+    These are the payloads of BCC(b) broadcasts: a round's message is
+    either silence or a word of at most [b] bits. Width is part of the
+    value, so a 2-bit "01" differs from a 1-bit "1" — transcripts compare
+    exactly. *)
+
+type t
+
+val max_width : int
+(** 62: words live in a native [int]. *)
+
+val make : width:int -> value:int -> t
+(** @raise Invalid_argument if width is out of range or value does not fit. *)
+
+val empty : t
+(** The zero-width word. *)
+
+val width : t -> int
+val value : t -> int
+
+val bit : t -> int -> bool
+(** [bit t i] is bit [i], least significant first.
+    @raise Invalid_argument out of range. *)
+
+val of_bool : bool -> t
+(** 1-bit word. *)
+
+val to_bool : t -> bool
+(** @raise Invalid_argument if width ≠ 1. *)
+
+val of_int : width:int -> int -> t
+
+val append : t -> t -> t
+(** [append a b] concatenates, [a] in the low bits.
+    @raise Invalid_argument if the result exceeds {!max_width}. *)
+
+val slice : t -> pos:int -> len:int -> t
+(** Sub-word starting at bit [pos]. @raise Invalid_argument out of range. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_string : t -> string
+(** Most significant bit first, e.g. ["0110"]. *)
+
+val of_string : string -> t
+(** Inverse of {!to_string}. @raise Invalid_argument on other characters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_bcc.ml: Alcotest Algo Array Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_util Bool Fun Instance List Msg Printf Problems QCheck2 Simulator Split String Test Transcript View

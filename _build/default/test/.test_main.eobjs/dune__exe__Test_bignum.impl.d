@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Array Bcclb_bignum Bcclb_util Combi Gen List Nat Printf QCheck2 Ratio String Test Zint

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Bcclb_graph Bcclb_util Cycles Gen Graph Hopcroft_karp Int List QCheck2 Test Union_find

@@ -1,0 +1,1 @@
+test/test_info.ml: Alcotest Bcclb_info Bcclb_util Dist Entropy Gen List QCheck2 Test

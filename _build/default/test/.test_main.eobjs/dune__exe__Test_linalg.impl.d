@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Bareiss Bcclb_bignum Bcclb_linalg Bcclb_util Gen List Partition_matrix Printf QCheck2 Test Zint Zmod

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Bcclb_partition Bcclb_util Float Gen Hashtbl List Option Printf QCheck2 Set_partition Test Two_partition

@@ -1,0 +1,1 @@
+test/test_plschemes.ml: Alcotest Array Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_plschemes Bcclb_util Bytes Gen List QCheck2 Scheme Spanning_tree Test Transcript_scheme

@@ -1,0 +1,1 @@
+test/test_rcc.ml: Alcotest Array Bcclb_algorithms Bcclb_bcc Bcclb_graph Bcclb_rcc Bcclb_util Fun Gen List Printf QCheck2 Rcc_algo Rcc_simulator Test Token_routing

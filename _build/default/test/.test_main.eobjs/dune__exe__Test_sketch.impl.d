@@ -1,0 +1,1 @@
+test/test_sketch.ml: Alcotest Bcclb_sketch Bcclb_util Edge_coding Gen Hashtbl L0_sampler List QCheck2 String Test

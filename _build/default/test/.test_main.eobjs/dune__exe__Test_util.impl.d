@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Arrayx Bcclb_util Bits Fun Gen Int Mathx QCheck2 Rng Test

@@ -1,0 +1,436 @@
+open Bcclb_bcc
+open Bcclb_algorithms
+module G = Bcclb_graph.Graph
+module Ggen = Bcclb_graph.Gen
+module Rng = Bcclb_util.Rng
+
+let run_decision algo inst = Problems.system_decision (Simulator.run algo inst).Simulator.outputs
+
+let check_connectivity_algo ~make_inst algo ~n_list =
+  let rng = Rng.create ~seed:77 in
+  List.iter
+    (fun n ->
+      let yes = Ggen.random_cycle rng n in
+      let no = Ggen.random_two_cycles rng n in
+      Alcotest.(check bool)
+        (Printf.sprintf "YES on n=%d cycle" n)
+        true
+        (run_decision algo (make_inst yes));
+      Alcotest.(check bool)
+        (Printf.sprintf "NO on n=%d two cycles" n)
+        false
+        (run_decision algo (make_inst no)))
+    n_list
+
+let test_discovery_kt0 () =
+  let algo = Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
+  check_connectivity_algo ~make_inst:Instance.kt0_circulant algo ~n_list:[ 6; 9; 16; 33 ]
+
+let test_discovery_kt0_random_wiring () =
+  let rng = Rng.create ~seed:4 in
+  let algo = Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
+  check_connectivity_algo ~make_inst:(Instance.kt0_random rng) algo ~n_list:[ 8; 12 ]
+
+let test_discovery_kt1 () =
+  let algo = Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
+  check_connectivity_algo ~make_inst:Instance.kt1_of_graph algo ~n_list:[ 6; 9; 16; 33 ]
+
+let test_discovery_rounds_logarithmic () =
+  (* d=2: KT-0 uses 3L rounds, KT-1 2L, L = ceil(log2(n+1)). *)
+  let kt0 = Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
+  let kt1 = Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
+  Alcotest.(check int) "KT-0 rounds n=64" 21 (Algo.rounds kt0 ~n:64);
+  Alcotest.(check int) "KT-1 rounds n=64" 14 (Algo.rounds kt1 ~n:64);
+  Alcotest.(check int) "KT-0 rounds n=1024" 33 (Algo.rounds kt0 ~n:1024)
+
+let test_discovery_components () =
+  let algo = Discovery.components ~knowledge:Instance.KT1 ~max_degree:2 in
+  let rng = Rng.create ~seed:13 in
+  let g = Ggen.multicycle_of_lengths rng 12 [ 5; 7 ] in
+  let inst = Instance.kt1_of_graph g in
+  let r = Simulator.run algo inst in
+  (* Labels are IDs (vertex index + 1); convert to a vertex labelling. *)
+  Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs)
+
+let test_discovery_degree_check () =
+  let star = G.of_edges ~n:5 [ (0, 1); (0, 2); (0, 3); (0, 4) ] in
+  let algo = Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
+  Alcotest.(check bool) "degree violation raises" true
+    (try
+       ignore (run_decision algo (Instance.kt1_of_graph star));
+       false
+     with Invalid_argument _ -> true)
+
+let test_discovery_higher_degree () =
+  (* d=4 handles arbitrary graphs with max degree <= 4. *)
+  let algo = Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:4 in
+  let rng = Rng.create ~seed:21 in
+  for _ = 1 to 10 do
+    let g = Ggen.random_bounded_degree rng 12 4 in
+    let inst = Instance.kt1_of_graph g in
+    Alcotest.(check bool) "matches ground truth" (G.is_connected g) (run_decision algo inst)
+  done
+
+let test_truncated_discovery () =
+  let n = 16 in
+  let full_rounds = Algo.rounds (Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2) ~n in
+  (* Truncated to 3 rounds: cannot know the graph; optimist says YES. *)
+  let opt = Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds:3 ~optimist:true in
+  let pes =
+    Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds:3 ~optimist:false
+  in
+  let rng = Rng.create ~seed:31 in
+  let no_inst = Instance.kt0_circulant (Ggen.random_two_cycles rng n) in
+  Alcotest.(check bool) "optimist errs on NO" true (run_decision opt no_inst);
+  Alcotest.(check bool) "pessimist errs on YES" false
+    (run_decision pes (Instance.kt0_circulant (Ggen.random_cycle rng n)));
+  (* Truncating to the full budget behaves like the full algorithm. *)
+  let full =
+    Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds:full_rounds
+      ~optimist:true
+  in
+  Alcotest.(check bool) "full budget correct on NO" false (run_decision full no_inst)
+
+let test_min_label () =
+  let algo = Min_label.connectivity () in
+  check_connectivity_algo ~make_inst:Instance.kt0_circulant algo ~n_list:[ 6; 9; 14 ];
+  (* Component labels equal smallest ID per component. *)
+  let rng = Rng.create ~seed:8 in
+  let g = Ggen.multicycle_of_lengths rng 10 [ 4; 6 ] in
+  let r = Simulator.run (Min_label.components ()) (Instance.kt0_circulant g) in
+  Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs);
+  let truth = G.components g in
+  Array.iteri
+    (fun v lbl -> Alcotest.(check int) "label is min id of component" (truth.(v) + 1) lbl)
+    r.Simulator.outputs
+
+let test_min_label_rounds () =
+  (* (n/2 + 2) phases of L rounds each. *)
+  let algo = Min_label.connectivity () in
+  Alcotest.(check int) "rounds n=16" ((8 + 2) * 5) (Algo.rounds algo ~n:16)
+
+let test_boruvka () =
+  let algo = Boruvka.connectivity () in
+  check_connectivity_algo ~make_inst:Instance.kt1_of_graph algo ~n_list:[ 6; 9; 16 ];
+  (* Arbitrary (non-regular) graphs. *)
+  let rng = Rng.create ~seed:15 in
+  for _ = 1 to 10 do
+    let g = Ggen.gnp rng 14 0.15 in
+    let inst = Instance.kt1_of_graph g in
+    Alcotest.(check bool) "matches ground truth" (G.is_connected g) (run_decision algo inst)
+  done
+
+let test_boruvka_components () =
+  let rng = Rng.create ~seed:16 in
+  for _ = 1 to 10 do
+    let g = Ggen.gnp rng 12 0.12 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run (Boruvka.components ()) inst in
+    Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs)
+  done
+
+let test_boruvka_rounds_and_bandwidth () =
+  let algo = Boruvka.connectivity () in
+  Alcotest.(check int) "rounds n=1024" 12 (Algo.rounds algo ~n:1024);
+  Alcotest.(check int) "bandwidth n=1024" 22 (Algo.bandwidth algo ~n:1024)
+
+let test_trivial () =
+  let rng = Rng.create ~seed:55 in
+  let yes = Instance.kt0_circulant (Ggen.random_cycle rng 8) in
+  Alcotest.(check bool) "always yes" true (run_decision (Trivial.always_yes ()) yes);
+  Alcotest.(check bool) "always no" false (run_decision (Trivial.always_no ()) yes);
+  (* Coin guess is a fair public coin: over seeds, both answers appear. *)
+  let yeses = ref 0 in
+  for seed = 1 to 100 do
+    let r = Simulator.run ~seed (Trivial.coin_guess ()) yes in
+    if Problems.system_decision r.Simulator.outputs then incr yeses
+  done;
+  Alcotest.(check bool) "fair-ish" true (!yeses > 20 && !yeses < 80)
+
+let test_measure_decision_error () =
+  let rng = Rng.create ~seed:66 in
+  let gen _trial =
+    if Rng.bool rng then (Instance.kt0_circulant (Ggen.random_cycle rng 10), true)
+    else (Instance.kt0_circulant (Ggen.random_two_cycles rng 10), false)
+  in
+  let stats =
+    Problems.measure_decision_error (Trivial.always_yes ()) ~trials:200 gen
+  in
+  let rate = Problems.error_rate stats in
+  Alcotest.(check bool) "always-yes errs on NO half" true (rate > 0.3 && rate < 0.7);
+  let stats_full =
+    Problems.measure_decision_error
+      (Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2)
+      ~trials:100
+      (fun _ ->
+        if Rng.bool rng then (Instance.kt0_circulant (Ggen.random_cycle rng 10), true)
+        else (Instance.kt0_circulant (Ggen.random_two_cycles rng 10), false))
+  in
+  Alcotest.(check int) "full algorithm never errs" 0 stats_full.Problems.errors
+
+
+let test_adjacency_matrix () =
+  let algo = Adjacency_matrix.connectivity () in
+  check_connectivity_algo ~make_inst:Instance.kt1_of_graph algo ~n_list:[ 6; 9; 14 ];
+  (* Works on dense, irregular graphs too. *)
+  let rng = Rng.create ~seed:91 in
+  for _ = 1 to 10 do
+    let g = Ggen.gnp rng 12 0.3 in
+    let inst = Instance.kt1_of_graph g in
+    Alcotest.(check bool) "matches ground truth" (G.is_connected g) (run_decision algo inst)
+  done;
+  Alcotest.(check int) "rounds = n-1" 31 (Algo.rounds algo ~n:32)
+
+let test_adjacency_matrix_components () =
+  let rng = Rng.create ~seed:92 in
+  for _ = 1 to 10 do
+    let g = Ggen.gnp rng 10 0.15 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run (Adjacency_matrix.components ()) inst in
+    Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs)
+  done
+
+let test_hashed_discovery_one_sided () =
+  (* Never errs on YES instances; error on NO instances decreases with k. *)
+  let rng = Rng.create ~seed:93 in
+  let n = 16 in
+  for seed = 1 to 30 do
+    let yes = Instance.kt0_circulant (Ggen.random_cycle rng n) in
+    let r = Simulator.run ~seed (Hashed_discovery.connectivity ~k:3) yes in
+    Alcotest.(check bool) "YES always correct" true (Problems.system_decision r.Simulator.outputs)
+  done;
+  (* With k large enough, NO instances are essentially always caught. *)
+  let errors k =
+    let errs = ref 0 in
+    for seed = 1 to 60 do
+      let no = Instance.kt0_circulant (Ggen.random_two_cycles rng n) in
+      let r = Simulator.run ~seed (Hashed_discovery.connectivity ~k) no in
+      if Problems.system_decision r.Simulator.outputs then incr errs
+    done;
+    !errs
+  in
+  let e2 = errors 2 and e12 = errors 12 in
+  Alcotest.(check bool) "small k errs often" true (e2 > 20);
+  Alcotest.(check bool) "large k errs rarely" true (e12 <= 2)
+
+let test_hashed_discovery_rounds () =
+  Alcotest.(check int) "rounds 3k" 12 (Algo.rounds (Hashed_discovery.connectivity ~k:4) ~n:1024);
+  Alcotest.(check bool) "predicted error monotone" true
+    (Hashed_discovery.predicted_error ~n:16 ~k:2 >= Hashed_discovery.predicted_error ~n:16 ~k:10)
+
+let test_connectivity_partial () =
+  (* With enough rounds to learn a short cycle's worth of edges, the
+     partial decider certifies NO on small-cycle instances even though
+     the full graph is unknown. *)
+  let n = 16 in
+  let rng = Rng.create ~seed:94 in
+  let full = Bcclb_bcc.Algo.rounds (Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2) ~n in
+  let partial = Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2 ~rounds:full ~optimist:true in
+  (* Sanity at full budget: always exact. *)
+  let yes = Instance.kt0_circulant (Ggen.random_cycle rng n) in
+  let no = Instance.kt0_circulant (Ggen.random_two_cycles rng n) in
+  Alcotest.(check bool) "full yes" true (run_decision partial yes);
+  Alcotest.(check bool) "full no" false (run_decision partial no);
+  (* Truncated: never claims NO on a YES instance (certificates only). *)
+  for t = 0 to full do
+    let p = Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2 ~rounds:t ~optimist:true in
+    Alcotest.(check bool) (Printf.sprintf "sound on YES t=%d" t) true (run_decision p yes)
+  done
+
+
+let test_mst_matches_kruskal () =
+  let rng = Rng.create ~seed:101 in
+  for _ = 1 to 15 do
+    let n = 6 + Rng.int rng 8 in
+    let g = Ggen.gnp rng n 0.35 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run (Mst_boruvka.forest ()) inst in
+    (* All vertices output the same forest. *)
+    let first = r.Simulator.outputs.(0) in
+    Array.iter (fun f -> Alcotest.(check bool) "agreement" true (f = first)) r.Simulator.outputs;
+    (* Convert ID pairs (1-based) to vertex pairs (0-based) and compare
+       with the sequential oracle under the same weights. *)
+    let weight_ids = Bcclb_graph.Mst.weight_of_ids ~max_id:n in
+    let weight u v = weight_ids (u + 1) (v + 1) in
+    let expected = List.sort compare (Bcclb_graph.Mst.kruskal g ~weight) in
+    let got = List.sort compare (List.map (fun (a, b) -> (a - 1, b - 1)) first) in
+    Alcotest.(check bool) "equals kruskal forest" true (got = expected);
+    Alcotest.(check bool) "is spanning forest" true (Bcclb_graph.Mst.is_spanning_forest g got)
+  done
+
+let test_mst_total_weight () =
+  let rng = Rng.create ~seed:102 in
+  let g = Ggen.random_connected rng 12 in
+  let inst = Instance.kt1_of_graph g in
+  let r = Simulator.run (Mst_boruvka.total_weight ()) inst in
+  let weight_ids = Bcclb_graph.Mst.weight_of_ids ~max_id:12 in
+  let weight u v = weight_ids (u + 1) (v + 1) in
+  let expected = Bcclb_graph.Mst.total_weight ~weight (Bcclb_graph.Mst.kruskal g ~weight) in
+  Array.iter (fun w -> Alcotest.(check int) "total weight" expected w) r.Simulator.outputs
+
+let test_mst_on_promise_inputs () =
+  (* On a single cycle the MSF is the cycle minus its heaviest edge. *)
+  let n = 10 in
+  let g = Ggen.cycle n in
+  let inst = Instance.kt1_of_graph g in
+  let r = Simulator.run (Mst_boruvka.forest ()) inst in
+  Alcotest.(check int) "n-1 edges" (n - 1) (List.length r.Simulator.outputs.(0))
+
+
+let test_agm_connectivity () =
+  (* Monte Carlo but extremely reliable at default parameters: demand
+     perfection on this fixed seeded batch. *)
+  let algo = Agm_connectivity.connectivity () in
+  let rng = Rng.create ~seed:111 in
+  for seed = 1 to 12 do
+    let g = if seed mod 2 = 0 then Ggen.random_connected rng 14 else Ggen.gnp rng 14 0.12 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run ~seed algo inst in
+    Alcotest.(check bool) "matches ground truth" (G.is_connected g)
+      (Problems.system_decision r.Simulator.outputs)
+  done
+
+let test_agm_components () =
+  let algo = Agm_connectivity.components () in
+  let rng = Rng.create ~seed:112 in
+  for seed = 1 to 6 do
+    let g = Ggen.gnp rng 12 0.15 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run ~seed algo inst in
+    Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs)
+  done
+
+let test_agm_rounds_polylog () =
+  let algo = Agm_connectivity.connectivity () in
+  (* O(log^3 n): the ratio rounds / log^3 n stays bounded as n grows. *)
+  let ratio n =
+    let lg = Bcclb_util.Mathx.log2 (float_of_int n) in
+    float_of_int (Algo.rounds algo ~n) /. (lg ** 3.0)
+  in
+  Alcotest.(check bool) "bounded at 64" true (ratio 64 < 60.0);
+  Alcotest.(check bool) "bounded at 1024" true (ratio 1024 < 60.0);
+  Alcotest.(check bool) "ratio shrinking (polylog, not polynomial)" true (ratio 4096 < ratio 64);
+  (* The constant is large, so the crossover with the Theta(n) adjacency
+     broadcast happens around n ~ 2^20. *)
+  let n = 1 lsl 20 in
+  Alcotest.(check bool) "sublinear vs adjacency broadcast for large n" true
+    (Algo.rounds algo ~n < n - 1)
+
+
+let test_kt0_compiler_boruvka () =
+  (* Boruvka (KT-1) compiled to KT-0: correct on random-wired instances. *)
+  let algo = Kt0_compiler.compile (Boruvka.connectivity ()) in
+  let rng = Rng.create ~seed:121 in
+  for _ = 1 to 8 do
+    let g = Ggen.random_multicycle rng 12 in
+    let inst = Instance.kt0_random rng g in
+    Alcotest.(check bool) "matches ground truth" (G.is_connected g) (run_decision algo inst)
+  done;
+  (* Rejects KT-1 instances. *)
+  Alcotest.(check bool) "rejects KT-1" true
+    (try
+       ignore (run_decision algo (Instance.kt1_of_graph (Ggen.cycle 8)));
+       false
+     with Invalid_argument _ -> true)
+
+let test_kt0_compiler_rounds () =
+  (* Additive ceil(L/b) learning rounds. *)
+  let inner = Boruvka.connectivity () in
+  let outer = Kt0_compiler.compile inner in
+  let n = 64 in
+  let b = Algo.bandwidth inner ~n in
+  Alcotest.(check int) "rounds additive"
+    (Kt0_compiler.learning_rounds ~n ~bandwidth:b + Algo.rounds inner ~n)
+    (Algo.rounds outer ~n);
+  (* With b >= L one learning round suffices: the paper's b = Omega(log n)
+     remark. *)
+  Alcotest.(check int) "one round at large b" 1 (Kt0_compiler.learning_rounds ~n:64 ~bandwidth:7);
+  Alcotest.(check int) "L rounds at b=1" 7 (Kt0_compiler.learning_rounds ~n:64 ~bandwidth:1)
+
+let test_kt0_compiler_agm () =
+  (* Even the sketch algorithm ports to KT-0 unchanged. *)
+  let algo = Kt0_compiler.compile (Agm_connectivity.connectivity ()) in
+  let rng = Rng.create ~seed:122 in
+  let g = Ggen.gnp rng 12 0.18 in
+  let inst = Instance.kt0_circulant g in
+  Alcotest.(check bool) "agm on KT-0" (G.is_connected g) (run_decision algo inst)
+
+let test_codec () =
+  (* Big-endian schedule bits reassemble to the value. *)
+  let v = 0b1011010 in
+  for pos = 0 to 6 do
+    Alcotest.(check bool)
+      (Printf.sprintf "bit %d" pos)
+      ((v lsr (6 - pos)) land 1 = 1)
+      (Codec.bit_of_int ~width:7 ~pos v)
+  done;
+  Alcotest.check_raises "position out of range"
+    (Invalid_argument "Codec.bit_of_int: position out of range") (fun () ->
+      ignore (Codec.bit_of_int ~width:3 ~pos:3 0));
+  (* decode_int reads [first, first+width) of a broadcast sequence and
+     flags missing rounds. *)
+  let seq = Array.of_list (List.map Bcclb_bcc.Msg.of_bit [ true; false; true ]) in
+  Alcotest.(check (pair int bool)) "complete" (0b101, true) (Codec.decode_int ~first:1 ~width:3 seq);
+  Alcotest.(check (pair int bool)) "inner window" (0b01, true) (Codec.decode_int ~first:2 ~width:2 seq);
+  Alcotest.(check (pair int bool)) "truncated" (0b10, false) (Codec.decode_int ~first:3 ~width:2 seq);
+  let with_silence = [| Bcclb_bcc.Msg.one; Bcclb_bcc.Msg.silent; Bcclb_bcc.Msg.one |] in
+  Alcotest.(check (pair int bool)) "silence = incomplete" (0b101, false)
+    (Codec.decode_int ~first:1 ~width:3 with_silence)
+
+let suites =
+  [ Alcotest.test_case "discovery KT-0" `Quick test_discovery_kt0;
+    Alcotest.test_case "discovery KT-0 random wiring" `Quick test_discovery_kt0_random_wiring;
+    Alcotest.test_case "discovery KT-1" `Quick test_discovery_kt1;
+    Alcotest.test_case "discovery O(log n) rounds" `Quick test_discovery_rounds_logarithmic;
+    Alcotest.test_case "discovery components" `Quick test_discovery_components;
+    Alcotest.test_case "discovery degree check" `Quick test_discovery_degree_check;
+    Alcotest.test_case "discovery degree 4" `Quick test_discovery_higher_degree;
+    Alcotest.test_case "truncated discovery" `Quick test_truncated_discovery;
+    Alcotest.test_case "min-label" `Quick test_min_label;
+    Alcotest.test_case "min-label rounds" `Quick test_min_label_rounds;
+    Alcotest.test_case "boruvka" `Quick test_boruvka;
+    Alcotest.test_case "boruvka components" `Quick test_boruvka_components;
+    Alcotest.test_case "boruvka rounds/bandwidth" `Quick test_boruvka_rounds_and_bandwidth;
+    Alcotest.test_case "adjacency matrix" `Quick test_adjacency_matrix;
+    Alcotest.test_case "adjacency matrix components" `Quick test_adjacency_matrix_components;
+    Alcotest.test_case "hashed discovery one-sided" `Quick test_hashed_discovery_one_sided;
+    Alcotest.test_case "hashed discovery rounds" `Quick test_hashed_discovery_rounds;
+    Alcotest.test_case "partial decider" `Quick test_connectivity_partial;
+    Alcotest.test_case "agm sketch connectivity" `Slow test_agm_connectivity;
+    Alcotest.test_case "agm sketch components" `Slow test_agm_components;
+    Alcotest.test_case "agm rounds polylog" `Quick test_agm_rounds_polylog;
+    Alcotest.test_case "mst matches kruskal" `Quick test_mst_matches_kruskal;
+    Alcotest.test_case "mst total weight" `Quick test_mst_total_weight;
+    Alcotest.test_case "mst on cycle" `Quick test_mst_on_promise_inputs;
+    Alcotest.test_case "kt0 compiler: boruvka" `Quick test_kt0_compiler_boruvka;
+    Alcotest.test_case "kt0 compiler: rounds" `Quick test_kt0_compiler_rounds;
+    Alcotest.test_case "kt0 compiler: agm" `Slow test_kt0_compiler_agm;
+    Alcotest.test_case "codec" `Quick test_codec;
+    Alcotest.test_case "trivial baselines" `Quick test_trivial;
+    Alcotest.test_case "measure decision error" `Quick test_measure_decision_error ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"discovery agrees with ground truth on multicycles" ~count:60
+      Gen.(pair (6 -- 20) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Ggen.random_multicycle rng n in
+        let inst = Instance.kt0_circulant g in
+        let algo = Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
+        run_decision algo inst = G.is_connected g);
+    Test.make ~name:"boruvka agrees with ground truth on gnp" ~count:60
+      Gen.(pair (4 -- 16) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Ggen.gnp rng n 0.2 in
+        let inst = Instance.kt1_of_graph g in
+        run_decision (Boruvka.connectivity ()) inst = G.is_connected g);
+    Test.make ~name:"min-label matches discovery on multicycles" ~count:40
+      Gen.(pair (6 -- 14) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Ggen.random_multicycle rng n in
+        let inst = Instance.kt0_circulant g in
+        run_decision (Min_label.connectivity ()) inst
+        = run_decision (Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2) inst) ]

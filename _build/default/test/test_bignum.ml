@@ -1,0 +1,198 @@
+open Bcclb_bignum
+
+let nat = Alcotest.testable Nat.pp Nat.equal
+let zint = Alcotest.testable Zint.pp Zint.equal
+let ratio = Alcotest.testable Ratio.pp Ratio.equal
+
+let n = Nat.of_int
+let z = Zint.of_int
+
+let test_nat_basics () =
+  Alcotest.check nat "0+0" Nat.zero (Nat.add Nat.zero Nat.zero);
+  Alcotest.check nat "1+1" Nat.two (Nat.add Nat.one Nat.one);
+  Alcotest.(check (option int)) "roundtrip" (Some 123456789) (Nat.to_int_opt (n 123456789));
+  Alcotest.(check string) "to_string" "123456789" (Nat.to_string (n 123456789));
+  Alcotest.check nat "of_string" (n 987654321) (Nat.of_string "987_654_321");
+  Alcotest.(check int) "compare" (-1) (Nat.compare (n 5) (n 6));
+  Alcotest.(check int) "num_bits 0" 0 (Nat.num_bits Nat.zero);
+  Alcotest.(check int) "num_bits 1" 1 (Nat.num_bits Nat.one);
+  Alcotest.(check int) "num_bits 255" 8 (Nat.num_bits (n 255));
+  Alcotest.(check int) "num_bits 256" 9 (Nat.num_bits (n 256))
+
+let test_nat_large () =
+  let a = Nat.pow Nat.two 200 in
+  let b = Nat.shift_left Nat.one 200 in
+  Alcotest.check nat "2^200" a b;
+  Alcotest.(check string) "2^200 decimal"
+    "1606938044258990275541962092341162602522202993782792835301376" (Nat.to_string a);
+  Alcotest.check nat "shift roundtrip" a (Nat.shift_right (Nat.shift_left a 37) 37);
+  Alcotest.check nat "sub/add" a (Nat.add (Nat.sub a Nat.one) Nat.one)
+
+let test_nat_divmod () =
+  let a = Nat.of_string "123456789012345678901234567890" in
+  let b = Nat.of_string "9876543210987654321" in
+  let q, r = Nat.divmod a b in
+  Alcotest.check nat "reconstruct" a (Nat.add (Nat.mul q b) r);
+  Alcotest.(check bool) "r < b" true (Nat.compare r b < 0);
+  Alcotest.(check string) "q" "12499999886" (Nat.to_string q);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Nat.divmod a Nat.zero))
+
+let test_nat_gcd () =
+  Alcotest.check nat "gcd" (n 6) (Nat.gcd (n 54) (n 24));
+  Alcotest.check nat "gcd 0" (n 7) (Nat.gcd (n 7) Nat.zero);
+  let big = Nat.mul (Nat.pow (n 10) 30) (n 12) in
+  let big2 = Nat.mul (Nat.pow (n 10) 30) (n 18) in
+  Alcotest.check nat "big gcd" (Nat.mul (Nat.pow (n 10) 30) (n 6)) (Nat.gcd big big2)
+
+let test_nat_log2 () =
+  Alcotest.(check bool) "log2 8" true (Bcclb_util.Mathx.float_eq (Nat.log2 (n 8)) 3.0);
+  let x = Nat.pow Nat.two 1000 in
+  Alcotest.(check bool) "log2 2^1000" true (Bcclb_util.Mathx.float_eq (Nat.log2 x) 1000.0)
+
+let test_zint () =
+  Alcotest.check zint "add signs" (z (-3)) (Zint.add (z 4) (z (-7)));
+  Alcotest.check zint "mul signs" (z (-12)) (Zint.mul (z 4) (z (-3)));
+  Alcotest.check zint "neg" (z 5) (Zint.neg (z (-5)));
+  Alcotest.(check int) "sign" (-1) (Zint.sign (z (-5)));
+  Alcotest.(check int) "sign zero" 0 (Zint.sign Zint.zero);
+  let q, r = Zint.divmod (z (-7)) (z 2) in
+  Alcotest.check zint "q" (z (-3)) q;
+  Alcotest.check zint "r" (z (-1)) r;
+  Alcotest.check zint "divexact" (z (-4)) (Zint.divexact (z 12) (z (-3)));
+  Alcotest.check_raises "divexact inexact" (Invalid_argument "Zint.divexact: division is not exact")
+    (fun () -> ignore (Zint.divexact (z 7) (z 2)));
+  Alcotest.check zint "of_string neg" (z (-42)) (Zint.of_string "-42")
+
+let test_ratio () =
+  let half = Ratio.of_ints 1 2 in
+  let third = Ratio.of_ints 1 3 in
+  Alcotest.check ratio "normalisation" half (Ratio.of_ints 3 6);
+  Alcotest.check ratio "neg den normalised" (Ratio.of_ints (-1) 2) (Ratio.of_ints 1 (-2));
+  Alcotest.check ratio "add" (Ratio.of_ints 5 6) (Ratio.add half third);
+  Alcotest.check ratio "sub" (Ratio.of_ints 1 6) (Ratio.sub half third);
+  Alcotest.check ratio "mul" (Ratio.of_ints 1 6) (Ratio.mul half third);
+  Alcotest.check ratio "div" (Ratio.of_ints 3 2) (Ratio.div half third);
+  Alcotest.(check int) "compare" 1 (Ratio.compare half third);
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Ratio.inv Ratio.zero))
+
+let test_bell () =
+  (* OEIS A000110. *)
+  let expected = [| 1; 1; 2; 5; 15; 52; 203; 877; 4140; 21147; 115975 |] in
+  let bells = Combi.bell_numbers 10 in
+  Array.iteri (fun i b -> Alcotest.check nat (Printf.sprintf "B_%d" i) (n b) bells.(i)) expected;
+  Alcotest.(check string) "B_30" "846749014511809332450147" (Nat.to_string (Combi.bell 30))
+
+let test_stirling () =
+  let row = Combi.stirling2_row 5 in
+  let expected = [| 0; 1; 15; 25; 10; 1 |] in
+  Array.iteri (fun i s -> Alcotest.check nat (Printf.sprintf "S(5,%d)" i) (n s) row.(i)) expected;
+  let sum = Array.fold_left Nat.add Nat.zero row in
+  Alcotest.check nat "sum = B_5" (n 52) sum
+
+let test_perfect_matchings () =
+  Alcotest.check nat "r(2)" Nat.one (Combi.perfect_matchings 2);
+  Alcotest.check nat "r(4)" (n 3) (Combi.perfect_matchings 4);
+  Alcotest.check nat "r(6)" (n 15) (Combi.perfect_matchings 6);
+  Alcotest.check nat "r(8)" (n 105) (Combi.perfect_matchings 8);
+  Alcotest.check nat "r(10)" (n 945) (Combi.perfect_matchings 10);
+  Alcotest.check_raises "odd n"
+    (Invalid_argument "Combi.perfect_matchings: n must be even and non-negative") (fun () ->
+      ignore (Combi.perfect_matchings 7))
+
+let test_cycle_counts () =
+  Alcotest.check nat "cycles on 3" Nat.one (Combi.cycles_on 3);
+  Alcotest.check nat "cycles on 4" (n 3) (Combi.cycles_on 4);
+  Alcotest.check nat "cycles on 5" (n 12) (Combi.cycles_on 5);
+  Alcotest.check nat "|V1| n=6" (n 60) (Combi.one_cycle_count 6);
+  Alcotest.check nat "|V2| n=6" (n 10) (Combi.two_cycle_count 6);
+  Alcotest.check nat "|V2| n=7" (n 105) (Combi.two_cycle_count 7);
+  Alcotest.check nat "|V2| n=8" (n 987) (Combi.two_cycle_count 8);
+  Alcotest.check nat "|V2| n=5" Nat.zero (Combi.two_cycle_count 5)
+
+let suites =
+  [ Alcotest.test_case "nat basics" `Quick test_nat_basics;
+    Alcotest.test_case "nat large" `Quick test_nat_large;
+    Alcotest.test_case "nat divmod" `Quick test_nat_divmod;
+    Alcotest.test_case "nat gcd" `Quick test_nat_gcd;
+    Alcotest.test_case "nat log2" `Quick test_nat_log2;
+    Alcotest.test_case "zint" `Quick test_zint;
+    Alcotest.test_case "ratio" `Quick test_ratio;
+    Alcotest.test_case "bell numbers" `Quick test_bell;
+    Alcotest.test_case "stirling row" `Quick test_stirling;
+    Alcotest.test_case "perfect matchings" `Quick test_perfect_matchings;
+    Alcotest.test_case "cycle counts" `Quick test_cycle_counts ]
+
+let qsuites =
+  let open QCheck2 in
+  let small = Gen.(0 -- 1_000_000_000) in
+  [ Test.make ~name:"nat add against int" ~count:1000 (Gen.pair small small) (fun (a, b) ->
+        Nat.to_int_opt (Nat.add (n a) (n b)) = Some (a + b));
+    Test.make ~name:"nat mul against int" ~count:1000
+      Gen.(pair (0 -- 1_000_000) (0 -- 1_000_000))
+      (fun (a, b) -> Nat.to_int_opt (Nat.mul (n a) (n b)) = Some (a * b));
+    Test.make ~name:"nat divmod against int" ~count:1000
+      Gen.(pair small (1 -- 1_000_000))
+      (fun (a, b) ->
+        let q, r = Nat.divmod (n a) (n b) in
+        Nat.to_int_opt q = Some (a / b) && Nat.to_int_opt r = Some (a mod b));
+    Test.make ~name:"nat string roundtrip" ~count:300
+      Gen.(list_size (1 -- 6) small)
+      (fun parts ->
+        let s = String.concat "" (List.map string_of_int parts) in
+        let canonical = Nat.to_string (Nat.of_string s) in
+        Nat.equal (Nat.of_string canonical) (Nat.of_string s));
+    Test.make ~name:"nat mul distributes" ~count:300
+      Gen.(triple small small small)
+      (fun (a, b, c) ->
+        let a = n a and b = n b and c = n c in
+        Nat.equal (Nat.mul a (Nat.add b c)) (Nat.add (Nat.mul a b) (Nat.mul a c)));
+    Test.make ~name:"nat divmod reconstruct (big)" ~count:200
+      Gen.(pair (pair small small) (pair small (1 -- 1000)))
+      (fun ((a1, a2), (b1, b2)) ->
+        let a = Nat.add (Nat.mul (n a1) (n 1_000_000_000)) (n a2) in
+        let b = Nat.add (Nat.mul (n b1) (n b2)) Nat.one in
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    Test.make ~name:"nat divmod with multi-limb divisors" ~count:100
+      Gen.(pair (list_size (4 -- 8) (0 -- 999_999_999)) (list_size (2 -- 4) (0 -- 999_999_999)))
+      (fun (as_, bs) ->
+        (* Build operands of 4-8 and 2-4 decimal blocks: well beyond one
+           2^26 limb, forcing the general binary long-division path. *)
+        let big parts =
+          List.fold_left
+            (fun acc p -> Nat.add (Nat.mul acc (n 1_000_000_000)) (n p))
+            Nat.zero parts
+        in
+        let a = big as_ and b = Nat.add (big bs) Nat.one in
+        let q, r = Nat.divmod a b in
+        Nat.equal a (Nat.add (Nat.mul q b) r) && Nat.compare r b < 0);
+    Test.make ~name:"nat shift by arbitrary amounts" ~count:300
+      Gen.(pair (0 -- 1_000_000_000) (0 -- 200))
+      (fun (v, k) ->
+        let x = n v in
+        Nat.equal (Nat.shift_right (Nat.shift_left x k) k) x
+        && Nat.equal (Nat.shift_left x k) (Nat.mul x (Nat.pow Nat.two k)));
+    Test.make ~name:"nat gcd divides both" ~count:200
+      Gen.(pair (1 -- 1_000_000_000) (1 -- 1_000_000_000))
+      (fun (a, b) ->
+        let g = Nat.gcd (n a) (n b) in
+        Nat.is_zero (Nat.rem (n a) g) && Nat.is_zero (Nat.rem (n b) g));
+    Test.make ~name:"zint ring laws" ~count:500
+      Gen.(triple (-10000 -- 10000) (-10000 -- 10000) (-10000 -- 10000))
+      (fun (a, b, c) ->
+        let a = z a and b = z b and c = z c in
+        Zint.equal (Zint.add a b) (Zint.add b a)
+        && Zint.equal (Zint.mul a (Zint.add b c)) (Zint.add (Zint.mul a b) (Zint.mul a c))
+        && Zint.equal (Zint.sub a a) Zint.zero);
+    Test.make ~name:"zint divmod matches ocaml" ~count:1000
+      Gen.(pair (-100000 -- 100000) (oneof [ -1000 -- -1; 1 -- 1000 ]))
+      (fun (a, b) ->
+        let q, r = Zint.divmod (z a) (z b) in
+        Zint.to_int_opt q = Some (a / b) && Zint.to_int_opt r = Some (a mod b));
+    Test.make ~name:"ratio field laws" ~count:500
+      Gen.(pair (pair (-100 -- 100) (1 -- 50)) (pair (-100 -- 100) (1 -- 50)))
+      (fun ((an, ad), (bn, bd)) ->
+        let a = Ratio.of_ints an ad and b = Ratio.of_ints bn bd in
+        Ratio.equal (Ratio.add a b) (Ratio.add b a)
+        && Ratio.equal (Ratio.sub (Ratio.add a b) b) a
+        && (Ratio.is_zero b || Ratio.equal (Ratio.mul (Ratio.div a b) b) a)) ]

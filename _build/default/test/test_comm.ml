@@ -1,0 +1,225 @@
+open Bcclb_comm
+open Bcclb_partition
+module Sp = Set_partition
+module Rng = Bcclb_util.Rng
+module G = Bcclb_graph.Graph
+
+let sp = Alcotest.testable Sp.pp Sp.equal
+
+let test_protocol_codecs () =
+  Alcotest.(check string) "encode" "0101" (Protocol.encode_int ~width:4 5);
+  Alcotest.(check int) "decode" 5 (Protocol.decode_int "0101");
+  Alcotest.(check (list int)) "ints roundtrip" [ 3; 0; 7 ]
+    (Protocol.decode_ints ~width:3 (Protocol.encode_ints ~width:3 [ 3; 0; 7 ]));
+  Alcotest.check_raises "overflow" (Invalid_argument "Protocol.encode_int: value does not fit")
+    (fun () -> ignore (Protocol.encode_int ~width:2 4))
+
+let test_protocol_run_rejects_nonbits () =
+  let bad =
+    { Protocol.name = "bad";
+      rounds = 1;
+      alice = (fun () ~round:_ ~received:_ -> "abc");
+      bob = (fun () ~round:_ ~received:_ -> "");
+      output_a = (fun () ~received:_ -> ());
+      output_b = (fun () ~received:_ -> ()) }
+  in
+  Alcotest.(check bool) "rejects" true
+    (try
+       ignore (Protocol.run bad () ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_partition_protocol () =
+  let n = 6 in
+  let spec = Upper_bounds.partition_protocol ~n in
+  let pa = Sp.of_blocks ~n [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let pb_yes = Sp.of_blocks ~n [ [ 1; 2 ]; [ 3; 4 ]; [ 5; 0 ] ] in
+  let pb_no = Sp.of_blocks ~n [ [ 0; 1 ]; [ 2; 3 ]; [ 4; 5 ] ] in
+  let r1 = Protocol.run spec pa pb_yes in
+  Alcotest.(check bool) "yes instance, alice" true r1.Protocol.out_a;
+  Alcotest.(check bool) "yes instance, bob" true r1.Protocol.out_b;
+  let r2 = Protocol.run spec pa pb_no in
+  Alcotest.(check bool) "no instance" false r2.Protocol.out_a;
+  (* Cost: n*ceil(log2 n) + 1 = 6*3+1 = 19 bits. *)
+  Alcotest.(check int) "bits" 19 (Protocol.total_bits r1)
+
+let test_partition_comp_protocol () =
+  let n = 5 in
+  let spec = Upper_bounds.partition_comp_protocol ~n in
+  let rng = Rng.create ~seed:12 in
+  for _ = 1 to 50 do
+    let pa = Sp.random_crp rng ~n and pb = Sp.random_crp rng ~n in
+    let r = Protocol.run spec pa pb in
+    Alcotest.check sp "alice output" (Sp.join pa pb) r.Protocol.out_a;
+    Alcotest.check sp "bob output" (Sp.join pa pb) r.Protocol.out_b
+  done
+
+let test_connectivity2_protocol () =
+  let n = 8 in
+  let spec = Upper_bounds.connectivity2_protocol ~n in
+  (* Two halves of a cycle: connected. *)
+  let ea = [ (0, 1); (1, 2); (2, 3) ] and eb = [ (3, 4); (4, 5); (5, 6); (6, 7); (7, 0) ] in
+  let r = Protocol.run spec ea eb in
+  Alcotest.(check bool) "connected" true r.Protocol.out_b;
+  (* Break the path into {0..4} and {5,6,7}: genuinely disconnected. *)
+  let r2 = Protocol.run spec ea [ (3, 4); (5, 6); (6, 7) ] in
+  Alcotest.(check bool) "disconnected" false r2.Protocol.out_b;
+  Alcotest.(check bool) "outputs agree" true (r2.Protocol.out_a = r2.Protocol.out_b)
+
+(* Theorem 4.3: components of the gadget induce exactly P_A v P_B. *)
+let test_gadget_theorem_4_3_exhaustive () =
+  let n = 4 in
+  List.iter
+    (fun pa ->
+      List.iter
+        (fun pb ->
+          let g = Reduction_graph.gadget pa pb in
+          Alcotest.check sp "induced partition = join" (Sp.join pa pb)
+            (Reduction_graph.gadget_partition g ~n);
+          Alcotest.(check bool) "connected iff join=1"
+            (Sp.is_coarsest (Sp.join pa pb))
+            (G.is_connected g))
+        (Sp.all ~n))
+    (Sp.all ~n)
+
+let test_gadget_no_isolated () =
+  let n = 5 in
+  let pa = Sp.coarsest n and pb = Sp.coarsest n in
+  let g = Reduction_graph.gadget pa pb in
+  Alcotest.(check int) "4n vertices" (4 * n) (G.n g);
+  for v = 0 to G.n g - 1 do
+    Alcotest.(check bool) "no isolated vertex" true (G.degree g v >= 1)
+  done
+
+let test_two_gadget_structure () =
+  let n = 6 in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 30 do
+    let pa = Two_partition.random rng ~n and pb = Two_partition.random rng ~n in
+    let g = Reduction_graph.two_gadget pa pb in
+    Alcotest.(check bool) "2-regular" true (G.is_regular g ~k:2);
+    Alcotest.(check bool) "multicycle promise (cycles >= 4)" true
+      (Bcclb_bcc.Problems.is_multicycle_input g);
+    Alcotest.check sp "induced partition = join" (Sp.join pa pb)
+      (Reduction_graph.two_gadget_partition g ~n)
+  done
+
+let test_rank_bound_values () =
+  (* log2 B_4 = log2 15. *)
+  Alcotest.(check bool) "partition bits n=4" true
+    (Bcclb_util.Mathx.float_eq (Rank_bound.partition_bits ~n:4) (Bcclb_util.Mathx.log2 15.0));
+  Alcotest.(check bool) "two-partition bits n=6" true
+    (Bcclb_util.Mathx.float_eq (Rank_bound.two_partition_bits ~n:6) (Bcclb_util.Mathx.log2 15.0));
+  (* Verified variants certify full rank and agree with closed form. *)
+  Alcotest.(check bool) "verified M^4" true
+    (Bcclb_util.Mathx.float_eq (Rank_bound.verified_partition_bits ~n:4) (Bcclb_util.Mathx.log2 15.0));
+  Alcotest.(check bool) "verified E^6" true
+    (Bcclb_util.Mathx.float_eq (Rank_bound.verified_two_partition_bits ~n:6) (Bcclb_util.Mathx.log2 15.0))
+
+let test_bcc_simulation_costs () =
+  let n = 6 in
+  let algo = Bcclb_algorithms.Discovery.connectivity ~knowledge:Bcclb_bcc.Instance.KT1 ~max_degree:2 in
+  let rng = Rng.create ~seed:9 in
+  let pa = Two_partition.random rng ~n and pb = Two_partition.random rng ~n in
+  let r = Bcc_simulation.two_partition_via_bcc algo pa pb in
+  Alcotest.(check bool) "answer correct" (Sp.is_coarsest (Sp.join pa pb)) r.Bcc_simulation.answer;
+  Alcotest.(check int) "gadget size" (2 * n) r.Bcc_simulation.gadget_n;
+  (* 2 bits per char, 2n chars per round. *)
+  Alcotest.(check int) "bits = 2 * N * rounds" (2 * 2 * n * r.Bcc_simulation.bcc_rounds)
+    r.Bcc_simulation.bits
+
+let test_bcc_simulation_matches_simulator () =
+  (* The 2-party simulation must produce exactly the outputs of a direct
+     KT-1 simulation. *)
+  let algo = Bcclb_algorithms.Boruvka.components () in
+  let rng = Rng.create ~seed:19 in
+  let g = Bcclb_graph.Gen.gnp rng 10 0.25 in
+  let direct = Bcclb_bcc.Simulator.run algo (Bcclb_bcc.Instance.kt1_of_graph g) in
+  let sim = Bcc_simulation.run algo g ~alice_hosts:(fun v -> v < 5) in
+  Alcotest.(check (array int)) "identical outputs" direct.Bcclb_bcc.Simulator.outputs
+    sim.Bcc_simulation.outputs
+
+let test_partition_via_bcc_pipeline () =
+  (* Full Theorem 4.4 pipeline on general partitions via min-label. *)
+  let n = 4 in
+  let algo = Bcclb_algorithms.Min_label.connectivity ~phases:(4 * 4 * 2) () in
+  List.iter
+    (fun pa ->
+      List.iter
+        (fun pb ->
+          let truth = Sp.is_coarsest (Sp.join pa pb) in
+          let r = Bcc_simulation.partition_via_bcc algo pa pb in
+          Alcotest.(check bool) "pipeline answer" truth r.Bcc_simulation.answer)
+        (Bcclb_util.Arrayx.take 5 (Sp.all ~n)))
+    (Bcclb_util.Arrayx.take 5 (Sp.all ~n))
+
+let suites =
+  [ Alcotest.test_case "protocol codecs" `Quick test_protocol_codecs;
+    Alcotest.test_case "protocol rejects non-bits" `Quick test_protocol_run_rejects_nonbits;
+    Alcotest.test_case "partition protocol" `Quick test_partition_protocol;
+    Alcotest.test_case "partition-comp protocol" `Quick test_partition_comp_protocol;
+    Alcotest.test_case "connectivity2 protocol" `Quick test_connectivity2_protocol;
+    Alcotest.test_case "Theorem 4.3 exhaustive n=4" `Slow test_gadget_theorem_4_3_exhaustive;
+    Alcotest.test_case "gadget no isolated vertices" `Quick test_gadget_no_isolated;
+    Alcotest.test_case "two-gadget structure" `Quick test_two_gadget_structure;
+    Alcotest.test_case "rank bound values" `Quick test_rank_bound_values;
+    Alcotest.test_case "bcc simulation costs" `Quick test_bcc_simulation_costs;
+    Alcotest.test_case "bcc simulation = direct simulation" `Quick test_bcc_simulation_matches_simulator;
+    Alcotest.test_case "partition via bcc pipeline" `Slow test_partition_via_bcc_pipeline ]
+
+let qsuites =
+  let open QCheck2 in
+  let gen_two_partitions =
+    Gen.(
+      pair (oneofl [ 4; 6; 8 ]) (0 -- 1_000_000) >|= fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      (n, Two_partition.random rng ~n, Two_partition.random rng ~n))
+  in
+  let gen_partitions =
+    Gen.(
+      pair (2 -- 7) (0 -- 1_000_000) >|= fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      (n, Sp.random_crp rng ~n, Sp.random_crp rng ~n))
+  in
+  [ Test.make ~name:"Theorem 4.3 (random partitions)" ~count:200 gen_partitions
+      (fun (n, pa, pb) ->
+        let g = Reduction_graph.gadget pa pb in
+        Sp.equal (Reduction_graph.gadget_partition g ~n) (Sp.join pa pb));
+    Test.make ~name:"two-gadget is a MultiCycle instance" ~count:200 gen_two_partitions
+      (fun (_, pa, pb) ->
+        let g = Reduction_graph.two_gadget pa pb in
+        G.is_regular g ~k:2 && Bcclb_bcc.Problems.is_multicycle_input g);
+    Test.make ~name:"partition protocol agrees with truth" ~count:200 gen_partitions
+      (fun (n, pa, pb) ->
+        let r = Protocol.run (Upper_bounds.partition_protocol ~n) pa pb in
+        r.Protocol.out_b = Sp.is_coarsest (Sp.join pa pb));
+    Test.make ~name:"2-party simulation = direct, ANY hosting split" ~count:40
+      Gen.(pair (6 -- 12) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Bcclb_graph.Gen.gnp rng n 0.25 in
+        let mask = Array.init n (fun _ -> Rng.bool rng) in
+        let algo = Bcclb_algorithms.Boruvka.components () in
+        let direct = Bcclb_bcc.Simulator.run algo (Bcclb_bcc.Instance.kt1_of_graph g) in
+        let sim = Bcc_simulation.run algo g ~alice_hosts:(fun v -> mask.(v)) in
+        direct.Bcclb_bcc.Simulator.outputs = sim.Bcc_simulation.outputs);
+    Test.make ~name:"connectivity2 protocol matches ground truth" ~count:100
+      Gen.(pair (4 -- 14) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Bcclb_graph.Gen.gnp rng n 0.3 in
+        (* Random edge split between Alice and Bob. *)
+        let ea = ref [] and eb = ref [] in
+        List.iter
+          (fun e -> if Rng.bool rng then ea := e :: !ea else eb := e :: !eb)
+          (Bcclb_graph.Graph.edges g);
+        let r = Protocol.run (Upper_bounds.connectivity2_protocol ~n) !ea !eb in
+        r.Protocol.out_a = Bcclb_graph.Graph.is_connected g
+        && r.Protocol.out_b = r.Protocol.out_a);
+    Test.make ~name:"pipeline answer matches join truth" ~count:50 gen_two_partitions
+      (fun (_n, pa, pb) ->
+        let algo =
+          Bcclb_algorithms.Discovery.connectivity ~knowledge:Bcclb_bcc.Instance.KT1 ~max_degree:2
+        in
+        let r = Bcc_simulation.two_partition_via_bcc algo pa pb in
+        r.Bcc_simulation.answer = Sp.is_coarsest (Sp.join pa pb)) ]

@@ -1,0 +1,98 @@
+open Bcclb_info
+module Mathx = Bcclb_util.Mathx
+
+let feq ?(eps = 1e-9) = Mathx.float_eq ~eps
+
+let test_dist () =
+  let d = Dist.of_weighted [ ("a", 1.0); ("b", 3.0) ] in
+  Alcotest.(check bool) "prob a" true (feq (Dist.prob d "a") 0.25);
+  Alcotest.(check bool) "prob b" true (feq (Dist.prob d "b") 0.75);
+  Alcotest.(check bool) "prob other" true (feq (Dist.prob d "c") 0.0);
+  Alcotest.(check bool) "total" true (feq (Dist.total d) 1.0);
+  Alcotest.(check int) "size" 2 (Dist.size d);
+  (* Accumulation of repeated atoms. *)
+  let d2 = Dist.of_weighted [ ("x", 1.0); ("x", 1.0); ("y", 2.0) ] in
+  Alcotest.(check bool) "accumulates" true (feq (Dist.prob d2 "x") 0.5);
+  Alcotest.check_raises "negative weight" (Invalid_argument "Dist.of_weighted: negative weight")
+    (fun () -> ignore (Dist.of_weighted [ ("a", -1.0) ]))
+
+let test_entropy_basics () =
+  Alcotest.(check bool) "uniform 2" true (feq (Entropy.entropy (Dist.uniform [ 0; 1 ])) 1.0);
+  Alcotest.(check bool) "uniform 8" true (feq (Entropy.entropy (Dist.uniform [ 0; 1; 2; 3; 4; 5; 6; 7 ])) 3.0);
+  Alcotest.(check bool) "deterministic" true (feq (Entropy.entropy (Dist.uniform [ 42 ])) 0.0);
+  Alcotest.(check bool) "binary 1/2" true (feq (Entropy.binary_entropy 0.5) 1.0);
+  Alcotest.(check bool) "binary 0" true (feq (Entropy.binary_entropy 0.0) 0.0);
+  Alcotest.(check bool) "skewed < 1" true (Entropy.binary_entropy 0.1 < 1.0)
+
+let test_joint_and_mi () =
+  (* Independent X, Y uniform on {0,1}: I = 0, H(X,Y) = 2, H(X|Y) = 1. *)
+  let indep =
+    Entropy.joint [ (((0, 0), 1.0)); ((0, 1), 1.0); ((1, 0), 1.0); ((1, 1), 1.0) ]
+  in
+  Alcotest.(check bool) "joint entropy 2" true (feq (Entropy.joint_entropy indep) 2.0);
+  Alcotest.(check bool) "independent MI 0" true (feq (Entropy.mutual_information indep) 0.0);
+  Alcotest.(check bool) "H(X|Y)=1" true (feq (Entropy.conditional_entropy indep) 1.0);
+  (* Fully dependent Y = X: I = 1, H(X|Y) = 0. *)
+  let dep = Entropy.joint [ ((0, 0), 1.0); ((1, 1), 1.0) ] in
+  Alcotest.(check bool) "dependent MI 1" true (feq (Entropy.mutual_information dep) 1.0);
+  Alcotest.(check bool) "H(X|Y)=0" true (feq (Entropy.conditional_entropy dep) 0.0)
+
+let test_mi_fn () =
+  (* f injective: I(X; f(X)) = H(X) = log2 4. *)
+  let xs = [ 1; 2; 3; 4 ] in
+  Alcotest.(check bool) "injective" true (feq (Entropy.mutual_information_fn xs (fun x -> x * 7)) 2.0);
+  (* f constant: 0 bits. *)
+  Alcotest.(check bool) "constant" true (feq (Entropy.mutual_information_fn xs (fun _ -> 0)) 0.0);
+  (* f parity: 1 bit. *)
+  Alcotest.(check bool) "parity" true (feq (Entropy.mutual_information_fn xs (fun x -> x land 1)) 1.0)
+
+let test_conditional_mi () =
+  let feq = Bcclb_util.Mathx.float_eq ~eps:1e-9 in
+  (* Z constant: I(X;Y|Z) = I(X;Y). *)
+  let pairs = [ ((0, 0), 2.0); ((0, 1), 1.0); ((1, 0), 1.0); ((1, 1), 2.0) ] in
+  let triples = List.map (fun (xy, w) -> ((xy, 0), w)) pairs in
+  Alcotest.(check bool) "Z constant" true
+    (feq (Entropy.conditional_mutual_information triples)
+       (Entropy.mutual_information (Entropy.joint pairs)));
+  (* X = Y = Z: conditioning on Z reveals everything, I(X;Y|Z) = 0. *)
+  let triples = [ (((0, 0), 0), 1.0); (((1, 1), 1), 1.0) ] in
+  Alcotest.(check bool) "fully explained by Z" true
+    (feq (Entropy.conditional_mutual_information triples) 0.0)
+
+let test_pushforward () =
+  let d = Dist.uniform [ 1; 2; 3; 4 ] in
+  let pushed = Dist.map_support (fun x -> x land 1) d in
+  Alcotest.(check bool) "pushforward mass" true (feq (Dist.prob pushed 0) 0.5)
+
+let suites =
+  [ Alcotest.test_case "dist" `Quick test_dist;
+    Alcotest.test_case "entropy basics" `Quick test_entropy_basics;
+    Alcotest.test_case "joint and MI" `Quick test_joint_and_mi;
+    Alcotest.test_case "MI of functions" `Quick test_mi_fn;
+    Alcotest.test_case "conditional MI" `Quick test_conditional_mi;
+    Alcotest.test_case "pushforward" `Quick test_pushforward ]
+
+let qsuites =
+  let open QCheck2 in
+  let gen_joint =
+    Gen.(
+      list_size (1 -- 30) (pair (pair (0 -- 5) (0 -- 5)) (1 -- 100)) >|= fun pairs ->
+      Entropy.joint (List.map (fun (xy, w) -> (xy, float_of_int w)) pairs))
+  in
+  [ Test.make ~name:"MI is non-negative" ~count:300 gen_joint (fun j ->
+        Entropy.mutual_information j >= -1e-9);
+    Test.make ~name:"MI bounded by both marginals" ~count:300 gen_joint (fun j ->
+        let mi = Entropy.mutual_information j in
+        mi <= Entropy.entropy (Entropy.marginal_x j) +. 1e-9
+        && mi <= Entropy.entropy (Entropy.marginal_y j) +. 1e-9);
+    Test.make ~name:"chain rule H(X,Y) = H(Y) + H(X|Y)" ~count:300 gen_joint (fun j ->
+        Mathx.float_eq ~eps:1e-9
+          (Entropy.joint_entropy j)
+          (Entropy.entropy (Entropy.marginal_y j) +. Entropy.conditional_entropy j));
+    Test.make ~name:"entropy bounded by log support" ~count:300 gen_joint (fun j ->
+        Entropy.joint_entropy j <= Mathx.log2 (float_of_int (Dist.size j)) +. 1e-9);
+    Test.make ~name:"conditional MI non-negative" ~count:300
+      QCheck2.Gen.(list_size (1 -- 25) (pair (pair (pair (0 -- 3) (0 -- 3)) (0 -- 3)) (1 -- 50)))
+      (fun triples ->
+        let triples = List.map (fun (xyz, w) -> (xyz, float_of_int w)) triples in
+        Entropy.conditional_mutual_information triples >= -1e-9) ]

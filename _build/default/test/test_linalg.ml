@@ -1,0 +1,102 @@
+open Bcclb_linalg
+open Bcclb_bignum
+module Rng = Bcclb_util.Rng
+
+let zmod = Zmod.create ()
+
+let test_zmod_arith () =
+  let p = Zmod.prime zmod in
+  Alcotest.(check int) "normalize neg" (p - 1) (Zmod.normalize zmod (-1));
+  Alcotest.(check int) "add wrap" 0 (Zmod.add zmod (p - 1) 1);
+  Alcotest.(check int) "inv" 1 (Zmod.mul zmod 12345 (Zmod.inv zmod 12345));
+  Alcotest.(check int) "pow fermat" 1 (Zmod.pow zmod 2 (p - 1));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Zmod.inv zmod 0));
+  Alcotest.(check bool) "31-bit prime is prime" true (Zmod.is_probable_prime 2147483647);
+  Alcotest.(check bool) "9 not prime" false (Zmod.is_probable_prime 9)
+
+let test_zmod_rank () =
+  Alcotest.(check int) "identity" 3 (Zmod.rank zmod [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |]);
+  Alcotest.(check int) "dependent rows" 2
+    (Zmod.rank zmod [| [| 1; 2; 3 |]; [| 2; 4; 6 |]; [| 1; 0; 1 |] |]);
+  Alcotest.(check int) "zero matrix" 0 (Zmod.rank zmod [| [| 0; 0 |]; [| 0; 0 |] |]);
+  Alcotest.(check int) "wide" 2 (Zmod.rank zmod [| [| 1; 0; 5; 7 |]; [| 0; 1; 2; 3 |] |]);
+  Alcotest.(check int) "empty" 0 (Zmod.rank zmod [||])
+
+let test_bareiss_rank () =
+  Alcotest.(check int) "identity" 3 (Bareiss.rank_int [| [| 1; 0; 0 |]; [| 0; 1; 0 |]; [| 0; 0; 1 |] |]);
+  Alcotest.(check int) "dependent" 2 (Bareiss.rank_int [| [| 1; 2; 3 |]; [| 2; 4; 6 |]; [| 1; 0; 1 |] |]);
+  Alcotest.(check int) "rank 1" 1 (Bareiss.rank_int [| [| 2; 4 |]; [| 3; 6 |] |])
+
+let zint = Alcotest.testable Zint.pp Zint.equal
+
+let test_bareiss_det () =
+  Alcotest.check zint "det 2x2" (Zint.of_int (-2)) (Bareiss.det_int [| [| 1; 2 |]; [| 3; 4 |] |]);
+  Alcotest.check zint "det singular" Zint.zero (Bareiss.det_int [| [| 1; 2 |]; [| 2; 4 |] |]);
+  Alcotest.check zint "det needs swap" (Zint.of_int (-1)) (Bareiss.det_int [| [| 0; 1 |]; [| 1; 0 |] |]);
+  (* Vandermonde on 2,3,5: det = (3-2)(5-2)(5-3) = 6. *)
+  Alcotest.check zint "vandermonde" (Zint.of_int 6)
+    (Bareiss.det_int [| [| 1; 2; 4 |]; [| 1; 3; 9 |]; [| 1; 5; 25 |] |])
+
+let test_partition_matrix_small () =
+  (* n=2: partitions (0)(1) and (0,1). Join with (0,1) is always 1;
+     (0)(1) v (0)(1) = (0)(1) != 1. M^2 = [[0,1],[1,1]], rank 2 = B_2. *)
+  let m = Partition_matrix.m_matrix ~n:2 in
+  Alcotest.(check int) "M^2 size" 2 (Array.length m);
+  Alcotest.(check int) "rank M^2" 2 (Zmod.rank zmod m);
+  let m3 = Partition_matrix.m_matrix ~n:3 in
+  Alcotest.(check int) "M^3 size" 5 (Array.length m3);
+  Alcotest.(check int) "rank M^3 = B_3" 5 (Zmod.rank zmod m3);
+  Alcotest.(check int) "bareiss agrees" 5 (Bareiss.rank_int m3)
+
+let test_theorem_2_3 () =
+  (* rank(M^n) = B_n for n = 1..5 both mod p and exactly. *)
+  List.iter
+    (fun (n, bell) ->
+      let m = Partition_matrix.m_matrix ~n in
+      Alcotest.(check int) (Printf.sprintf "dim M^%d" n) bell (Array.length m);
+      Alcotest.(check int) (Printf.sprintf "rank M^%d mod p" n) bell (Zmod.rank zmod m);
+      if n <= 4 then Alcotest.(check int) (Printf.sprintf "rank M^%d exact" n) bell (Bareiss.rank_int m))
+    [ (1, 1); (2, 2); (3, 5); (4, 15); (5, 52) ]
+
+let test_lemma_4_1 () =
+  (* rank(E^n) = r = n!/(2^{n/2} (n/2)!) for n = 2, 4, 6, 8. *)
+  List.iter
+    (fun (n, r) ->
+      let e = Partition_matrix.e_matrix ~n in
+      Alcotest.(check int) (Printf.sprintf "dim E^%d" n) r (Array.length e);
+      Alcotest.(check int) (Printf.sprintf "rank E^%d mod p" n) r (Zmod.rank zmod e);
+      if n <= 6 then Alcotest.(check int) (Printf.sprintf "rank E^%d exact" n) r (Bareiss.rank_int e))
+    [ (2, 1); (4, 3); (6, 15); (8, 105) ]
+
+let suites =
+  [ Alcotest.test_case "zmod arithmetic" `Quick test_zmod_arith;
+    Alcotest.test_case "zmod rank" `Quick test_zmod_rank;
+    Alcotest.test_case "bareiss rank" `Quick test_bareiss_rank;
+    Alcotest.test_case "bareiss det" `Quick test_bareiss_det;
+    Alcotest.test_case "partition matrix small" `Quick test_partition_matrix_small;
+    Alcotest.test_case "Theorem 2.3: rank(M^n)=B_n" `Slow test_theorem_2_3;
+    Alcotest.test_case "Lemma 4.1: rank(E^n)=r" `Slow test_lemma_4_1 ]
+
+let qsuites =
+  let open QCheck2 in
+  let gen_matrix =
+    Gen.(
+      pair (pair (1 -- 6) (1 -- 6)) (0 -- 1_000_000) >|= fun ((rows, cols), seed) ->
+      let rng = Rng.create ~seed in
+      Array.init rows (fun _ -> Array.init cols (fun _ -> Rng.int_in_range rng ~lo:(-5) ~hi:5)))
+  in
+  [ Test.make ~name:"bareiss rank = zmod rank (random small)" ~count:300 gen_matrix (fun m ->
+        Bareiss.rank_int m = Zmod.rank zmod m);
+    Test.make ~name:"rank bounded by dims" ~count:300 gen_matrix (fun m ->
+        let r = Zmod.rank zmod m in
+        r <= Array.length m && (Array.length m = 0 || r <= Array.length m.(0)));
+    Test.make ~name:"det zero iff rank deficient" ~count:200
+      Gen.(pair (1 -- 5) (0 -- 1_000_000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let m = Array.init n (fun _ -> Array.init n (fun _ -> Rng.int_in_range rng ~lo:(-3) ~hi:3)) in
+        let d = Bareiss.det_int m in
+        Zint.is_zero d = (Bareiss.rank_int m < n));
+    Test.make ~name:"duplicating a row preserves rank" ~count:200 gen_matrix (fun m ->
+        let m' = Array.append m [| Array.copy m.(0) |] in
+        Bareiss.rank_int m' = Bareiss.rank_int m) ]

@@ -1,0 +1,17 @@
+let q = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "bcclb"
+    [ ("util", Test_util.suites @ q Test_util.qsuites);
+      ("bignum", Test_bignum.suites @ q Test_bignum.qsuites);
+      ("graph", Test_graph.suites @ q Test_graph.qsuites);
+      ("partition", Test_partition.suites @ q Test_partition.qsuites);
+      ("linalg", Test_linalg.suites @ q Test_linalg.qsuites);
+      ("bcc", Test_bcc.suites @ q Test_bcc.qsuites);
+      ("algorithms", Test_algorithms.suites @ q Test_algorithms.qsuites);
+      ("comm", Test_comm.suites @ q Test_comm.qsuites);
+      ("info", Test_info.suites @ q Test_info.qsuites);
+      ("core", Test_core.suites @ q Test_core.qsuites);
+      ("plschemes", Test_plschemes.suites @ q Test_plschemes.qsuites);
+      ("rcc", Test_rcc.suites @ q Test_rcc.qsuites);
+      ("sketch", Test_sketch.suites @ q Test_sketch.qsuites) ]

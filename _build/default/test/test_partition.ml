@@ -1,0 +1,187 @@
+open Bcclb_partition
+module Sp = Set_partition
+module Rng = Bcclb_util.Rng
+
+let sp = Alcotest.testable Sp.pp Sp.equal
+
+let p_of blocks n = Sp.of_blocks ~n blocks
+
+let test_construction () =
+  let p = p_of [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] 5 in
+  Alcotest.(check int) "parts" 3 (Sp.num_parts p);
+  Alcotest.(check int) "ground" 5 (Sp.ground_size p);
+  Alcotest.(check bool) "same part" true (Sp.same_part p 0 1);
+  Alcotest.(check bool) "diff part" false (Sp.same_part p 1 2);
+  Alcotest.(check string) "to_string" "(0,1)(2,3)(4)" (Sp.to_string p);
+  (* Block order in input should not matter. *)
+  Alcotest.check sp "order-insensitive" p (p_of [ [ 4 ]; [ 3; 2 ]; [ 1; 0 ] ] 5)
+
+let test_construction_invalid () =
+  Alcotest.check_raises "missing element" (Invalid_argument "Set_partition.of_blocks: element 2 missing")
+    (fun () -> ignore (p_of [ [ 0; 1 ] ] 3));
+  Alcotest.check_raises "repeated" (Invalid_argument "Set_partition.of_blocks: element repeated")
+    (fun () -> ignore (p_of [ [ 0; 1 ]; [ 1; 2 ] ] 3));
+  Alcotest.check_raises "bad rgs" (Invalid_argument "Set_partition: not a restricted growth string")
+    (fun () -> ignore (Sp.of_rgs [| 0; 2 |]))
+
+let test_join_paper_example () =
+  (* From §1.1: P_A = (1,2)(3,4)(5), P_B = (1,2,4)(3)(5), P_C = (1,2,4)(3,5)
+     (relabelled to 0-based). P_A ∨ P_B = (1,2,3,4)(5); P_A ∨ P_C = 1. *)
+  let pa = p_of [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] 5 in
+  let pb = p_of [ [ 0; 1; 3 ]; [ 2 ]; [ 4 ] ] 5 in
+  let pc = p_of [ [ 0; 1; 3 ]; [ 2; 4 ] ] 5 in
+  Alcotest.check sp "PA v PB" (p_of [ [ 0; 1; 2; 3 ]; [ 4 ] ] 5) (Sp.join pa pb);
+  Alcotest.check sp "PA v PC" (Sp.coarsest 5) (Sp.join pa pc);
+  Alcotest.(check bool) "PA v PB not 1" false (Sp.is_coarsest (Sp.join pa pb));
+  Alcotest.(check bool) "PA v PC = 1" true (Sp.is_coarsest (Sp.join pa pc))
+
+let test_refinement_paper_example () =
+  (* (1,2)(3,4)(5) is a refinement of (1,2)(3,4,5). *)
+  let fine = p_of [ [ 0; 1 ]; [ 2; 3 ]; [ 4 ] ] 5 in
+  let coarse = p_of [ [ 0; 1 ]; [ 2; 3; 4 ] ] 5 in
+  Alcotest.(check bool) "refines" true (Sp.refines fine coarse);
+  Alcotest.(check bool) "not refines" false (Sp.refines coarse fine);
+  Alcotest.(check bool) "refines self" true (Sp.refines fine fine);
+  Alcotest.(check bool) "finest refines all" true (Sp.refines (Sp.finest 5) coarse);
+  Alcotest.(check bool) "all refine coarsest" true (Sp.refines coarse (Sp.coarsest 5))
+
+let test_enumeration_counts () =
+  (* Bell numbers. *)
+  List.iter
+    (fun (n, b) -> Alcotest.(check int) (Printf.sprintf "B_%d" n) b (Sp.count ~n))
+    [ (1, 1); (2, 2); (3, 5); (4, 15); (5, 52); (6, 203); (7, 877) ]
+
+let test_enumeration_distinct () =
+  let seen = Hashtbl.create 1000 in
+  Sp.iter ~n:6 (fun p ->
+      Alcotest.(check bool) "no duplicates" false (Hashtbl.mem seen (Sp.to_rgs p));
+      Hashtbl.add seen (Sp.to_rgs p) ());
+  Alcotest.(check int) "all distinct" 203 (Hashtbl.length seen)
+
+let test_rank_unrank () =
+  let all = Array.of_list (Sp.all ~n:6) in
+  Array.iteri
+    (fun i p ->
+      Alcotest.(check int) "rank matches iter order" i (Sp.rank p);
+      Alcotest.check sp "unrank inverse" p (Sp.unrank ~n:6 i))
+    all;
+  Alcotest.check_raises "rank out of range" (Invalid_argument "Set_partition.unrank: rank out of range")
+    (fun () -> ignore (Sp.unrank ~n:6 203))
+
+let test_random_uniform_covers () =
+  (* With 5000 draws over B_4 = 15 partitions, every cell must appear. *)
+  let rng = Rng.create ~seed:11 in
+  let counts = Hashtbl.create 16 in
+  for _ = 1 to 5000 do
+    let p = Sp.random_uniform rng ~n:4 in
+    let key = Sp.to_string p in
+    Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+  done;
+  Alcotest.(check int) "support covered" 15 (Hashtbl.length counts);
+  Hashtbl.iter
+    (fun _ c ->
+      (* Expected 333; allow generous slack. *)
+      Alcotest.(check bool) "roughly uniform" true (c > 200 && c < 500))
+    counts
+
+let test_two_partition () =
+  Alcotest.(check int) "count n=2" 1 (Two_partition.count ~n:2);
+  Alcotest.(check int) "count n=4" 3 (Two_partition.count ~n:4);
+  Alcotest.(check int) "count n=6" 15 (Two_partition.count ~n:6);
+  Alcotest.(check int) "count n=8" 105 (Two_partition.count ~n:8);
+  List.iter
+    (fun p -> Alcotest.(check bool) "all parts size 2" true (Two_partition.is_two_partition p))
+    (Two_partition.all ~n:6);
+  let p = Two_partition.of_pairs ~n:4 [ (0, 2); (1, 3) ] in
+  Alcotest.(check (list (pair int int))) "pairs roundtrip" [ (0, 2); (1, 3) ] (Two_partition.pairs p);
+  let rng = Rng.create ~seed:3 in
+  let r = Two_partition.random rng ~n:10 in
+  Alcotest.(check bool) "random is two-partition" true (Two_partition.is_two_partition r);
+  Alcotest.check_raises "odd n" (Invalid_argument "Two_partition.iter: n must be positive and even")
+    (fun () -> Two_partition.iter ~n:5 (fun _ -> ()))
+
+let test_lattice_bounds () =
+  let n = 5 in
+  let one = Sp.coarsest n and fine = Sp.finest n in
+  Sp.iter ~n (fun p ->
+      Alcotest.check sp "join with 1" one (Sp.join p one);
+      Alcotest.check sp "join with finest" p (Sp.join p fine);
+      Alcotest.check sp "meet with finest" fine (Sp.meet p fine);
+      Alcotest.check sp "meet with 1" p (Sp.meet p one))
+
+let test_block_count_distribution () =
+  (* Under exactly-uniform sampling, the number of blocks follows
+     Stirling: P(k blocks) = S(n,k)/B_n. Check n=5 frequencies against
+     S(5,k) = 1, 15, 25, 10, 1 (B_5 = 52) with generous slack. *)
+  let rng = Rng.create ~seed:21 in
+  let n = 5 in
+  let trials = 10400 in
+  let counts = Array.make (n + 1) 0 in
+  for _ = 1 to trials do
+    let p = Sp.random_uniform rng ~n in
+    counts.(Sp.num_parts p) <- counts.(Sp.num_parts p) + 1
+  done;
+  let stirling = [| 0; 1; 15; 25; 10; 1 |] in
+  for k = 1 to n do
+    let expected = float_of_int (trials * stirling.(k)) /. 52.0 in
+    let got = float_of_int counts.(k) in
+    Alcotest.(check bool)
+      (Printf.sprintf "k=%d frequency" k)
+      true
+      (Float.abs (got -. expected) < (0.25 *. expected) +. 30.0)
+  done
+
+let suites =
+  [ Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "construction invalid" `Quick test_construction_invalid;
+    Alcotest.test_case "join (paper example)" `Quick test_join_paper_example;
+    Alcotest.test_case "refinement (paper example)" `Quick test_refinement_paper_example;
+    Alcotest.test_case "enumeration counts" `Quick test_enumeration_counts;
+    Alcotest.test_case "enumeration distinct" `Quick test_enumeration_distinct;
+    Alcotest.test_case "rank/unrank" `Quick test_rank_unrank;
+    Alcotest.test_case "uniform sampling coverage" `Quick test_random_uniform_covers;
+    Alcotest.test_case "two-partition" `Quick test_two_partition;
+    Alcotest.test_case "lattice bounds" `Quick test_lattice_bounds;
+    Alcotest.test_case "uniform block-count distribution" `Slow test_block_count_distribution ]
+
+let qsuites =
+  let open QCheck2 in
+  let gen_partition =
+    Gen.(
+      pair (2 -- 9) (0 -- 1_000_000) >|= fun (n, seed) ->
+      Sp.random_crp (Rng.create ~seed) ~n)
+  in
+  let gen_pair =
+    Gen.(
+      pair (2 -- 9) (0 -- 1_000_000) >|= fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      (Sp.random_crp rng ~n, Sp.random_crp rng ~n))
+  in
+  let gen_triple =
+    Gen.(
+      pair (2 -- 8) (0 -- 1_000_000) >|= fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      (Sp.random_crp rng ~n, Sp.random_crp rng ~n, Sp.random_crp rng ~n))
+  in
+  [ Test.make ~name:"join commutative" ~count:500 gen_pair (fun (a, b) ->
+        Sp.equal (Sp.join a b) (Sp.join b a));
+    Test.make ~name:"join associative" ~count:300 gen_triple (fun (a, b, c) ->
+        Sp.equal (Sp.join a (Sp.join b c)) (Sp.join (Sp.join a b) c));
+    Test.make ~name:"join idempotent" ~count:300 gen_partition (fun a -> Sp.equal (Sp.join a a) a);
+    Test.make ~name:"both refine join" ~count:500 gen_pair (fun (a, b) ->
+        let j = Sp.join a b in
+        Sp.refines a j && Sp.refines b j);
+    Test.make ~name:"join is the finest coarsening (vs meet dual)" ~count:300 gen_pair
+      (fun (a, b) ->
+        (* meet refines both operands. *)
+        let m = Sp.meet a b in
+        Sp.refines m a && Sp.refines m b);
+    Test.make ~name:"refines is antisymmetric" ~count:300 gen_pair (fun (a, b) ->
+        (not (Sp.refines a b && Sp.refines b a)) || Sp.equal a b);
+    Test.make ~name:"rank/unrank roundtrip" ~count:300
+      Gen.(pair (1 -- 10) (0 -- 1_000_000))
+      (fun (n, seed) ->
+        let p = Sp.random_crp (Rng.create ~seed) ~n in
+        Sp.equal (Sp.unrank ~n (Sp.rank p)) p);
+    Test.make ~name:"rgs roundtrip" ~count:300 gen_partition (fun p ->
+        Sp.equal (Sp.of_rgs (Sp.to_rgs p)) p) ]

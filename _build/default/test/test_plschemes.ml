@@ -1,0 +1,151 @@
+open Bcclb_plschemes
+module Instance = Bcclb_bcc.Instance
+module Ggen = Bcclb_graph.Gen
+module Rng = Bcclb_util.Rng
+
+let spanning = Spanning_tree.scheme
+
+let test_spanning_tree_completeness () =
+  let rng = Rng.create ~seed:1 in
+  List.iter
+    (fun make_inst ->
+      for _ = 1 to 10 do
+        let g = Ggen.random_connected rng 12 in
+        let inst = make_inst g in
+        match spanning.Scheme.prove inst with
+        | None -> Alcotest.fail "prover must succeed on connected graphs"
+        | Some labels ->
+          let r = Scheme.run spanning inst ~labels in
+          Alcotest.(check bool) "all accept" true r.Scheme.accepted
+      done)
+    [ Instance.kt0_circulant; Instance.kt1_of_graph ]
+
+let test_spanning_tree_no_proof_on_disconnected () =
+  let rng = Rng.create ~seed:2 in
+  let g = Ggen.random_two_cycles rng 10 in
+  Alcotest.(check bool) "no honest proof" true (spanning.Scheme.prove (Instance.kt0_circulant g) = None)
+
+let test_spanning_tree_soundness () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 5 do
+    let no = Ggen.random_two_cycles rng 10 in
+    let inst = Instance.kt0_circulant no in
+    (* Candidate fooling labelings: honest labels of connected instances
+       with the same vertex set. *)
+    let candidates =
+      List.filter_map
+        (fun _ ->
+          spanning.Scheme.prove (Instance.kt0_circulant (Ggen.random_cycle rng 10)))
+        (Bcclb_util.Arrayx.range 0 5)
+    in
+    match Scheme.soundness_check ~trials:300 rng spanning inst ~candidate_labels:candidates with
+    | None -> ()
+    | Some _ -> Alcotest.fail "a fooling labelling was accepted on a disconnected instance"
+  done
+
+let test_spanning_tree_rejects_tampering () =
+  let rng = Rng.create ~seed:4 in
+  let g = Ggen.random_cycle rng 10 in
+  let inst = Instance.kt0_circulant g in
+  match spanning.Scheme.prove inst with
+  | None -> Alcotest.fail "prover must succeed"
+  | Some labels ->
+    (* Lying about one's own id field must be caught by that vertex. *)
+    let bad = Array.copy labels in
+    bad.(3) <- bad.(4);
+    let r = Scheme.run spanning inst ~labels:bad in
+    Alcotest.(check bool) "tampered labels rejected" false r.Scheme.accepted
+
+let test_encode_decode () =
+  let f = { Spanning_tree.id = 7; root = 1; parent = 3; dist = 4 } in
+  Alcotest.(check bool) "roundtrip" true (Spanning_tree.decode ~n:10 (Spanning_tree.encode ~n:10 f) = Some f);
+  Alcotest.(check bool) "garbage rejected" true (Spanning_tree.decode ~n:10 "xyz" = None)
+
+let transcript_scheme () =
+  Transcript_scheme.of_algorithm
+    (Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2)
+
+let test_transcript_completeness () =
+  let rng = Rng.create ~seed:5 in
+  let scheme = transcript_scheme () in
+  for _ = 1 to 5 do
+    let g = Ggen.random_cycle rng 12 in
+    let inst = Instance.kt0_circulant g in
+    match scheme.Scheme.prove inst with
+    | None -> Alcotest.fail "transcript prover must succeed on YES instances"
+    | Some labels ->
+      Alcotest.(check bool) "all accept" true (Scheme.accepts scheme inst ~labels)
+  done
+
+let test_transcript_no_proof_on_no_instances () =
+  let rng = Rng.create ~seed:6 in
+  let scheme = transcript_scheme () in
+  let g = Ggen.random_two_cycles rng 12 in
+  Alcotest.(check bool) "no proof" true (scheme.Scheme.prove (Instance.kt0_circulant g) = None)
+
+let test_transcript_soundness () =
+  (* Feeding the YES-instance transcripts to the crossed (NO) instance:
+     consistency holds on most vertices but the four crossing endpoints'
+     neighbours... the verifier must reject overall because the labels
+     correspond to a run answering YES on a graph that is NOT this one —
+     the replay detects a mismatch at some vertex. *)
+  let scheme = transcript_scheme () in
+  let n = 12 in
+  let inst = Instance.kt0_circulant (Ggen.cycle n) in
+  let crossed = Instance.cross inst (0, 1) (5, 6) in
+  (match scheme.Scheme.prove inst with
+  | None -> Alcotest.fail "prove failed"
+  | Some labels ->
+    Alcotest.(check bool) "YES transcripts rejected on crossed instance" false
+      (Scheme.accepts scheme crossed ~labels));
+  (* And random tampering with honest labels is rejected too. *)
+  let rng = Rng.create ~seed:7 in
+  match scheme.Scheme.prove inst with
+  | None -> Alcotest.fail "prove failed"
+  | Some labels ->
+    for _ = 1 to 20 do
+      let bad = Array.copy labels in
+      let v = Rng.int rng n in
+      let s = Bytes.of_string bad.(v) in
+      let i = Rng.int rng (Bytes.length s) in
+      Bytes.set s i (match Bytes.get s i with '0' -> '1' | '1' -> '_' | _ -> '0');
+      bad.(v) <- Bytes.to_string s;
+      Alcotest.(check bool) "tampered transcript rejected" false (Scheme.accepts scheme inst ~labels:bad)
+    done
+
+let test_label_sizes () =
+  let scheme = transcript_scheme () in
+  (* Discovery runs 3L rounds; transcript labels are 2 bits per round. *)
+  Alcotest.(check int) "transcript label bits n=64" (2 * 21) (scheme.Scheme.label_bits ~n:64);
+  Alcotest.(check int) "spanning label bits n=64" (4 * 7) (spanning.Scheme.label_bits ~n:64)
+
+let suites =
+  [ Alcotest.test_case "spanning tree completeness" `Quick test_spanning_tree_completeness;
+    Alcotest.test_case "no proof on disconnected" `Quick test_spanning_tree_no_proof_on_disconnected;
+    Alcotest.test_case "spanning tree soundness" `Slow test_spanning_tree_soundness;
+    Alcotest.test_case "tampering rejected" `Quick test_spanning_tree_rejects_tampering;
+    Alcotest.test_case "field encode/decode" `Quick test_encode_decode;
+    Alcotest.test_case "transcript completeness" `Quick test_transcript_completeness;
+    Alcotest.test_case "transcript: no proof on NO" `Quick test_transcript_no_proof_on_no_instances;
+    Alcotest.test_case "transcript soundness" `Slow test_transcript_soundness;
+    Alcotest.test_case "label sizes" `Quick test_label_sizes ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"spanning scheme: honest <=> connected" ~count:100
+      Gen.(pair (6 -- 14) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = if Rng.bool rng then Ggen.random_multicycle rng n else Ggen.random_connected rng n in
+        let inst = Instance.kt0_circulant g in
+        let provable = Spanning_tree.scheme.Scheme.prove inst <> None in
+        provable = Bcclb_graph.Graph.is_connected g);
+    Test.make ~name:"honest proofs always verify" ~count:100
+      Gen.(pair (6 -- 14) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Ggen.random_connected rng n in
+        let inst = Instance.kt1_of_graph g in
+        match Spanning_tree.scheme.Scheme.prove inst with
+        | None -> false
+        | Some labels -> Scheme.accepts Spanning_tree.scheme inst ~labels) ]

@@ -1,0 +1,98 @@
+open Bcclb_rcc
+module Instance = Bcclb_bcc.Instance
+module Msg = Bcclb_bcc.Msg
+module Ggen = Bcclb_graph.Gen
+module Rng = Bcclb_util.Rng
+
+let kt1 n = Instance.kt1_of_graph (Ggen.cycle n)
+
+let test_token_routing_all_ranges () =
+  let n = 12 in
+  let inst = kt1 n in
+  List.iter
+    (fun r ->
+      let algo = Token_routing.algo ~r () in
+      let result = Rcc_simulator.run algo inst in
+      Alcotest.(check bool)
+        (Printf.sprintf "all tokens delivered r=%d" r)
+        true
+        (Array.for_all Fun.id result.Rcc_simulator.outputs);
+      Alcotest.(check int)
+        (Printf.sprintf "rounds r=%d" r)
+        (Token_routing.rounds_needed ~n ~r)
+        result.Rcc_simulator.rounds_used;
+      Alcotest.(check bool) "range respected" true (result.Rcc_simulator.max_distinct <= r))
+    [ 1; 2; 3; 5; 11 ]
+
+let test_spectrum_endpoints () =
+  let n = 16 in
+  (* r = n-1: the CC end, one round; r = 1: the BCC end, n-1 rounds. *)
+  Alcotest.(check int) "CC end" 1 (Token_routing.rounds_needed ~n ~r:(n - 1));
+  Alcotest.(check int) "BCC end" (n - 1) (Token_routing.rounds_needed ~n ~r:1);
+  (* Monotone interpolation. *)
+  let rec mono r =
+    r >= n - 1
+    || Token_routing.rounds_needed ~n ~r >= Token_routing.rounds_needed ~n ~r:(r + 1) && mono (r + 1)
+  in
+  Alcotest.(check bool) "monotone in r" true (mono 1)
+
+let test_range_enforced () =
+  (* A cheating algorithm sending r+1 distinct messages must be rejected. *)
+  let cheat =
+    Rcc_algo.pack
+      { Rcc_algo.name = "cheat";
+        bandwidth = (fun ~n:_ -> 8);
+        range = (fun ~n:_ -> 2);
+        rounds = (fun ~n:_ -> 1);
+        init = (fun view -> view);
+        step =
+          (fun view ~round:_ ~inbox:_ ->
+            (view, Array.init (Bcclb_bcc.View.num_ports view) (fun p -> Msg.of_int ~width:8 p)));
+        finish = (fun _ ~inbox:_ -> true) }
+  in
+  Alcotest.(check bool) "range violation raises" true
+    (try
+       ignore (Rcc_simulator.run cheat (kt1 8));
+       false
+     with Invalid_argument _ -> true)
+
+let test_of_broadcast () =
+  (* A BCC algorithm embedded as range-1 must behave identically. *)
+  let algo = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 5 do
+    let g = Ggen.random_multicycle rng 10 in
+    let inst = Instance.kt1_of_graph g in
+    let direct = Bcclb_bcc.Simulator.run algo inst in
+    let embedded = Rcc_simulator.run (Rcc_algo.of_broadcast algo) inst in
+    Alcotest.(check (array bool)) "same outputs" direct.Bcclb_bcc.Simulator.outputs
+      embedded.Rcc_simulator.outputs;
+    Alcotest.(check bool) "range 1 respected" true (embedded.Rcc_simulator.max_distinct <= 1)
+  done
+
+let test_distinct_messages () =
+  let m w v = Msg.of_int ~width:w v in
+  Alcotest.(check int) "empty" 0 (Rcc_algo.distinct_messages [||]);
+  Alcotest.(check int) "silence free" 0 (Rcc_algo.distinct_messages [| Msg.silent; Msg.silent |]);
+  Alcotest.(check int) "dedup" 2 (Rcc_algo.distinct_messages [| m 3 1; m 3 1; m 3 2; Msg.silent |]);
+  (* Same value, different width: distinct. *)
+  Alcotest.(check int) "width matters" 2 (Rcc_algo.distinct_messages [| m 3 1; m 4 1 |])
+
+let suites =
+  [ Alcotest.test_case "token routing across ranges" `Quick test_token_routing_all_ranges;
+    Alcotest.test_case "spectrum endpoints" `Quick test_spectrum_endpoints;
+    Alcotest.test_case "range enforced" `Quick test_range_enforced;
+    Alcotest.test_case "broadcast embedding" `Quick test_of_broadcast;
+    Alcotest.test_case "distinct message counting" `Quick test_distinct_messages ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"token routing succeeds for every (n, r)" ~count:60
+      Gen.(pair (4 -- 20) (0 -- 1000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let r = 1 + Rng.int rng (n - 1) in
+        let inst = Instance.kt1_of_graph (Ggen.random_cycle rng n) in
+        let result = Rcc_simulator.run (Token_routing.algo ~r ()) inst in
+        Array.for_all Fun.id result.Rcc_simulator.outputs
+        && result.Rcc_simulator.rounds_used = Token_routing.rounds_needed ~n ~r) ]

@@ -1,0 +1,131 @@
+open Bcclb_sketch
+module Rng = Bcclb_util.Rng
+
+let test_edge_coding_roundtrip () =
+  let n = 20 in
+  let seen = Hashtbl.create 256 in
+  for v = 1 to n - 1 do
+    for u = 0 to v - 1 do
+      let id = Edge_coding.encode ~n u v in
+      Alcotest.(check bool) "in range" true (id >= 0 && id < Edge_coding.universe ~n);
+      Alcotest.(check bool) "injective" false (Hashtbl.mem seen id);
+      Hashtbl.add seen id ();
+      Alcotest.(check (pair int int)) "roundtrip" (u, v) (Edge_coding.decode ~n id);
+      Alcotest.(check int) "symmetric" id (Edge_coding.encode ~n v u)
+    done
+  done;
+  Alcotest.(check int) "dense" (Edge_coding.universe ~n) (Hashtbl.length seen);
+  Alcotest.check_raises "loop" (Invalid_argument "Edge_coding.encode: bad endpoints") (fun () ->
+      ignore (Edge_coding.encode ~n 3 3))
+
+let fresh ?(seed = 7) ~universe () =
+  let rng = Rng.create ~seed in
+  let spec = L0_sampler.fresh_spec rng in
+  (spec, L0_sampler.create ~universe ~check_bits:16 spec)
+
+let test_sampler_empty () =
+  let _, s = fresh ~universe:100 () in
+  Alcotest.(check bool) "empty is zero" true (L0_sampler.is_zero s);
+  Alcotest.(check bool) "empty samples nothing" true (L0_sampler.sample s = None)
+
+let test_sampler_singleton () =
+  let _, s = fresh ~universe:100 () in
+  L0_sampler.toggle s 42;
+  Alcotest.(check bool) "not zero" false (L0_sampler.is_zero s);
+  Alcotest.(check (option int)) "recovers the singleton" (Some 42) (L0_sampler.sample s)
+
+let test_sampler_toggle_cancels () =
+  let _, s = fresh ~universe:100 () in
+  L0_sampler.toggle s 42;
+  L0_sampler.toggle s 42;
+  Alcotest.(check bool) "double toggle cancels" true (L0_sampler.is_zero s)
+
+let test_sampler_merge_is_xor () =
+  let spec, a = fresh ~universe:200 () in
+  let b = L0_sampler.create ~universe:200 ~check_bits:16 spec in
+  L0_sampler.toggle a 10;
+  L0_sampler.toggle a 20;
+  L0_sampler.toggle b 20;
+  L0_sampler.toggle b 30;
+  (* a xor b = {10, 30}. *)
+  let m = L0_sampler.merge a b in
+  (match L0_sampler.sample m with
+  | Some e -> Alcotest.(check bool) "sample in symmetric difference" true (e = 10 || e = 30)
+  | None -> ());
+  (* Merging with itself gives zero. *)
+  Alcotest.(check bool) "self-merge zero" true (L0_sampler.is_zero (L0_sampler.merge a a))
+
+let test_sampler_success_rate () =
+  (* Over many random sets and specs, sampling succeeds reasonably often
+     and NEVER returns a non-member. *)
+  let rng = Rng.create ~seed:99 in
+  let universe = 500 in
+  let successes = ref 0 and trials = 200 in
+  for _ = 1 to trials do
+    let spec = L0_sampler.fresh_spec rng in
+    let s = L0_sampler.create ~universe ~check_bits:16 spec in
+    let members = Hashtbl.create 16 in
+    let size = 1 + Rng.int rng 50 in
+    for _ = 1 to size do
+      let e = Rng.int rng universe in
+      if Hashtbl.mem members e then Hashtbl.remove members e else Hashtbl.add members e ();
+      L0_sampler.toggle s e
+    done;
+    match L0_sampler.sample s with
+    | Some e ->
+      Alcotest.(check bool) "sample is a member" true (Hashtbl.mem members e);
+      incr successes
+    | None -> if Hashtbl.length members = 0 then incr successes
+  done;
+  Alcotest.(check bool) "decent success rate" true (!successes > trials / 3)
+
+let test_sampler_serialization () =
+  let rng = Rng.create ~seed:5 in
+  let universe = 300 in
+  let spec = L0_sampler.fresh_spec rng in
+  let s = L0_sampler.create ~universe ~check_bits:12 spec in
+  List.iter (L0_sampler.toggle s) [ 5; 77; 240 ];
+  let bits = L0_sampler.to_bits s in
+  Alcotest.(check int) "length" (L0_sampler.serialized_bits s) (String.length bits);
+  let s' = L0_sampler.of_bits ~universe ~check_bits:12 spec bits in
+  Alcotest.(check string) "roundtrip" bits (L0_sampler.to_bits s');
+  Alcotest.(check (option int)) "same sample" (L0_sampler.sample s) (L0_sampler.sample s')
+
+let suites =
+  [ Alcotest.test_case "edge coding" `Quick test_edge_coding_roundtrip;
+    Alcotest.test_case "sampler empty" `Quick test_sampler_empty;
+    Alcotest.test_case "sampler singleton" `Quick test_sampler_singleton;
+    Alcotest.test_case "toggle cancels" `Quick test_sampler_toggle_cancels;
+    Alcotest.test_case "merge is xor" `Quick test_sampler_merge_is_xor;
+    Alcotest.test_case "success rate + no false members" `Quick test_sampler_success_rate;
+    Alcotest.test_case "serialization" `Quick test_sampler_serialization ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"edge coding roundtrip (random)" ~count:500
+      Gen.(pair (2 -- 100) (0 -- 1_000_000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let u = Rng.int rng n in
+        let v = Rng.int rng n in
+        u = v
+        ||
+        let id = Edge_coding.encode ~n u v in
+        Edge_coding.decode ~n id = (min u v, max u v));
+    Test.make ~name:"sampler linearity: toggles = merge of singletons" ~count:200
+      Gen.(pair (0 -- 100000) (list_size (1 -- 10) (0 -- 199)))
+      (fun (seed, items) ->
+        let rng = Rng.create ~seed in
+        let spec = L0_sampler.fresh_spec rng in
+        let direct = L0_sampler.create ~universe:200 ~check_bits:16 spec in
+        List.iter (L0_sampler.toggle direct) items;
+        let merged =
+          List.fold_left
+            (fun acc e ->
+              let s = L0_sampler.create ~universe:200 ~check_bits:16 spec in
+              L0_sampler.toggle s e;
+              L0_sampler.merge acc s)
+            (L0_sampler.create ~universe:200 ~check_bits:16 spec)
+            items
+        in
+        L0_sampler.to_bits direct = L0_sampler.to_bits merged) ]
