@@ -1,0 +1,22 @@
+.PHONY: all build test check bench experiments clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The tier-1 gate: what CI runs.
+check:
+	dune build && dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bin/experiments.exe -- all
+
+clean:
+	dune clean

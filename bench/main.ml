@@ -167,13 +167,48 @@ let bench_l0_sampler =
     done;
     ignore (Bcclb_sketch.L0_sampler.sample s))
 
+(* Engine layer: batch-simulation throughput of Engine.Pool at 1 vs N
+   domains. The same 24 independent (instance, seed) simulations either
+   way — the row ratio is the tracked speedup (≈1 on a single-core box,
+   approaching the domain count on real hardware). *)
+let pool_cells = Array.init 24 (fun i -> i)
+
+let pool_cell seed =
+  let rng = Rng.create ~seed in
+  let inst = Bcc_instance.kt0_circulant (Bcclb_graph.Gen.random_cycle rng 48) in
+  let algo =
+    Bcclb_algorithms.Discovery.connectivity ~knowledge:Bcc_instance.KT0 ~max_degree:2
+  in
+  Bcclb_bcc.Simulator.total_bits_broadcast (Bcclb_bcc.Simulator.run ~seed algo inst)
+
+let bench_pool_batch_1dom =
+  Test.make ~name:"engine-pool-batch-sim-1dom"
+    (Staged.stage @@ fun () -> ignore (Bcclb_engine.Pool.map_batch ~num_domains:1 pool_cell pool_cells))
+
+let bench_pool_batch_4dom =
+  Test.make ~name:"engine-pool-batch-sim-4dom"
+    (Staged.stage @@ fun () -> ignore (Bcclb_engine.Pool.map_batch ~num_domains:4 pool_cell pool_cells))
+
+let bench_pool_indist_1dom =
+  Test.make ~name:"engine-pool-indist-n7t2-1dom"
+    (Staged.stage
+    @@ fun () ->
+    ignore (Bcclb_engine.Pool.map_batch ~num_domains:1 (fun t -> Core.Indist_graph.build (truncated ~rounds:t) ~n:7 ()) [| 1; 2; 1; 2 |]))
+
+let bench_pool_indist_4dom =
+  Test.make ~name:"engine-pool-indist-n7t2-4dom"
+    (Staged.stage
+    @@ fun () ->
+    ignore (Bcclb_engine.Pool.map_batch ~num_domains:4 (fun t -> Core.Indist_graph.build (truncated ~rounds:t) ~n:7 ()) [| 1; 2; 1; 2 |]))
+
 let tests =
   Test.make_grouped ~name:"bcclb"
     [ bench_census; bench_indist; bench_mu_error; bench_crossing; bench_rank; bench_rank_exact;
       bench_partition_protocol; bench_gadget; bench_pipeline; bench_mi; bench_discovery;
       bench_min_label; bench_boruvka; bench_bell; bench_join; bench_hopcroft_karp;
       bench_pls_spanning; bench_token_routing; bench_split_boruvka; bench_mst; bench_agm;
-      bench_l0_sampler ]
+      bench_l0_sampler; bench_pool_batch_1dom; bench_pool_batch_4dom; bench_pool_indist_1dom;
+      bench_pool_indist_4dom ]
 
 let benchmark () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in

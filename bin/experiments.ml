@@ -8,6 +8,7 @@ module Core = Bcclb_core
 module Rng = Bcclb_util.Rng
 module Nat = Bcclb_bignum.Nat
 module Instance = Bcclb_bcc.Instance
+module Pool = Bcclb_engine.Pool
 
 let header title =
   Printf.printf "\n=== %s ===\n%!" title
@@ -43,21 +44,26 @@ let e2 ns ts =
   header "E2  Lemmas 3.7/3.8 + Theorem 2.1: structure of G^t_{x,y}";
   Printf.printf "%3s %3s %6s %6s %9s %9s %8s %8s %5s %5s %9s\n" "n" "t" "|V1|" "|V2|" "edges"
     "isolated" "minDeg" "maxDeg" "k" "Hall" "k-match";
+  (* Each (n, t) cell is an independent simulation sweep with its own
+     seed: compute the grid on the pool, print in input order. *)
+  let cells = List.concat_map (fun n -> List.map (fun t -> (n, t)) ts) ns in
+  let rows =
+    Pool.map_batch_list
+      (fun (n, t) ->
+        let rng = Rng.create ~seed:(1000 + n + t) in
+        let algo = truncated_optimist ~rounds:t in
+        let k = 1 in
+        ((n, t), Core.Kt0_bound.indist_stats algo ~n ~rounds:t ~k rng))
+      cells
+  in
   List.iter
-    (fun n ->
-      List.iter
-        (fun t ->
-          let rng = Rng.create ~seed:(1000 + n + t) in
-          let algo = truncated_optimist ~rounds:t in
-          let k = 1 in
-          let s = Core.Kt0_bound.indist_stats algo ~n ~rounds:t ~k rng in
-          Printf.printf "%3d %3d %6d %6d %9d %9d %8d %8d %5d %5b %9b\n" n t
-            s.Core.Kt0_bound.v1_count s.Core.Kt0_bound.v2_count s.Core.Kt0_bound.edges
-            s.Core.Kt0_bound.isolated_v1 s.Core.Kt0_bound.min_live_degree
-            s.Core.Kt0_bound.max_degree_v1 s.Core.Kt0_bound.k s.Core.Kt0_bound.hall_ok
-            s.Core.Kt0_bound.k_matching_found)
-        ts)
-    ns;
+    (fun ((n, t), s) ->
+      Printf.printf "%3d %3d %6d %6d %9d %9d %8d %8d %5d %5b %9b\n" n t
+        s.Core.Kt0_bound.v1_count s.Core.Kt0_bound.v2_count s.Core.Kt0_bound.edges
+        s.Core.Kt0_bound.isolated_v1 s.Core.Kt0_bound.min_live_degree
+        s.Core.Kt0_bound.max_degree_v1 s.Core.Kt0_bound.k s.Core.Kt0_bound.hall_ok
+        s.Core.Kt0_bound.k_matching_found)
+    rows;
   Printf.printf
     "note: at t=0 every V1 vertex has degree n(n-3)/2 and |V2|<|V1|, so k=1 Hall fails\n\
      globally but every V2 vertex is reachable; as t grows the graph thins out.\n"
@@ -67,26 +73,35 @@ let e2 ns ts =
 let e3 ns =
   header "E3  Theorems 3.1/3.5: distributional error of t-round KT-0 algorithms";
   Printf.printf "%3s %3s %28s %10s %10s %12s\n" "n" "t" "algorithm" "mu-error" "active>=" "n/3^2t";
+  let makes =
+    [ truncated_optimist;
+      truncated_pessimist;
+      (fun ~rounds ->
+        Bcclb_algorithms.Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2
+          ~rounds ~optimist:true) ]
+  in
+  (* The (n, t, algorithm) grid is embarrassingly parallel — every cell
+     seeds its own rng — so the rows are computed on the pool and printed
+     in input order afterwards. *)
   List.iter
     (fun n ->
       let tmax = Core.Kt0_bound.upper_bound_rounds ~n in
       let lb_threshold = Core.Kt0_bound.theorem_3_1_threshold ~n in
       let ts = List.sort_uniq Int.compare [ 0; 1; 2; 3; 4; 6; tmax / 2; tmax ] in
+      let cells = List.concat_map (fun t -> List.map (fun make -> (t, make)) makes) ts in
+      let rows =
+        Pool.map_batch_list
+          (fun (t, make) ->
+            let rng = Rng.create ~seed:(2000 + n + t) in
+            (t, Core.Kt0_bound.error_row ~n ~t make rng))
+          cells
+      in
       List.iter
-        (fun t ->
-          List.iter
-            (fun make ->
-              let rng = Rng.create ~seed:(2000 + n + t) in
-              let row = Core.Kt0_bound.error_row ~n ~t make rng in
-              Printf.printf "%3d %3d %28s %10.4f %10d %12.3f\n" n t row.Core.Kt0_bound.algo_name
-                row.Core.Kt0_bound.mu_error row.Core.Kt0_bound.largest_active_min
-                row.Core.Kt0_bound.pigeonhole_floor)
-            [ truncated_optimist;
-              truncated_pessimist;
-              (fun ~rounds ->
-                Bcclb_algorithms.Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2
-                  ~rounds ~optimist:true) ])
-        ts;
+        (fun (t, row) ->
+          Printf.printf "%3d %3d %28s %10.4f %10d %12.3f\n" n t row.Core.Kt0_bound.algo_name
+            row.Core.Kt0_bound.mu_error row.Core.Kt0_bound.largest_active_min
+            row.Core.Kt0_bound.pigeonhole_floor)
+        rows;
       Printf.printf "    (Theorem 3.1 threshold 0.1*log3 n = %.2f; UB rounds = %d)\n" lb_threshold tmax)
     ns;
   Printf.printf "shape check: error stays >= const for t << log n, collapses to 0 at the O(log n) UB.\n";
@@ -95,37 +110,47 @@ let e3 ns =
      independent of how outputs are assigned. *)
   Printf.printf "\ncertified per-algorithm error lower bounds (matching in full G^t):\n";
   Printf.printf "%3s %3s %10s %14s %12s\n" "n" "t" "matching" "certified LB" "measured";
+  let cells =
+    List.concat_map (fun n -> List.map (fun t -> (n, t)) [ 0; 1; 2; 3 ]) (Bcclb_util.Arrayx.take 2 ns)
+  in
+  let rows =
+    Pool.map_batch_list
+      (fun (n, t) ->
+        let algo = truncated_optimist ~rounds:t in
+        let g = Core.Indist_graph.build_full algo ~n () in
+        let size, lb = Core.Indist_graph.certified_error_lb g in
+        let measured =
+          Core.Hard_distribution.error_float (Core.Hard_distribution.exact_error algo ~n)
+        in
+        (n, t, size, lb, measured))
+      cells
+  in
   List.iter
-    (fun n ->
-      List.iter
-        (fun t ->
-          let algo = truncated_optimist ~rounds:t in
-          let g = Core.Indist_graph.build_full algo ~n () in
-          let size, lb = Core.Indist_graph.certified_error_lb g in
-          let measured =
-            Core.Hard_distribution.error_float (Core.Hard_distribution.exact_error algo ~n)
-          in
-          Printf.printf "%3d %3d %10d %14.4f %12.4f\n" n t size
-            (Bcclb_bignum.Ratio.to_float lb)
-            measured)
-        [ 0; 1; 2; 3 ])
-    (Bcclb_util.Arrayx.take 2 ns);
+    (fun (n, t, size, lb, measured) ->
+      Printf.printf "%3d %3d %10d %14.4f %12.4f\n" n t size (Bcclb_bignum.Ratio.to_float lb) measured)
+    rows;
   (* Theorem 3.5's warm-up star distribution: error decays with t but
      stays above the 1/poly threshold for t = o(log n). *)
   Printf.printf "\nstar distribution (Theorem 3.5): error of t-round algorithms\n";
   Printf.printf "%3s %3s %12s %14s\n" "n" "t" "star error" "Omega(3^-4t)";
+  let star_cells =
+    List.concat_map
+      (fun n -> if n >= 9 then List.map (fun t -> (n, t)) [ 0; 1; 2; 3; 4 ] else [])
+      ns
+  in
+  let star_rows =
+    Pool.map_batch_list
+      (fun (n, t) ->
+        let algo = truncated_optimist ~rounds:t in
+        (n, t, Core.Hard_distribution.star_error algo ~n))
+      star_cells
+  in
   List.iter
-    (fun n ->
-      if n >= 9 then
-        List.iter
-          (fun t ->
-            let algo = truncated_optimist ~rounds:t in
-            let e = Core.Hard_distribution.star_error algo ~n in
-            Printf.printf "%3d %3d %12.5f %14.5f\n" n t
-              (Bcclb_bignum.Ratio.to_float e)
-              (0.5 *. (3.0 ** float_of_int (-4 * t))))
-          [ 0; 1; 2; 3; 4 ])
-    ns
+    (fun (n, t, e) ->
+      Printf.printf "%3d %3d %12.5f %14.5f\n" n t
+        (Bcclb_bignum.Ratio.to_float e)
+        (0.5 *. (3.0 ** float_of_int (-4 * t))))
+    star_rows
 
 (* ---------- E4: Lemma 3.4 by execution ---------- *)
 
@@ -176,27 +201,31 @@ let e5 () =
 let e6 ns =
   header "E6  Corollaries 2.4/4.2: D(Partition) sandwiched between log2 B_n and n log n";
   Printf.printf "%6s %14s %14s %12s %14s\n" "n" "LB bits" "UB bits" "LB/(n lg n)" "UB/(n lg n)";
+  (* Both series are deterministic per n: compute them on the pool, print
+     in input order. *)
+  let rows = Pool.map_batch_list (fun n -> (n, Core.Kt1_bound.partition_series ~n)) ns in
   List.iter
-    (fun n ->
-      let r = Core.Kt1_bound.partition_series ~n in
+    (fun (n, r) ->
       let scale = float_of_int n *. Bcclb_util.Mathx.log2 (float_of_int (max 2 n)) in
       Printf.printf "%6d %14.1f %14.1f %12.4f %14.4f\n" n r.Core.Kt1_bound.lb_bits
         r.Core.Kt1_bound.ub_bits
         (r.Core.Kt1_bound.lb_bits /. scale)
         (r.Core.Kt1_bound.ub_bits /. scale))
-    ns;
+    rows;
   Printf.printf "shape check: both normalised columns converge to constants with LB < UB.\n";
   Printf.printf "\nTwoPartition variant:\n";
   Printf.printf "%6s %14s %14s %12s\n" "n" "LB bits" "UB bits" "LB/(n lg n)";
+  let two_rows =
+    Pool.map_batch_list
+      (fun n -> (n, Core.Kt1_bound.two_partition_series ~n))
+      (List.filter (fun n -> n mod 2 = 0) ns)
+  in
   List.iter
-    (fun n ->
-      if n mod 2 = 0 then begin
-        let r = Core.Kt1_bound.two_partition_series ~n in
-        let scale = float_of_int n *. Bcclb_util.Mathx.log2 (float_of_int (max 2 n)) in
-        Printf.printf "%6d %14.1f %14.1f %12.4f\n" n r.Core.Kt1_bound.lb_bits r.Core.Kt1_bound.ub_bits
-          (r.Core.Kt1_bound.lb_bits /. scale)
-      end)
-    ns
+    (fun (n, r) ->
+      let scale = float_of_int n *. Bcclb_util.Mathx.log2 (float_of_int (max 2 n)) in
+      Printf.printf "%6d %14.1f %14.1f %12.4f\n" n r.Core.Kt1_bound.lb_bits r.Core.Kt1_bound.ub_bits
+        (r.Core.Kt1_bound.lb_bits /. scale))
+    two_rows
 
 (* ---------- E7: gadget correctness (Theorem 4.3) ---------- *)
 

@@ -1,3 +1,7 @@
+module Engine = Bcclb_engine.Engine
+module Observer = Bcclb_engine.Observer
+module Topology = Bcclb_engine.Topology
+
 type 'o result = { outputs : 'o array; transcripts : Transcript.t array; rounds_used : int }
 
 let check_width ~b ~round ~vertex msg =
@@ -12,33 +16,33 @@ let run ?(seed = 0) (Algo.Packed a) inst =
   let total_rounds = a.Algo.rounds ~n in
   if total_rounds < 0 then invalid_arg "Simulator.run: negative round bound";
   let views = Array.init n (fun v -> Instance.view ~coins_seed:seed inst v) in
-  let states = Array.map a.Algo.init views in
   let sent = Array.init n (fun _ -> Array.make total_rounds Msg.silent) in
   let received = Array.init n (fun _ -> Array.init total_rounds (fun _ -> [||])) in
-  (* inbox.(v).(p): what v hears through port p; round-1 inboxes are
-     silent because nothing was broadcast in "round 0". *)
-  let inbox_of_broadcasts broadcasts =
-    Array.init n (fun v -> Array.init (n - 1) (fun p -> broadcasts.(Instance.peer inst v p)))
+  let recorder =
+    Observer.make
+      ~on_emit:(fun ~round ~vertex ~inbox ~emit ->
+        check_width ~b ~round ~vertex emit;
+        received.(vertex).(round - 1) <- inbox;
+        sent.(vertex).(round - 1) <- emit)
+      ()
   in
-  let current_inbox = ref (Array.init n (fun _ -> Array.make (n - 1) Msg.silent)) in
-  for round = 1 to total_rounds do
-    let broadcasts = Array.make n Msg.silent in
-    for v = 0 to n - 1 do
-      received.(v).(round - 1) <- !current_inbox.(v);
-      let state', msg = a.Algo.step states.(v) ~round ~inbox:!current_inbox.(v) in
-      check_width ~b ~round ~vertex:v msg;
-      states.(v) <- state';
-      sent.(v).(round - 1) <- msg;
-      broadcasts.(v) <- msg
-    done;
-    current_inbox := inbox_of_broadcasts broadcasts
-  done;
-  let outputs = Array.init n (fun v -> a.Algo.finish states.(v) ~inbox:!current_inbox.(v)) in
+  let outcome =
+    Engine.run ~observers:[ recorder ]
+      { Engine.n;
+        rounds = total_rounds;
+        step = (fun state ~round ~vertex:_ ~inbox -> a.Algo.step state ~round ~inbox);
+        exchange = Topology.broadcast ~n ~peer:(Instance.peer inst) }
+      ~init_state:(fun v -> a.Algo.init views.(v))
+      ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent)
+  in
+  let outputs =
+    Array.init n (fun v -> a.Algo.finish outcome.Engine.states.(v) ~inbox:outcome.Engine.final_inbox.(v))
+  in
   let transcripts =
     Array.init n (fun v ->
         Transcript.make ~fingerprint:(View.fingerprint views.(v)) ~sent:sent.(v) ~received:received.(v))
   in
-  { outputs; transcripts; rounds_used = total_rounds }
+  { outputs; transcripts; rounds_used = outcome.Engine.rounds_used }
 
 let indistinguishable ?(seed = 0) packed i1 i2 =
   if Instance.n i1 <> Instance.n i2 then invalid_arg "Simulator.indistinguishable: sizes differ";

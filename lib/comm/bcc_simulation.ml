@@ -1,4 +1,7 @@
 open Bcclb_bcc
+module Engine = Bcclb_engine.Engine
+module Observer = Bcclb_engine.Observer
+module Topology = Bcclb_engine.Topology
 
 (* The §4.3 reduction: two parties jointly simulate a KT-1 BCC(b)
    algorithm on a vertex-partitioned input graph. Both know all IDs (and
@@ -27,34 +30,36 @@ let run ?(seed = 0) (Algo.Packed a) g ~alice_hosts =
   let b = a.Algo.bandwidth ~n in
   let total_rounds = a.Algo.rounds ~n in
   let hosted_by_alice = Array.init n (fun v -> alice_hosts v) in
-  (* Each party initialises only its hosted vertices: a view depends only
-     on IDs (shared knowledge) and the vertex's incident edges (the
-     host's knowledge). *)
-  let states = Array.init n (fun v -> a.Algo.init (Instance.view ~coins_seed:seed inst v)) in
   let bits_alice = ref 0 and bits_bob = ref 0 in
-  let current_inbox = ref (Array.init n (fun _ -> Array.make (n - 1) Msg.silent)) in
-  let inbox_of_broadcasts broadcasts =
-    Array.init n (fun v -> Array.init (n - 1) (fun p -> broadcasts.(Instance.peer inst v p)))
+  (* Each party computes its hosted vertices' broadcasts and ships them to
+     the other party, b+1 bits per character; after the exchange both
+     parties know all broadcasts and can build every hosted vertex's next
+     inbox from the shared wiring. *)
+  let accountant =
+    Observer.make
+      ~on_emit:(fun ~round:_ ~vertex ~inbox:_ ~emit ->
+        if Msg.width emit > b then invalid_arg "Bcc_simulation.run: bandwidth violation";
+        let cost = char_bits ~b in
+        if hosted_by_alice.(vertex) then bits_alice := !bits_alice + cost
+        else bits_bob := !bits_bob + cost)
+      ()
   in
-  for round = 1 to total_rounds do
-    (* Each party computes its hosted vertices' broadcasts... *)
-    let broadcasts = Array.make n Msg.silent in
-    for v = 0 to n - 1 do
-      let state', msg = a.Algo.step states.(v) ~round ~inbox:!current_inbox.(v) in
-      if Msg.width msg > b then invalid_arg "Bcc_simulation.run: bandwidth violation";
-      states.(v) <- state';
-      broadcasts.(v) <- msg
-    done;
-    (* ...and ships them to the other party, b+1 bits per character. *)
-    for v = 0 to n - 1 do
-      let cost = char_bits ~b in
-      if hosted_by_alice.(v) then bits_alice := !bits_alice + cost else bits_bob := !bits_bob + cost
-    done;
-    (* After the exchange both parties know all broadcasts and can build
-       every hosted vertex's next inbox from the shared wiring. *)
-    current_inbox := inbox_of_broadcasts broadcasts
-  done;
-  let outputs = Array.init n (fun v -> a.Algo.finish states.(v) ~inbox:!current_inbox.(v)) in
+  let outcome =
+    Engine.run ~observers:[ accountant ]
+      { Engine.n;
+        rounds = total_rounds;
+        step = (fun state ~round ~vertex:_ ~inbox -> a.Algo.step state ~round ~inbox);
+        exchange = Topology.broadcast ~n ~peer:(Instance.peer inst) }
+      ~init_state:(fun v ->
+        (* Each party initialises only its hosted vertices: a view depends
+           only on IDs (shared knowledge) and the vertex's incident edges
+           (the host's knowledge). *)
+        a.Algo.init (Instance.view ~coins_seed:seed inst v))
+      ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent)
+  in
+  let outputs =
+    Array.init n (fun v -> a.Algo.finish outcome.Engine.states.(v) ~inbox:outcome.Engine.final_inbox.(v))
+  in
   { outputs;
     rounds = total_rounds;
     chars_per_round = n;

@@ -2,7 +2,14 @@
    round Alice and Bob both emit a bit string computed from their own
    input and everything received so far, then both receive. This subsumes
    alternating protocols (send "" when it is not your turn) and models the
-   §4.3 BCC simulation directly (both parties send every round). *)
+   §4.3 BCC simulation directly (both parties send every round). The
+   round loop is the engine's, over the two-party topology: party 0 is
+   Alice, party 1 is Bob, and an inbox is the reversed history of the
+   other party's messages. *)
+
+module Engine = Bcclb_engine.Engine
+module Observer = Bcclb_engine.Observer
+module Topology = Bcclb_engine.Topology
 
 type ('ia, 'ib, 'oa, 'ob) spec = {
   name : string;
@@ -29,22 +36,33 @@ let check_bits name s =
     s
 
 let run spec ia ib =
-  let a_received = ref [] and b_received = ref [] in
-  let transcript = ref [] in
   let bits_a = ref 0 and bits_b = ref 0 in
-  for round = 1 to spec.rounds do
-    let ma = spec.alice ia ~round ~received:(List.rev !a_received) in
-    let mb = spec.bob ib ~round ~received:(List.rev !b_received) in
-    check_bits spec.name ma;
-    check_bits spec.name mb;
-    bits_a := !bits_a + String.length ma;
-    bits_b := !bits_b + String.length mb;
-    a_received := mb :: !a_received;
-    b_received := ma :: !b_received;
-    transcript := (ma, mb) :: !transcript
-  done;
-  { out_a = spec.output_a ia ~received:(List.rev !a_received);
-    out_b = spec.output_b ib ~received:(List.rev !b_received);
+  let transcript = ref [] in
+  let last = [| ""; "" |] in
+  let meter =
+    Observer.make
+      ~on_emit:(fun ~round:_ ~vertex ~inbox:_ ~emit ->
+        check_bits spec.name emit;
+        let counter = if vertex = 0 then bits_a else bits_b in
+        counter := !counter + String.length emit;
+        last.(vertex) <- emit)
+      ~on_round_end:(fun ~round:_ ~inboxes:_ -> transcript := (last.(0), last.(1)) :: !transcript)
+      ()
+  in
+  let outcome =
+    Engine.run ~observers:[ meter ]
+      { Engine.n = 2;
+        rounds = spec.rounds;
+        step =
+          (fun () ~round ~vertex ~inbox ->
+            let received = List.rev inbox in
+            ((), if vertex = 0 then spec.alice ia ~round ~received else spec.bob ib ~round ~received));
+        exchange = Topology.two_party }
+      ~init_state:(fun _ -> ())
+      ~init_inbox:(fun _ -> [])
+  in
+  { out_a = spec.output_a ia ~received:(List.rev outcome.Engine.final_inbox.(0));
+    out_b = spec.output_b ib ~received:(List.rev outcome.Engine.final_inbox.(1));
     transcript = List.rev !transcript;
     bits_a = !bits_a;
     bits_b = !bits_b }

@@ -26,7 +26,9 @@ let build ?(seed = 0) algo ~n ?xy () =
   let v2 = Census.two_cycles ~n in
   let v2_index = Hashtbl.create (Array.length v2) in
   Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
-  let sent1 = Array.map (fun s -> Labels.sent_strings ~seed algo ~n s) v1 in
+  (* One independent simulation per one-cycle instance: the hot inner
+     loop, run on the engine pool. *)
+  let sent1 = Bcclb_engine.Pool.map_batch (fun s -> Labels.sent_strings ~seed algo ~n s) v1 in
   let x, y =
     match xy with
     | Some p -> p
@@ -42,29 +44,33 @@ let build ?(seed = 0) algo ~n ?xy () =
         v1;
       Labels.most_frequent_label tbl
   in
-  let adj_sets = Array.make (Array.length v1) [] in
+  (* Each left vertex's edge row is independent (v2_index is read-only
+     here), so rows run on the pool; the reverse adjacency is aggregated
+     sequentially afterwards. *)
+  let adj_sets =
+    Bcclb_engine.Pool.tabulate (Array.length v1) (fun i1 ->
+        let s = v1.(i1) in
+        let cyc = List.hd (Cycles.cycles s) in
+        let k = Array.length cyc in
+        let actives = active_positions sent1.(i1) cyc ~x ~y in
+        let row = ref [] in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j ->
+                if i < j then begin
+                  let len1 = j - i and len2 = k - (j - i) in
+                  if len1 >= 3 && len2 >= 3 then begin
+                    let s2 = Census.cross_one_cycle cyc i j in
+                    row := Hashtbl.find v2_index s2 :: !row
+                  end
+                end)
+              actives)
+          actives;
+        !row)
+  in
   let radj_sets = Array.make (Array.length v2) [] in
-  Array.iteri
-    (fun i1 s ->
-      let cyc = List.hd (Cycles.cycles s) in
-      let k = Array.length cyc in
-      let actives = active_positions sent1.(i1) cyc ~x ~y in
-      List.iter
-        (fun i ->
-          List.iter
-            (fun j ->
-              if i < j then begin
-                let len1 = j - i and len2 = k - (j - i) in
-                if len1 >= 3 && len2 >= 3 then begin
-                  let s2 = Census.cross_one_cycle cyc i j in
-                  let i2 = Hashtbl.find v2_index s2 in
-                  adj_sets.(i1) <- i2 :: adj_sets.(i1);
-                  radj_sets.(i2) <- i1 :: radj_sets.(i2)
-                end
-              end)
-            actives)
-        actives)
-    v1;
+  Array.iteri (fun i1 row -> List.iter (fun i2 -> radj_sets.(i2) <- i1 :: radj_sets.(i2)) row) adj_sets;
   let dedup l =
     let a = Array.of_list l in
     Array.sort Int.compare a;
@@ -131,30 +137,34 @@ let build_full ?(seed = 0) algo ~n () =
   let v2 = Census.two_cycles ~n in
   let v2_index = Hashtbl.create (Array.length v2) in
   Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
-  let adj_sets = Array.make (Array.length v1) [] in
-  let radj_sets = Array.make (Array.length v2) [] in
-  Array.iteri
-    (fun i1 s ->
-      let sent = Labels.sent_strings ~seed algo ~n s in
-      let cyc = List.hd (Cycles.cycles s) in
-      let k = Array.length cyc in
-      for i = 0 to k - 1 do
-        for j = i + 1 to k - 1 do
-          let len1 = j - i and len2 = k - (j - i) in
-          if len1 >= 3 && len2 >= 3 then begin
-            (* Same-label condition of Lemma 3.4 for this directed pair. *)
-            let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
-            let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
-            if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then begin
-              let s2 = Census.cross_one_cycle cyc i j in
-              let i2 = Hashtbl.find v2_index s2 in
-              adj_sets.(i1) <- i2 :: adj_sets.(i1);
-              radj_sets.(i2) <- i1 :: radj_sets.(i2)
+  (* Simulation + crossing enumeration per left vertex is independent;
+     run the rows on the pool and aggregate the reverse adjacency after. *)
+  let adj_sets =
+    Bcclb_engine.Pool.map_batch
+      (fun s ->
+        let sent = Labels.sent_strings ~seed algo ~n s in
+        let cyc = List.hd (Cycles.cycles s) in
+        let k = Array.length cyc in
+        let row = ref [] in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            let len1 = j - i and len2 = k - (j - i) in
+            if len1 >= 3 && len2 >= 3 then begin
+              (* Same-label condition of Lemma 3.4 for this directed pair. *)
+              let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
+              let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
+              if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then begin
+                let s2 = Census.cross_one_cycle cyc i j in
+                row := Hashtbl.find v2_index s2 :: !row
+              end
             end
-          end
-        done
-      done)
-    v1;
+          done
+        done;
+        !row)
+      v1
+  in
+  let radj_sets = Array.make (Array.length v2) [] in
+  Array.iteri (fun i1 row -> List.iter (fun i2 -> radj_sets.(i2) <- i1 :: radj_sets.(i2)) row) adj_sets;
   let dedup l =
     let a = Array.of_list l in
     Array.sort Int.compare a;

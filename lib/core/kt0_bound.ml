@@ -89,14 +89,20 @@ type error_row = {
 let error_row ?(seed = 0) ~n ~t (make_algo : rounds:int -> bool Algo.packed) rng =
   let algo = make_algo ~rounds:t in
   let report = Hard_distribution.exact_error ~seed algo ~n in
-  (* Largest same-label class on a few random one-cycle instances. *)
-  let largest = ref max_int in
-  for _ = 1 to 5 do
-    let g = Bcclb_graph.Gen.random_cycle rng n in
-    match Bcclb_graph.Cycles.of_graph g with
-    | None -> ()
-    | Some s -> largest := min !largest (Labels.largest_active_set ~seed algo ~n s)
+  (* Largest same-label class on a few random one-cycle instances. The
+     graphs are drawn sequentially (the rng stream is part of the
+     deterministic contract); the independent simulations behind each
+     label count run on the pool. *)
+  let structures = Array.make 5 None in
+  for i = 0 to 4 do
+    structures.(i) <- Bcclb_graph.Cycles.of_graph (Bcclb_graph.Gen.random_cycle rng n)
   done;
+  let sizes =
+    Bcclb_engine.Pool.map_batch
+      (function None -> max_int | Some s -> Labels.largest_active_set ~seed algo ~n s)
+      structures
+  in
+  let largest = ref (Array.fold_left min max_int sizes) in
   { n;
     t;
     algo_name = Algo.name algo;

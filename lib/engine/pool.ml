@@ -1,0 +1,61 @@
+(* Domain-based work pool for embarrassingly parallel batches of
+   simulations. Determinism contract: results are ordered by input index
+   and tasks must be pure up to their own per-task state (give each task
+   its own Rng seeded from its index, never a shared one), so the output
+   is identical for every [num_domains]. Work is handed out through an
+   atomic cursor — scheduling order varies, observable results do not. *)
+
+let default_domains_env = "BCCLB_NUM_DOMAINS"
+
+let default_num_domains () =
+  match Sys.getenv_opt default_domains_env with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | _ -> 1)
+
+(* Nested map_batch calls (a parallelized sweep whose tasks call a
+   parallelized builder) run sequentially instead of spawning domains
+   from domains. *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let map_batch ?num_domains f items =
+  let n = Array.length items in
+  let d =
+    min n (match num_domains with Some d -> max 1 d | None -> default_num_domains ())
+  in
+  if d <= 1 || Domain.DLS.get inside_pool then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set inside_pool true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- Some (try Ok (f items.(i)) with e -> Error e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    Domain.DLS.set inside_pool false;
+    (* Extraction in index order re-raises the lowest-index failure, as a
+       sequential run would have. *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let tabulate ?num_domains n f =
+  map_batch ?num_domains f (Array.init n (fun i -> i))
+
+let map_batch_list ?num_domains f items =
+  Array.to_list (map_batch ?num_domains f (Array.of_list items))

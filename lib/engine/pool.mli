@@ -1,0 +1,25 @@
+(** Domain-parallel batch runner for independent simulations.
+
+    Determinism contract: [map_batch f items] returns exactly
+    [Array.map f items] — results ordered by input index, the
+    lowest-index exception re-raised — for every [num_domains], provided
+    each task is pure up to per-task state (seed each task's Rng from its
+    input, never share one across tasks). Scheduling order is the only
+    thing that varies with the domain count. *)
+
+val default_domains_env : string
+(** ["BCCLB_NUM_DOMAINS"] — the environment variable consulted when
+    [num_domains] is not passed; unset or invalid means 1 (sequential). *)
+
+val default_num_domains : unit -> int
+
+val map_batch : ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Run [f] over the batch on [num_domains] domains (the calling domain
+    included). [num_domains <= 1] is a strict sequential [Array.map].
+    Nested calls from inside a pool task run sequentially — no domains
+    are spawned from worker domains. *)
+
+val tabulate : ?num_domains:int -> int -> (int -> 'b) -> 'b array
+(** [tabulate n f] = [map_batch f [|0; ...; n-1|]]. *)
+
+val map_batch_list : ?num_domains:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -1,4 +1,7 @@
 open Bcclb_bcc
+module Engine = Bcclb_engine.Engine
+module Observer = Bcclb_engine.Observer
+module Topology = Bcclb_engine.Topology
 
 type 'o result = { outputs : 'o array; rounds_used : int; max_distinct : int }
 
@@ -7,36 +10,34 @@ let run ?(seed = 0) (Rcc_algo.Packed a) inst =
   let b = a.Rcc_algo.bandwidth ~n in
   let r = a.Rcc_algo.range ~n in
   let total_rounds = a.Rcc_algo.rounds ~n in
-  let states = Array.init n (fun v -> a.Rcc_algo.init (Instance.view ~coins_seed:seed inst v)) in
   let max_distinct = ref 0 in
-  (* outbox.(v).(p): what v sends through its port p this round. *)
-  let current_inbox = ref (Array.init n (fun _ -> Array.make (n - 1) Msg.silent)) in
-  for round = 1 to total_rounds do
-    let outbox = Array.make n [||] in
-    for v = 0 to n - 1 do
-      let state', msgs = a.Rcc_algo.step states.(v) ~round ~inbox:!current_inbox.(v) in
-      if Array.length msgs <> n - 1 then
-        invalid_arg "Rcc_simulator.run: one message per port required";
-      Array.iter
-        (fun m ->
-          if Msg.width m > b then invalid_arg "Rcc_simulator.run: bandwidth violation")
-        msgs;
-      let distinct = Rcc_algo.distinct_messages msgs in
-      if distinct > r then
-        invalid_arg
-          (Printf.sprintf "Rcc_simulator.run: vertex %d sent %d distinct messages (range %d) in round %d"
-             v distinct r round);
-      max_distinct := max !max_distinct distinct;
-      states.(v) <- state';
-      outbox.(v) <- msgs
-    done;
-    (* Vertex u hears, on its port q, what the peer v sent through v's
-       port toward u. *)
-    current_inbox :=
-      Array.init n (fun u ->
-          Array.init (n - 1) (fun q ->
-              let v = Instance.peer inst u q in
-              outbox.(v).(Instance.port_to inst v u)))
-  done;
-  let outputs = Array.init n (fun v -> a.Rcc_algo.finish states.(v) ~inbox:!current_inbox.(v)) in
-  { outputs; rounds_used = total_rounds; max_distinct = !max_distinct }
+  let validator =
+    Observer.validator (fun ~round ~vertex msgs ->
+        if Array.length msgs <> n - 1 then
+          invalid_arg "Rcc_simulator.run: one message per port required";
+        Array.iter
+          (fun m ->
+            if Msg.width m > b then invalid_arg "Rcc_simulator.run: bandwidth violation")
+          msgs;
+        let distinct = Rcc_algo.distinct_messages msgs in
+        if distinct > r then
+          invalid_arg
+            (Printf.sprintf
+               "Rcc_simulator.run: vertex %d sent %d distinct messages (range %d) in round %d"
+               vertex distinct r round);
+        max_distinct := max !max_distinct distinct)
+  in
+  let outcome =
+    Engine.run ~observers:[ validator ]
+      { Engine.n;
+        rounds = total_rounds;
+        step = (fun state ~round ~vertex:_ ~inbox -> a.Rcc_algo.step state ~round ~inbox);
+        exchange = Topology.unicast ~n ~peer:(Instance.peer inst) ~port_to:(Instance.port_to inst) }
+      ~init_state:(fun v -> a.Rcc_algo.init (Instance.view ~coins_seed:seed inst v))
+      ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent)
+  in
+  let outputs =
+    Array.init n (fun v ->
+        a.Rcc_algo.finish outcome.Engine.states.(v) ~inbox:outcome.Engine.final_inbox.(v))
+  in
+  { outputs; rounds_used = outcome.Engine.rounds_used; max_distinct = !max_distinct }

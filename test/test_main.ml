@@ -14,4 +14,5 @@ let () =
       ("core", Test_core.suites @ q Test_core.qsuites);
       ("plschemes", Test_plschemes.suites @ q Test_plschemes.qsuites);
       ("rcc", Test_rcc.suites @ q Test_rcc.qsuites);
-      ("sketch", Test_sketch.suites @ q Test_sketch.qsuites) ]
+      ("sketch", Test_sketch.suites @ q Test_sketch.qsuites);
+      ("engine", Test_engine.suites @ q Test_engine.qsuites) ]
