@@ -218,27 +218,37 @@ let benchmark () =
   let results = List.map (fun instance -> Analyze.all ols instance raw_results) instances in
   Analyze.merge ols instances results
 
+let bench_json_path = "BENCH_engine.json"
+
 let () =
   let results = benchmark () in
-  (* Plain-text report: time per run for each kernel. *)
+  (* Plain-text report (time per run for each kernel) plus the
+     machine-readable twin via the harness Sink. *)
   Hashtbl.iter
     (fun measure tbl ->
       if String.equal measure (Measure.label Instance.monotonic_clock) then begin
         let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
         let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
         Printf.printf "%-40s %18s\n" "benchmark" "time/run";
-        List.iter
-          (fun (name, ols) ->
-            match Analyze.OLS.estimates ols with
-            | Some [ est ] ->
-              let pretty =
-                if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
-                else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
-                else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
-                else Printf.sprintf "%.1f ns" est
-              in
-              Printf.printf "%-40s %18s\n" name pretty
-            | _ -> Printf.printf "%-40s %18s\n" name "n/a")
-          rows
+        let json_rows =
+          List.filter_map
+            (fun (name, ols) ->
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] ->
+                let pretty =
+                  if est > 1e9 then Printf.sprintf "%.3f s" (est /. 1e9)
+                  else if est > 1e6 then Printf.sprintf "%.3f ms" (est /. 1e6)
+                  else if est > 1e3 then Printf.sprintf "%.3f us" (est /. 1e3)
+                  else Printf.sprintf "%.1f ns" est
+                in
+                Printf.printf "%-40s %18s\n" name pretty;
+                Some (name, est)
+              | _ ->
+                Printf.printf "%-40s %18s\n" name "n/a";
+                None)
+            rows
+        in
+        Bcclb_harness.Sink.write_bench ~path:bench_json_path json_rows;
+        Printf.printf "\nwrote %s (%d kernels)\n" bench_json_path (List.length json_rows)
       end)
     results

@@ -1,647 +1,121 @@
-(* Experiment harness: one subcommand per experiment E1..E10 of
-   EXPERIMENTS.md, each printing the series that validates the
-   corresponding claim of the paper. `all` runs everything at the default
-   (laptop-scale) parameters. *)
+(* Thin cmdliner shell over the experiment harness: the experiments
+   themselves live in Bcclb_harness.Registry as data; this binary only
+   parses flags, picks sinks, and reports cache statistics.
+
+   stdout carries exactly the rendered tables — deterministic, byte-
+   identical across cache states and domain counts — while cache/timing
+   chatter goes to stderr and results/ (JSONL rows + run manifest). *)
 
 open Cmdliner
-module Core = Bcclb_core
-module Rng = Bcclb_util.Rng
-module Nat = Bcclb_bignum.Nat
-module Instance = Bcclb_bcc.Instance
-module Pool = Bcclb_engine.Pool
+module H = Bcclb_harness
 
-let header title =
-  Printf.printf "\n=== %s ===\n%!" title
+let ns_arg =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "n" ] ~docv:"N,N,..."
+        ~doc:"Override the size grid, for experiments whose grid is driven by sizes.")
 
-let truncated_optimist ~rounds =
-  Bcclb_algorithms.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
-    ~optimist:true
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:"Bypass the result cache entirely: recompute every cell and store nothing.")
 
-let truncated_pessimist ~rounds =
-  Bcclb_algorithms.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
-    ~optimist:false
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the sweeps (0 = the $(b,BCCLB_NUM_DOMAINS) environment \
+           variable, defaulting to 1). Results are byte-identical for any value.")
 
-(* ---------- E1: Lemma 3.9 census ratio ---------- *)
+let results_arg =
+  Arg.(
+    value & opt string "results"
+    & info [ "results" ] ~docv:"DIR"
+        ~doc:"Directory for structured outputs: JSONL rows, run manifest, result cache.")
 
-let e1 ns =
-  header "E1  Lemma 3.9: |V2| = |V1| * Theta(log n)";
-  Printf.printf "%4s %22s %22s %10s %10s %8s %8s\n" "n" "|V1|" "|V2|" "ratio" "H(n/2)-1.5" "enum V1" "enum V2";
-  List.iter
-    (fun n ->
-      let r = Core.Kt0_bound.census_row ~n () in
-      Printf.printf "%4d %22s %22s %10.4f %10.4f %8s %8s\n" n
-        (Nat.to_string r.Core.Kt0_bound.v1)
-        (Nat.to_string r.Core.Kt0_bound.v2)
-        r.Core.Kt0_bound.ratio r.Core.Kt0_bound.predicted
-        (match r.Core.Kt0_bound.v1_enumerated with Some v -> string_of_int v | None -> "-")
-        (match r.Core.Kt0_bound.v2_enumerated with Some v -> string_of_int v | None -> "-"))
-    ns;
-  Printf.printf "shape check: ratio/(H(n/2)-1.5) should be ~constant (Theta(log n)).\n"
+let resolved_domains jobs = if jobs > 0 then jobs else Bcclb_engine.Pool.default_num_domains ()
 
-(* ---------- E2: indistinguishability graph structure ---------- *)
-
-let e2 ns ts =
-  header "E2  Lemmas 3.7/3.8 + Theorem 2.1: structure of G^t_{x,y}";
-  Printf.printf "%3s %3s %6s %6s %9s %9s %8s %8s %5s %5s %9s\n" "n" "t" "|V1|" "|V2|" "edges"
-    "isolated" "minDeg" "maxDeg" "k" "Hall" "k-match";
-  (* Each (n, t) cell is an independent simulation sweep with its own
-     seed: compute the grid on the pool, print in input order. *)
-  let cells = List.concat_map (fun n -> List.map (fun t -> (n, t)) ts) ns in
-  let rows =
-    Pool.map_batch_list
-      (fun (n, t) ->
-        let rng = Rng.create ~seed:(1000 + n + t) in
-        let algo = truncated_optimist ~rounds:t in
-        let k = 1 in
-        ((n, t), Core.Kt0_bound.indist_stats algo ~n ~rounds:t ~k rng))
-      cells
+let run_experiments ~results_dir ~no_cache ~jobs ~ns exps =
+  let cache =
+    if no_cache then None
+    else Some (H.Cache.create ~root:(Filename.concat results_dir "cache"))
   in
-  List.iter
-    (fun ((n, t), s) ->
-      Printf.printf "%3d %3d %6d %6d %9d %9d %8d %8d %5d %5b %9b\n" n t
-        s.Core.Kt0_bound.v1_count s.Core.Kt0_bound.v2_count s.Core.Kt0_bound.edges
-        s.Core.Kt0_bound.isolated_v1 s.Core.Kt0_bound.min_live_degree
-        s.Core.Kt0_bound.max_degree_v1 s.Core.Kt0_bound.k s.Core.Kt0_bound.hall_ok
-        s.Core.Kt0_bound.k_matching_found)
-    rows;
-  Printf.printf
-    "note: at t=0 every V1 vertex has degree n(n-3)/2 and |V2|<|V1|, so k=1 Hall fails\n\
-     globally but every V2 vertex is reachable; as t grows the graph thins out.\n"
-
-(* ---------- E3: error of t-round algorithms under mu ---------- *)
-
-let e3 ns =
-  header "E3  Theorems 3.1/3.5: distributional error of t-round KT-0 algorithms";
-  Printf.printf "%3s %3s %28s %10s %10s %12s\n" "n" "t" "algorithm" "mu-error" "active>=" "n/3^2t";
-  let makes =
-    [ truncated_optimist;
-      truncated_pessimist;
-      (fun ~rounds ->
-        Bcclb_algorithms.Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2
-          ~rounds ~optimist:true) ]
-  in
-  (* The (n, t, algorithm) grid is embarrassingly parallel — every cell
-     seeds its own rng — so the rows are computed on the pool and printed
-     in input order afterwards. *)
-  List.iter
-    (fun n ->
-      let tmax = Core.Kt0_bound.upper_bound_rounds ~n in
-      let lb_threshold = Core.Kt0_bound.theorem_3_1_threshold ~n in
-      let ts = List.sort_uniq Int.compare [ 0; 1; 2; 3; 4; 6; tmax / 2; tmax ] in
-      let cells = List.concat_map (fun t -> List.map (fun make -> (t, make)) makes) ts in
-      let rows =
-        Pool.map_batch_list
-          (fun (t, make) ->
-            let rng = Rng.create ~seed:(2000 + n + t) in
-            (t, Core.Kt0_bound.error_row ~n ~t make rng))
-          cells
-      in
-      List.iter
-        (fun (t, row) ->
-          Printf.printf "%3d %3d %28s %10.4f %10d %12.3f\n" n t row.Core.Kt0_bound.algo_name
-            row.Core.Kt0_bound.mu_error row.Core.Kt0_bound.largest_active_min
-            row.Core.Kt0_bound.pigeonhole_floor)
-        rows;
-      Printf.printf "    (Theorem 3.1 threshold 0.1*log3 n = %.2f; UB rounds = %d)\n" lb_threshold tmax)
-    ns;
-  Printf.printf "shape check: error stays >= const for t << log n, collapses to 0 at the O(log n) UB.\n";
-  (* Certified lower bounds: a maximum matching in the full (all-labels)
-     indistinguishability graph forces this much error on THIS algorithm,
-     independent of how outputs are assigned. *)
-  Printf.printf "\ncertified per-algorithm error lower bounds (matching in full G^t):\n";
-  Printf.printf "%3s %3s %10s %14s %12s\n" "n" "t" "matching" "certified LB" "measured";
-  let cells =
-    List.concat_map (fun n -> List.map (fun t -> (n, t)) [ 0; 1; 2; 3 ]) (Bcclb_util.Arrayx.take 2 ns)
-  in
-  let rows =
-    Pool.map_batch_list
-      (fun (n, t) ->
-        let algo = truncated_optimist ~rounds:t in
-        let g = Core.Indist_graph.build_full algo ~n () in
-        let size, lb = Core.Indist_graph.certified_error_lb g in
-        let measured =
-          Core.Hard_distribution.error_float (Core.Hard_distribution.exact_error algo ~n)
+  let jsonl = H.Sink.jsonl ~dir:results_dir in
+  let sink = H.Sink.tee [ H.Sink.console (); jsonl ] in
+  let num_domains = if jobs > 0 then Some jobs else None in
+  let reports =
+    List.map
+      (fun (exp : H.Experiment.t) ->
+        let grid =
+          match (ns, exp.grid_of_ns) with
+          | Some ns, Some f -> Some (f ns)
+          | Some _, None ->
+            Printf.eprintf "[harness] %s: --n is not an axis of this experiment; ignored\n%!"
+              exp.id;
+            None
+          | None, _ -> None
         in
-        (n, t, size, lb, measured))
-      cells
+        let r = H.Runner.run ?cache ?num_domains ?grid ~sink exp in
+        Printf.eprintf "[harness] %-16s %4d cells, %4d hits, %4d misses, %7.2fs\n%!"
+          r.H.Sink.id r.H.Sink.cells r.H.Sink.hits r.H.Sink.misses r.H.Sink.seconds;
+        r)
+      exps
   in
-  List.iter
-    (fun (n, t, size, lb, measured) ->
-      Printf.printf "%3d %3d %10d %14.4f %12.4f\n" n t size (Bcclb_bignum.Ratio.to_float lb) measured)
-    rows;
-  (* Theorem 3.5's warm-up star distribution: error decays with t but
-     stays above the 1/poly threshold for t = o(log n). *)
-  Printf.printf "\nstar distribution (Theorem 3.5): error of t-round algorithms\n";
-  Printf.printf "%3s %3s %12s %14s\n" "n" "t" "star error" "Omega(3^-4t)";
-  let star_cells =
-    List.concat_map
-      (fun n -> if n >= 9 then List.map (fun t -> (n, t)) [ 0; 1; 2; 3; 4 ] else [])
-      ns
-  in
-  let star_rows =
-    Pool.map_batch_list
-      (fun (n, t) ->
-        let algo = truncated_optimist ~rounds:t in
-        (n, t, Core.Hard_distribution.star_error algo ~n))
-      star_cells
-  in
-  List.iter
-    (fun (n, t, e) ->
-      Printf.printf "%3d %3d %12.5f %14.5f\n" n t
-        (Bcclb_bignum.Ratio.to_float e)
-        (0.5 *. (3.0 ** float_of_int (-4 * t))))
-    star_rows
+  sink.H.Sink.close ();
+  let manifest = Filename.concat results_dir "manifest.json" in
+  H.Sink.write_manifest ~path:manifest
+    ~cache_root:(Option.map H.Cache.root cache)
+    ~num_domains:(resolved_domains jobs) reports;
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  Printf.eprintf "[harness] total: %d cells, %d hits, %d misses; manifest: %s\n%!"
+    (sum (fun (r : H.Sink.report) -> r.cells))
+    (sum (fun (r : H.Sink.report) -> r.hits))
+    (sum (fun (r : H.Sink.report) -> r.misses))
+    manifest
 
-(* ---------- E4: Lemma 3.4 by execution ---------- *)
-
-let e4 ns instances =
-  header "E4  Lemma 3.4: crossings of same-label pairs are indistinguishable";
-  Printf.printf "%3s %3s %10s %10s %10s %12s %12s %10s\n" "n" "t" "wiring" "crossable" "same-lbl"
-    "indist" "VIOLATIONS" "diff-dist";
-  List.iter
-    (fun n ->
-      List.iter
-        (fun (wiring, wname) ->
+let list_cmd =
+  let doc = "List the registered experiments" in
+  Cmd.v (Cmd.info "list" ~doc)
+    Term.(
+      const (fun () ->
           List.iter
-            (fun t ->
-              let rng = Rng.create ~seed:(3000 + n + t) in
-              let algo = truncated_optimist ~rounds:t in
-              let r = Core.Crossing_check.check algo ~n ~instances ~wiring rng in
-              Printf.printf "%3d %3d %10s %10d %10d %10d %12d %10d\n" n t wname
-                r.Core.Crossing_check.crossable_pairs r.Core.Crossing_check.same_label_pairs
-                r.Core.Crossing_check.indistinguishable r.Core.Crossing_check.violations
-                r.Core.Crossing_check.distinguishable_diff_label)
-            [ 0; 3; 6 ])
-        [ (`Circulant, "circulant"); (`Random, "random") ])
-    ns;
-  Printf.printf "Lemma 3.4 holds iff VIOLATIONS = 0 everywhere.\n"
+            (fun (e : H.Experiment.t) ->
+              Printf.printf "%-16s %4d cells  %s\n" e.id (List.length e.default_grid) e.doc)
+            H.Registry.all)
+      $ const ())
 
-(* ---------- E5: rank certificates ---------- *)
-
-let e5 () =
-  header "E5  Theorem 2.3 / Lemma 4.1: rank(M^n) = B_n, rank(E^n) = r";
-  let rng = Rng.create ~seed:5 in
-  Printf.printf "%8s %4s %10s %8s %6s %12s %10s\n" "matrix" "n" "dim" "rank" "full" "lb bits" "ub bits";
-  List.iter
-    (fun n ->
-      let r = Core.Kt1_bound.partition_rank_row ~n rng ~samples:20 in
-      Printf.printf "%8s %4d %10d %8d %6b %12.2f %10d\n" "M^n" n r.Core.Kt1_bound.dimension
-        r.Core.Kt1_bound.rank r.Core.Kt1_bound.full r.Core.Kt1_bound.lb_bits r.Core.Kt1_bound.ub_bits)
-    [ 1; 2; 3; 4; 5; 6 ];
-  List.iter
-    (fun n ->
-      let r = Core.Kt1_bound.two_partition_rank_row ~n rng ~samples:20 in
-      Printf.printf "%8s %4d %10d %8d %6b %12.2f %10d\n" "E^n" n r.Core.Kt1_bound.dimension
-        r.Core.Kt1_bound.rank r.Core.Kt1_bound.full r.Core.Kt1_bound.lb_bits r.Core.Kt1_bound.ub_bits)
-    [ 2; 4; 6; 8; 10 ];
-  Printf.printf "full=true certifies full rank over Q (mod-p certificate).\n"
-
-(* ---------- E6: communication sandwich ---------- *)
-
-let e6 ns =
-  header "E6  Corollaries 2.4/4.2: D(Partition) sandwiched between log2 B_n and n log n";
-  Printf.printf "%6s %14s %14s %12s %14s\n" "n" "LB bits" "UB bits" "LB/(n lg n)" "UB/(n lg n)";
-  (* Both series are deterministic per n: compute them on the pool, print
-     in input order. *)
-  let rows = Pool.map_batch_list (fun n -> (n, Core.Kt1_bound.partition_series ~n)) ns in
-  List.iter
-    (fun (n, r) ->
-      let scale = float_of_int n *. Bcclb_util.Mathx.log2 (float_of_int (max 2 n)) in
-      Printf.printf "%6d %14.1f %14.1f %12.4f %14.4f\n" n r.Core.Kt1_bound.lb_bits
-        r.Core.Kt1_bound.ub_bits
-        (r.Core.Kt1_bound.lb_bits /. scale)
-        (r.Core.Kt1_bound.ub_bits /. scale))
-    rows;
-  Printf.printf "shape check: both normalised columns converge to constants with LB < UB.\n";
-  Printf.printf "\nTwoPartition variant:\n";
-  Printf.printf "%6s %14s %14s %12s\n" "n" "LB bits" "UB bits" "LB/(n lg n)";
-  let two_rows =
-    Pool.map_batch_list
-      (fun n -> (n, Core.Kt1_bound.two_partition_series ~n))
-      (List.filter (fun n -> n mod 2 = 0) ns)
+let run_cmd =
+  let doc = "Run one experiment (cached, resumable)" in
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID" ~doc:"Experiment id; see $(b,experiments list).")
   in
-  List.iter
-    (fun (n, r) ->
-      let scale = float_of_int n *. Bcclb_util.Mathx.log2 (float_of_int (max 2 n)) in
-      Printf.printf "%6d %14.1f %14.1f %12.4f\n" n r.Core.Kt1_bound.lb_bits r.Core.Kt1_bound.ub_bits
-        (r.Core.Kt1_bound.lb_bits /. scale))
-    two_rows
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const (fun id ns no_cache jobs results_dir ->
+          match H.Registry.find id with
+          | None ->
+            Printf.eprintf "experiments: unknown experiment %S (try `experiments list')\n" id;
+            Stdlib.exit 2
+          | Some exp -> run_experiments ~results_dir ~no_cache ~jobs ~ns [ exp ])
+      $ id_arg $ ns_arg $ no_cache_arg $ jobs_arg $ results_arg)
 
-(* ---------- E7: gadget correctness (Theorem 4.3) ---------- *)
-
-let e7 () =
-  header "E7  Theorem 4.3: components of G(P_A,P_B) = P_A v P_B";
-  let module Sp = Bcclb_partition.Set_partition in
-  let module Tp = Bcclb_partition.Two_partition in
-  let module Rg = Bcclb_comm.Reduction_graph in
-  (* Exhaustive for n <= 5. *)
-  List.iter
-    (fun n ->
-      let total = ref 0 and ok = ref 0 in
-      List.iter
-        (fun pa ->
-          List.iter
-            (fun pb ->
-              incr total;
-              let g = Rg.gadget pa pb in
-              if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok)
-            (Sp.all ~n))
-        (Sp.all ~n);
-      Printf.printf "gadget      n=%d: %d/%d pairs correct (exhaustive)\n" n !ok !total)
-    [ 2; 3; 4; 5 ];
-  (* Randomised for larger n. *)
-  let rng = Rng.create ~seed:7 in
-  List.iter
-    (fun n ->
-      let trials = 200 in
-      let ok = ref 0 in
-      for _ = 1 to trials do
-        let pa = Sp.random_crp rng ~n and pb = Sp.random_crp rng ~n in
-        let g = Rg.gadget pa pb in
-        if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok
-      done;
-      Printf.printf "gadget      n=%d: %d/%d random pairs correct\n" n !ok trials)
-    [ 20; 100; 200 ];
-  (* TwoPartition gadget: 2-regular MultiCycle instances. *)
-  List.iter
-    (fun n ->
-      let trials = 200 in
-      let ok = ref 0 in
-      for _ = 1 to trials do
-        let pa = Tp.random rng ~n and pb = Tp.random rng ~n in
-        let g = Rg.two_gadget pa pb in
-        if
-          Sp.equal (Rg.two_gadget_partition g ~n) (Sp.join pa pb)
-          && Bcclb_graph.Graph.is_regular g ~k:2
-          && Bcclb_bcc.Problems.is_multicycle_input g
-        then incr ok
-      done;
-      Printf.printf "two-gadget  n=%d: %d/%d random pairs correct + 2-regular + MultiCycle\n" n !ok trials)
-    [ 10; 50; 100 ]
-
-(* ---------- E8: the section 4.3 pipeline, measured ---------- *)
-
-let e8 ns =
-  header "E8  Theorem 4.4 pipeline: TwoPartition -> MultiCycle gadget -> KT-1 BCC(1)";
-  Printf.printf "%5s %8s %7s %12s %12s %8s %14s\n" "n" "gadgetN" "rounds" "meas. bits" "pred. bits"
-    "correct" "implied t-LB";
-  List.iter
-    (fun n ->
-      let rng = Rng.create ~seed:(8000 + n) in
-      let r = Core.Kt1_bound.pipeline_row ~n rng ~samples:10 in
-      Printf.printf "%5d %8d %7d %12d %12d %8b %14.3f\n" n r.Core.Kt1_bound.gadget_n
-        r.Core.Kt1_bound.bcc_rounds r.Core.Kt1_bound.measured_bits r.Core.Kt1_bound.predicted_bits
-        r.Core.Kt1_bound.correct r.Core.Kt1_bound.implied_round_lb)
-    ns;
-  Printf.printf
-    "shape check: measured = predicted (2 bits/char accounting); implied t-LB grows as Theta(log n).\n"
-
-(* ---------- E9: information bound ---------- *)
-
-let e9 ns epsilons =
-  header "E9  Theorem 4.5: I(P_A; Pi) >= (1-eps) H(P_A) for PartitionComp";
-  Printf.printf "%3s %8s %12s %12s %12s %7s %8s\n" "n" "eps" "H(P_A)" "I(P_A;Pi)" "(1-e)H" "holds" "errors";
-  List.iter
-    (fun n ->
-      List.iter
-        (fun epsilon ->
-          let r = Core.Info_bound.row ~n ~epsilon in
-          Printf.printf "%3d %8.3f %12.4f %12.4f %12.4f %7b %5d/%d\n" n r.Core.Info_bound.epsilon
-            r.Core.Info_bound.h_pa r.Core.Info_bound.mi r.Core.Info_bound.bound r.Core.Info_bound.holds
-            r.Core.Info_bound.errors r.Core.Info_bound.total)
-        epsilons)
-    ns;
-  Printf.printf "\nSame bound with Pi = transcript of the real section-4.3 BCC pipeline:\n";
-  Printf.printf "%3s %12s %12s %10s\n" "n" "H(P_A)" "I(P_A;Pi)" "correct";
-  List.iter
-    (fun n ->
-      if n <= 5 then begin
-        let r = Core.Info_bound.bcc_row ~n in
-        Printf.printf "%3d %12.4f %12.4f %10b\n" n r.Core.Info_bound.h_pa r.Core.Info_bound.mi
-          r.Core.Info_bound.comp_correct
-      end)
-    ns
-
-(* ---------- E10: upper bounds ---------- *)
-
-let e10 ns =
-  header "E10 Tightness: rounds of the BCC algorithms vs n";
-  Printf.printf "%6s %16s %16s %12s %12s %18s\n" "n" "discovery KT-0" "discovery KT-1" "adj-matrix"
-    "min-label" "boruvka(BCC(2L))";
-  List.iter
-    (fun n ->
-      let d0 = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
-      let d1 = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
-      let am = Bcclb_algorithms.Adjacency_matrix.connectivity () in
-      let ml = Bcclb_algorithms.Min_label.connectivity () in
-      let bv = Bcclb_algorithms.Boruvka.connectivity () in
-      Printf.printf "%6d %16d %16d %12d %12d %18d\n" n
-        (Bcclb_bcc.Algo.rounds d0 ~n) (Bcclb_bcc.Algo.rounds d1 ~n) (Bcclb_bcc.Algo.rounds am ~n)
-        (Bcclb_bcc.Algo.rounds ml ~n) (Bcclb_bcc.Algo.rounds bv ~n))
-    ns;
-  Printf.printf "normalised by log2 n:\n";
-  Printf.printf "%6s %16s %16s %16s\n" "n" "KT-0/log n" "KT-1/log n" "min-label/(n log n)";
-  List.iter
-    (fun n ->
-      let d0 = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
-      let d1 = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
-      let ml = Bcclb_algorithms.Min_label.connectivity () in
-      let lg = Bcclb_util.Mathx.log2 (float_of_int n) in
-      Printf.printf "%6d %16.3f %16.3f %16.4f\n" n
-        (float_of_int (Bcclb_bcc.Algo.rounds d0 ~n) /. lg)
-        (float_of_int (Bcclb_bcc.Algo.rounds d1 ~n) /. lg)
-        (float_of_int (Bcclb_bcc.Algo.rounds ml ~n) /. (float_of_int n *. lg)))
-    ns;
-  (* Execute the algorithms at a couple of sizes to confirm correctness at scale. *)
-  Printf.printf "\nexecution check (YES/NO answers on random instances):\n";
-  let rng = Rng.create ~seed:10 in
-  List.iter
-    (fun n ->
-      if n <= 128 then begin
-        let yes = Bcclb_graph.Gen.random_cycle rng n in
-        let no = Bcclb_graph.Gen.random_two_cycles rng n in
-        let d0 = Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
-        let run algo inst =
-          Bcclb_bcc.Problems.system_decision (Bcclb_bcc.Simulator.run algo inst).Bcclb_bcc.Simulator.outputs
-        in
-        Printf.printf "  n=%4d KT-0 discovery: YES-instance -> %b, NO-instance -> %b\n" n
-          (run d0 (Instance.kt0_circulant yes))
-          (run d0 (Instance.kt0_circulant no))
-      end)
-    ns
-
-
-(* ---------- E3b: randomized Monte Carlo error-vs-rounds trade-off ---------- *)
-
-let e3b ns ks trials =
-  header "E3b Theorem 3.1 (randomized side): hashed discovery, error vs rounds";
-  Printf.printf "%5s %4s %7s %12s %12s %12s\n" "n" "k" "rounds" "err(YES)" "err(NO)" "pred(NO)";
-  List.iter
-    (fun n ->
-      List.iter
-        (fun k ->
-          let algo = Bcclb_algorithms.Hashed_discovery.connectivity ~k in
-          let rng = Rng.create ~seed:(4000 + n + k) in
-          let errs_yes = ref 0 and errs_no = ref 0 in
-          for seed = 1 to trials do
-            let yes = Instance.kt0_circulant (Bcclb_graph.Gen.random_cycle rng n) in
-            let no = Instance.kt0_circulant (Bcclb_graph.Gen.random_two_cycles rng n) in
-            let run inst =
-              Bcclb_bcc.Problems.system_decision
-                (Bcclb_bcc.Simulator.run ~seed algo inst).Bcclb_bcc.Simulator.outputs
-            in
-            if not (run yes) then incr errs_yes;
-            if run no then incr errs_no
-          done;
-          Printf.printf "%5d %4d %7d %12.3f %12.3f %12.3f\n" n k
-            (Bcclb_bcc.Algo.rounds algo ~n)
-            (float_of_int !errs_yes /. float_of_int trials)
-            (float_of_int !errs_no /. float_of_int trials)
-            (Bcclb_algorithms.Hashed_discovery.predicted_error ~n ~k))
-        ks)
-    ns;
-  Printf.printf
-    "shape check: err(YES)=0 (one-sided); err(NO) stays constant until k ~ 2 log2 n,\n\
-     i.e. rounds = Theta(log n) are necessary AND sufficient for constant error.\n"
-
-(* ---------- E11: proof-labeling schemes (section 1.3) ---------- *)
-
-let e11 ns =
-  header "E11 Proof-labeling schemes: verification complexity for Connectivity";
-  let module Pl = Bcclb_plschemes in
-  Printf.printf "%6s %18s %22s %14s\n" "n" "spanning bits" "transcript bits (2r)" "lower bound";
-  List.iter
-    (fun n ->
-      let spanning = Pl.Spanning_tree.scheme in
-      let transcript =
-        Pl.Transcript_scheme.of_algorithm
-          (Bcclb_algorithms.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2)
-      in
-      Printf.printf "%6d %18d %22d %14.2f\n" n
-        (spanning.Pl.Scheme.label_bits ~n)
-        (transcript.Pl.Scheme.label_bits ~n)
-        (Core.Kt0_bound.theorem_3_1_threshold ~n))
-    ns;
-  (* Execute the schemes at a few sizes. *)
-  let rng = Rng.create ~seed:11 in
-  Printf.printf "\nexecution: completeness / soundness probes\n";
-  List.iter
-    (fun n ->
-      if n <= 64 then begin
-        let module Sch = Pl.Scheme in
-        let yes = Instance.kt0_circulant (Bcclb_graph.Gen.random_cycle rng n) in
-        let no = Instance.kt0_circulant (Bcclb_graph.Gen.random_two_cycles rng n) in
-        let spanning = Pl.Spanning_tree.scheme in
-        let complete =
-          match spanning.Sch.prove yes with
-          | Some labels -> Sch.accepts spanning yes ~labels
-          | None -> false
-        in
-        let candidates =
-          List.filter_map
-            (fun _ -> spanning.Sch.prove (Instance.kt0_circulant (Bcclb_graph.Gen.random_cycle rng n)))
-            (Bcclb_util.Arrayx.range 0 3)
-        in
-        let fooled = Sch.soundness_check ~trials:100 rng spanning no ~candidate_labels:candidates in
-        Printf.printf "  n=%3d spanning-tree: complete=%b, fooled=%b\n" n complete (fooled <> None)
-      end)
-    ns
-
-
-(* ---------- E12: the range spectrum RCC(b, r) of [Bec+16] ---------- *)
-
-let e12 ns =
-  header "E12 Range spectrum [Bec+16]: TokenRouting rounds vs range r";
-  Printf.printf "%6s %6s %8s %8s %10s %12s\n" "n" "r" "rounds" "(n-1)/r" "delivered" "maxDistinct";
-  List.iter
-    (fun n ->
-      let inst = Instance.kt1_of_graph (Bcclb_graph.Gen.cycle n) in
-      let rs = List.sort_uniq Int.compare [ 1; 2; 4; 8; (n - 1) / 2; n - 1 ] in
-      List.iter
-        (fun r ->
-          if r >= 1 then begin
-            let algo = Bcclb_rcc.Token_routing.algo ~r () in
-            let result = Bcclb_rcc.Rcc_simulator.run algo inst in
-            Printf.printf "%6d %6d %8d %8.2f %10b %12d\n" n r result.Bcclb_rcc.Rcc_simulator.rounds_used
-              (float_of_int (n - 1) /. float_of_int r)
-              (Array.for_all Fun.id result.Bcclb_rcc.Rcc_simulator.outputs)
-              result.Bcclb_rcc.Rcc_simulator.max_distinct
-          end)
-        rs)
-    ns;
-  Printf.printf
-    "shape check: rounds = ceil((n-1)/r), interpolating smoothly from the BCC end (r=1,\n\
-     n-1 rounds) to the CC end (r=n-1, 1 round) -- the spectrum the paper cites in 1.3.\n"
-
-(* ---------- E13: bandwidth translation + MST ---------- *)
-
-let e13 ns =
-  header "E13 Bandwidth translation (1.1) and MST: BCC(2L) algorithms in BCC(1)";
-  Printf.printf "%6s %14s %16s %10s %14s\n" "n" "boruvka(2L)" "split->BCC(1)" "factor" "mst rounds";
-  List.iter
-    (fun n ->
-      let bv = Bcclb_algorithms.Boruvka.connectivity () in
-      let split = Bcclb_bcc.Split.compile bv in
-      let mst = Bcclb_algorithms.Mst_boruvka.forest () in
-      let r1 = Bcclb_bcc.Algo.rounds bv ~n and r2 = Bcclb_bcc.Algo.rounds split ~n in
-      Printf.printf "%6d %14d %16d %10.1f %14d\n" n r1 r2
-        (float_of_int r2 /. float_of_int r1)
-        (Bcclb_bcc.Algo.rounds mst ~n))
-    ns;
-  (* Execute both at a modest size to confirm output equality. *)
-  let rng = Rng.create ~seed:13 in
-  let g = Bcclb_graph.Gen.gnp rng 14 0.2 in
-  let inst = Instance.kt1_of_graph g in
-  let bv = Bcclb_algorithms.Boruvka.connectivity () in
-  let direct = Bcclb_bcc.Simulator.run bv inst in
-  let split = Bcclb_bcc.Simulator.run (Bcclb_bcc.Split.compile bv) inst in
-  Printf.printf "\nexecution: split outputs = direct outputs: %b\n"
-    (direct.Bcclb_bcc.Simulator.outputs = split.Bcclb_bcc.Simulator.outputs);
-  let kt0 = Bcclb_algorithms.Kt0_compiler.compile bv in
-  let g0 = Bcclb_graph.Gen.random_multicycle rng 12 in
-  let r0 = Bcclb_bcc.Simulator.run kt0 (Bcclb_bcc.Instance.kt0_random rng g0) in
-  Printf.printf "execution: boruvka compiled to KT-0 correct: %b (additive %d learning rounds)\n"
-    (Bcclb_bcc.Problems.system_decision r0.Bcclb_bcc.Simulator.outputs
-    = Bcclb_graph.Graph.is_connected g0)
-    (Bcclb_algorithms.Kt0_compiler.learning_rounds ~n:12 ~bandwidth:(Bcclb_bcc.Algo.bandwidth bv ~n:12));
-  let mst = Bcclb_bcc.Simulator.run (Bcclb_algorithms.Mst_boruvka.forest ()) inst in
-  let weight_ids = Bcclb_graph.Mst.weight_of_ids ~max_id:14 in
-  let weight u v = weight_ids (u + 1) (v + 1) in
-  let kruskal = List.sort compare (Bcclb_graph.Mst.kruskal g ~weight) in
-  let got = List.sort compare (List.map (fun (a, b) -> (a - 1, b - 1)) mst.Bcclb_bcc.Simulator.outputs.(0)) in
-  Printf.printf "execution: distributed MST forest = Kruskal forest: %b\n" (got = kruskal)
-
-
-(* ---------- E14: polylog-round Connectivity for general graphs ---------- *)
-
-let e14 ns trials =
-  header "E14 General graphs in BCC(1): AGM sketches O(log^3 n) vs adjacency Theta(n)";
-  Printf.printf "%8s %14s %14s %16s %16s\n" "n" "agm rounds" "adj rounds" "boruvka-split" "agm/(log2 n)^3";
-  List.iter
-    (fun n ->
-      let agm = Bcclb_algorithms.Agm_connectivity.connectivity () in
-      let adj = Bcclb_algorithms.Adjacency_matrix.connectivity () in
-      let split = Bcclb_bcc.Split.compile (Bcclb_algorithms.Boruvka.connectivity ()) in
-      let lg = Bcclb_util.Mathx.log2 (float_of_int n) in
-      Printf.printf "%8d %14d %14d %16d %16.2f\n" n
-        (Bcclb_bcc.Algo.rounds agm ~n)
-        (Bcclb_bcc.Algo.rounds adj ~n)
-        (Bcclb_bcc.Algo.rounds split ~n)
-        (float_of_int (Bcclb_bcc.Algo.rounds agm ~n) /. (lg ** 3.0)))
-    ns;
-  (* Monte Carlo accuracy at an executable size. *)
-  let rng = Rng.create ~seed:14 in
-  let agm = Bcclb_algorithms.Agm_connectivity.connectivity () in
-  let correct = ref 0 in
-  for seed = 1 to trials do
-    let n = 16 in
-    let g =
-      if seed mod 2 = 0 then Bcclb_graph.Gen.random_connected rng n else Bcclb_graph.Gen.gnp rng n 0.12
-    in
-    let inst = Instance.kt1_of_graph g in
-    let r = Bcclb_bcc.Simulator.run ~seed agm inst in
-    if Bcclb_bcc.Problems.system_decision r.Bcclb_bcc.Simulator.outputs = Bcclb_graph.Graph.is_connected g
-    then incr correct
-  done;
-  Printf.printf "\naccuracy at n=16 over %d mixed instances: %d/%d\n" trials !correct trials;
-  Printf.printf
-    "shape check: agm/(log n)^3 bounded while adjacency grows linearly; crossover where\n\
-     c*log^3 n < n-1. The Omega(log n) lower bound leaves a log^2 n gap here, as in the paper.\n"
-
-(* ---------- command plumbing ---------- *)
-
-let ns_arg ~default ~doc =
-  Arg.(value & opt (list int) default & info [ "n" ] ~docv:"N,N,..." ~doc)
-
-let default_all () =
-  e1 [ 6; 7; 8; 9; 10; 12; 16; 24; 32; 48; 64 ];
-  e2 [ 6; 7 ] [ 0; 1; 2; 3 ];
-  e3 [ 6; 7; 8 ];
-  e3b [ 16; 32 ] [ 1; 2; 3; 4; 6; 8; 10; 12 ] 200;
-  e4 [ 8; 10 ] 2;
-  e5 ();
-  e6 [ 2; 4; 8; 16; 32; 64; 128; 256 ];
-  e7 ();
-  e8 [ 4; 6; 8; 10; 12; 16; 20 ];
-  e9 [ 4; 5; 6 ] [ 0.0; 0.1; 0.25; 0.5 ];
-  e10 [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ];
-  e11 [ 8; 16; 32; 64; 128; 256; 512; 1024 ];
-  e12 [ 9; 17; 33 ];
-  e13 [ 8; 16; 32; 64; 128; 256; 512; 1024 ];
-  e14 [ 16; 64; 256; 1024; 4096; 16384; 65536; 262144 ] 30
-
-let cmd_of ~name ~doc term = Cmd.v (Cmd.info name ~doc) term
-
-let e1_cmd =
-  cmd_of ~name:"census" ~doc:"E1: Lemma 3.9 census ratio"
-    Term.(const e1 $ ns_arg ~default:[ 6; 7; 8; 9; 10; 16; 32; 64 ] ~doc:"sizes")
-
-let e2_cmd =
-  let ts = Arg.(value & opt (list int) [ 0; 1; 2; 3 ] & info [ "t" ] ~doc:"round counts") in
-  cmd_of ~name:"indist-graph" ~doc:"E2: indistinguishability graph structure"
-    Term.(const e2 $ ns_arg ~default:[ 6; 7 ] ~doc:"sizes" $ ts)
-
-let e3_cmd =
-  cmd_of ~name:"kt0-error" ~doc:"E3: error of t-round KT-0 algorithms under mu"
-    Term.(const e3 $ ns_arg ~default:[ 6; 7; 8 ] ~doc:"sizes")
-
-let e3b_cmd =
-  let ks = Arg.(value & opt (list int) [ 1; 2; 3; 4; 6; 8; 10; 12 ] & info [ "k" ] ~doc:"hash widths") in
-  let trials = Arg.(value & opt int 200 & info [ "trials" ] ~doc:"trials per cell") in
-  cmd_of ~name:"kt0-error-rand" ~doc:"E3b: randomized hashed-discovery error trade-off"
-    Term.(const e3b $ ns_arg ~default:[ 16; 32 ] ~doc:"sizes" $ ks $ trials)
-
-let e4_cmd =
-  let inst = Arg.(value & opt int 2 & info [ "instances" ] ~doc:"instances per configuration") in
-  cmd_of ~name:"crossing" ~doc:"E4: Lemma 3.4 checked by execution"
-    Term.(const e4 $ ns_arg ~default:[ 8; 10; 12 ] ~doc:"sizes" $ inst)
-
-let e5_cmd = cmd_of ~name:"rank" ~doc:"E5: rank certificates for M^n and E^n" Term.(const e5 $ const ())
-
-let e6_cmd =
-  cmd_of ~name:"partition-cc" ~doc:"E6: communication sandwich"
-    Term.(const e6 $ ns_arg ~default:[ 2; 4; 8; 16; 32; 64; 128; 256; 512 ] ~doc:"sizes")
-
-let e7_cmd = cmd_of ~name:"gadget" ~doc:"E7: Theorem 4.3 gadget correctness" Term.(const e7 $ const ())
-
-let e8_cmd =
-  cmd_of ~name:"bcc-to-2party" ~doc:"E8: the section 4.3 pipeline, measured"
-    Term.(const e8 $ ns_arg ~default:[ 4; 6; 8; 10; 12; 16; 20; 24 ] ~doc:"ground set sizes (even)")
-
-let e9_cmd =
-  let eps =
-    Arg.(value & opt (list float) [ 0.0; 0.1; 0.25; 0.5 ] & info [ "eps" ] ~doc:"error rates")
-  in
-  cmd_of ~name:"mutual-info" ~doc:"E9: Theorem 4.5 information bound"
-    Term.(const e9 $ ns_arg ~default:[ 4; 5; 6 ] ~doc:"sizes" $ eps)
-
-let e10_cmd =
-  cmd_of ~name:"upper-bounds" ~doc:"E10: rounds of the implemented algorithms"
-    Term.(const e10 $ ns_arg ~default:[ 8; 16; 32; 64; 128; 256; 512; 1024 ] ~doc:"sizes")
-
-let e11_cmd =
-  cmd_of ~name:"pls" ~doc:"E11: proof-labeling schemes for Connectivity"
-    Term.(const e11 $ ns_arg ~default:[ 8; 16; 32; 64; 128; 256 ] ~doc:"sizes")
-
-let e12_cmd =
-  cmd_of ~name:"range-spectrum" ~doc:"E12: RCC(b,r) TokenRouting spectrum"
-    Term.(const e12 $ ns_arg ~default:[ 9; 17; 33 ] ~doc:"sizes")
-
-let e13_cmd =
-  cmd_of ~name:"bandwidth" ~doc:"E13: bandwidth translation + MST"
-    Term.(const e13 $ ns_arg ~default:[ 8; 16; 32; 64; 128; 256 ] ~doc:"sizes")
-
-let e14_cmd =
-  let trials = Arg.(value & opt int 30 & info [ "trials" ] ~doc:"accuracy trials") in
-  cmd_of ~name:"general-graphs" ~doc:"E14: polylog Connectivity for general graphs (AGM sketches)"
-    Term.(const e14 $ ns_arg ~default:[ 16; 64; 256; 1024; 4096; 65536 ] ~doc:"sizes" $ trials)
-
-let all_cmd = cmd_of ~name:"all" ~doc:"Run every experiment at default scale" Term.(const default_all $ const ())
+let all_cmd =
+  let doc = "Run every experiment at default scale" in
+  Cmd.v (Cmd.info "all" ~doc)
+    Term.(
+      const (fun no_cache jobs results_dir ->
+          run_experiments ~results_dir ~no_cache ~jobs ~ns:None H.Registry.all)
+      $ no_cache_arg $ jobs_arg $ results_arg)
 
 let () =
-  let info = Cmd.info "experiments" ~doc:"Reproduction experiments for the BCC connectivity lower bounds" in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ all_cmd; e1_cmd; e2_cmd; e3_cmd; e3b_cmd; e4_cmd; e5_cmd; e6_cmd; e7_cmd; e8_cmd; e9_cmd;
-            e10_cmd; e11_cmd; e12_cmd; e13_cmd; e14_cmd ]))
+  let info =
+    Cmd.info "experiments"
+      ~doc:"Reproduction experiments for the BCC connectivity lower bounds"
+  in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))

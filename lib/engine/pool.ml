@@ -54,6 +54,60 @@ let map_batch ?num_domains f items =
       results
   end
 
+(* Timed variant for harness-style sweeps: same determinism contract as
+   [map_batch], with per-task wall-clock seconds measured on the worker
+   that ran the task. [on_done] fires from worker domains under a mutex,
+   in completion order (which varies with the domain count) — callers
+   must not rely on its ordering for observable results. *)
+let map_batch_timed ?num_domains ?on_done f items =
+  let n = Array.length items in
+  let d =
+    min n (match num_domains with Some d -> max 1 d | None -> default_num_domains ())
+  in
+  let done_mutex = Mutex.create () in
+  let notify index seconds =
+    match on_done with
+    | None -> ()
+    | Some g ->
+      Mutex.lock done_mutex;
+      Fun.protect ~finally:(fun () -> Mutex.unlock done_mutex) (fun () ->
+          g ~index ~seconds)
+  in
+  let timed i x =
+    let t0 = Unix.gettimeofday () in
+    let r = try Ok (f x) with e -> Error e in
+    let dt = Unix.gettimeofday () -. t0 in
+    notify i dt;
+    (r, dt)
+  in
+  let results =
+    if d <= 1 || Domain.DLS.get inside_pool then Array.mapi timed items
+    else begin
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let worker () =
+        Domain.DLS.set inside_pool true;
+        let rec loop () =
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            results.(i) <- Some (timed i items.(i));
+            loop ()
+          end
+        in
+        loop ()
+      in
+      let domains = Array.init (d - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      Domain.DLS.set inside_pool false;
+      Array.map (function Some r -> r | None -> assert false) results
+    end
+  in
+  (* Index-order extraction re-raises the lowest-index failure, as in
+     [map_batch] — but only after every task has run, so independent
+     tasks complete (and checkpoint) even when an earlier one fails. *)
+  Array.map (function Ok v, dt -> (v, dt) | Error e, _ -> raise e) results
+
 let tabulate ?num_domains n f =
   map_batch ?num_domains f (Array.init n (fun i -> i))
 

@@ -19,6 +19,22 @@ val map_batch : ?num_domains:int -> ('a -> 'b) -> 'a array -> 'b array
     Nested calls from inside a pool task run sequentially — no domains
     are spawned from worker domains. *)
 
+val map_batch_timed :
+  ?num_domains:int ->
+  ?on_done:(index:int -> seconds:float -> unit) ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b * float) array
+(** [map_batch] plus per-task wall-clock seconds, measured on the worker
+    that ran each task — the hook the experiment harness uses for
+    per-cell timing. [on_done] is called once per task from the worker
+    domain (serialised by a mutex), in completion order; completion order
+    varies with the domain count, results do not. Unlike exceptions in
+    [map_batch], a failing task does not prevent the remaining tasks from
+    running: the lowest-index failure is re-raised only after the whole
+    batch has drained, so independent tasks still complete (and can be
+    checkpointed) when an earlier one dies. *)
+
 val tabulate : ?num_domains:int -> int -> (int -> 'b) -> 'b array
 (** [tabulate n f] = [map_batch f [|0; ...; n-1|]]. *)
 

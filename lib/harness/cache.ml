@@ -1,0 +1,54 @@
+type t = { root : string }
+
+let default_root = Filename.concat "results" "cache"
+
+let create ~root =
+  Fsutil.mkdir_p root;
+  { root }
+
+let root t = t.root
+
+type key = { exp_id : string; spec : string; hash : string }
+
+let key ~exp_id ~version ~params =
+  let spec = Printf.sprintf "%s|v%d|%s" exp_id version (Params.canonical params) in
+  { exp_id; spec; hash = Digest.to_hex (Digest.string spec) }
+
+let key_hash k = k.hash
+
+let path t k = Filename.concat (Filename.concat t.root k.exp_id) (k.hash ^ ".entry")
+
+(* Entry layout: a magic line, a hex checksum line, then the marshalled
+   (canonical key, rows) payload the checksum covers. The checksum is
+   verified before unmarshalling, so a torn write can never feed garbage
+   to [Marshal]. *)
+let magic = "BCCLB-CACHE-1"
+
+let store t k (rows : Experiment.row list) =
+  let payload = Marshal.to_string (k.spec, rows) [] in
+  let sum = Digest.to_hex (Digest.string payload) in
+  Fsutil.write_file_atomic (path t k) (magic ^ "\n" ^ sum ^ "\n" ^ payload)
+
+let remove t k = try Sys.remove (path t k) with Sys_error _ -> ()
+
+let decode k content =
+  let nl1 = String.index content '\n' in
+  let nl2 = String.index_from content (nl1 + 1) '\n' in
+  if String.sub content 0 nl1 <> magic then None
+  else
+    let sum = String.sub content (nl1 + 1) (nl2 - nl1 - 1) in
+    let payload = String.sub content (nl2 + 1) (String.length content - nl2 - 1) in
+    if Digest.to_hex (Digest.string payload) <> sum then None
+    else
+      let spec, (rows : Experiment.row list) = Marshal.from_string payload 0 in
+      if String.equal spec k.spec then Some rows else None
+
+let find t k =
+  let p = path t k in
+  if not (Sys.file_exists p) then None
+  else
+    match decode k (Fsutil.read_file p) with
+    | Some rows -> Some rows
+    | None | (exception _) ->
+      remove t k;
+      None

@@ -1,0 +1,41 @@
+(** Content-addressed on-disk result cache.
+
+    One file per experiment cell under [root/<exp-id>/<hash>.entry],
+    where the hash digests the cell's identity: experiment id, cache
+    epoch ({!Experiment.t.version}) and the canonical parameter encoding
+    (which subsumes the cell's seeds — cells derive their seeds from
+    their parameters). The key deliberately excludes everything about
+    {e how} the sweep ran — domain count, scheduling, wall-clock — so a
+    parallel run and a sequential run address the same entries.
+
+    Entries are checksummed; {!find} treats a truncated, corrupted or
+    mismatched entry exactly like a miss (and deletes it), so the worst
+    failure mode of a killed run is recomputation of one cell. Writes go
+    through a temp-file rename and are safe against concurrent writers. *)
+
+type t
+
+val default_root : string
+(** ["results/cache"]. *)
+
+val create : root:string -> t
+(** Creates [root] (and parents) if missing. *)
+
+val root : t -> string
+
+type key
+
+val key : exp_id:string -> version:int -> params:Params.t -> key
+
+val key_hash : key -> string
+(** Hex digest — the entry's file stem. *)
+
+val find : t -> key -> Experiment.row list option
+(** [None] on miss, bad magic, checksum mismatch, undecodable payload or
+    a hash collision (the stored canonical key must match verbatim);
+    every non-miss failure also removes the entry. *)
+
+val store : t -> key -> Experiment.row list -> unit
+
+val remove : t -> key -> unit
+(** Best-effort deletion (used by tests and [--no-cache] hygiene). *)

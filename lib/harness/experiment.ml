@@ -1,0 +1,66 @@
+type fmt = Int_fmt | Float_fmt of int | Bool_fmt | Str_fmt
+
+type column = { key : string; header : string; width : int; fmt : fmt }
+
+type table = { name : string; columns : column list }
+
+type row = { table : string; fields : (string * Params.value) list }
+
+type t = {
+  id : string;
+  title : string;
+  doc : string;
+  version : int;
+  tables : table list;
+  notes : string list;
+  default_grid : Params.t list;
+  grid_of_ns : (int list -> Params.t list) option;
+  cell : Params.t -> row list;
+}
+
+let col fmt ?(width = 10) ?header key =
+  { key; header = Option.value header ~default:key; width; fmt }
+
+let icol ?(width = 8) ?header key = col Int_fmt ~width ?header key
+let fcol ?(width = 10) ?(prec = 4) ?header key = col (Float_fmt prec) ~width ?header key
+let bcol ?(width = 6) ?header key = col Bool_fmt ~width ?header key
+let scol ?(width = 10) ?header key = col Str_fmt ~width ?header key
+
+let row ?(table = "") fields = { table; fields }
+
+let cell_text col fields =
+  match List.assoc_opt col.key fields with
+  | None -> "-"
+  | Some v -> (
+    match (col.fmt, v) with
+    | Int_fmt, Params.Int i -> string_of_int i
+    | Float_fmt p, Params.Float f -> Printf.sprintf "%.*f" p f
+    | Float_fmt p, Params.Int i -> Printf.sprintf "%.*f" p (float_of_int i)
+    | Bool_fmt, Params.Bool b -> string_of_bool b
+    | Str_fmt, Params.Str s -> s
+    | _, v -> Params.value_to_display v)
+
+let render buf t rows =
+  Buffer.add_string buf (Printf.sprintf "\n=== %s ===\n" t.title);
+  List.iter
+    (fun table ->
+      let trows = List.filter (fun r -> String.equal r.table table.name) rows in
+      if trows <> [] then begin
+        if table.name <> "" then Buffer.add_string buf (Printf.sprintf "\n%s:\n" table.name);
+        List.iteri
+          (fun i c ->
+            Buffer.add_string buf (Printf.sprintf "%s%*s" (if i > 0 then " " else "") c.width c.header))
+          table.columns;
+        Buffer.add_char buf '\n';
+        List.iter
+          (fun r ->
+            List.iteri
+              (fun i c ->
+                Buffer.add_string buf
+                  (Printf.sprintf "%s%*s" (if i > 0 then " " else "") c.width (cell_text c r.fields)))
+              table.columns;
+            Buffer.add_char buf '\n')
+          trows
+      end)
+    t.tables;
+  List.iter (fun note -> Buffer.add_string buf (note ^ "\n")) t.notes

@@ -1,0 +1,57 @@
+(** Experiments as declarations.
+
+    An experiment is data: an id, a cache epoch ({!field-version}), table
+    shapes (columns with widths and formats), a default parameter grid,
+    and one pure cell function. Everything else — parallel dispatch,
+    caching, resumption, rendering, JSONL emission — is generic code in
+    {!Runner}, {!Cache} and {!Sink}.
+
+    The cell function must be pure up to per-cell state: seed any RNG
+    from the cell's parameters, never from shared or ambient state, so
+    that a cell's rows are a function of (id, version, params) — the
+    cache-key contract — and byte-identical for every domain count. *)
+
+type fmt =
+  | Int_fmt
+  | Float_fmt of int  (** decimal places *)
+  | Bool_fmt
+  | Str_fmt
+
+type column = { key : string; header : string; width : int; fmt : fmt }
+
+type table = { name : string; columns : column list }
+(** [name = ""] is the experiment's main (untitled) table; named tables
+    are rendered with their name as a sub-heading, in declaration
+    order. *)
+
+type row = { table : string; fields : (string * Params.value) list }
+
+type t = {
+  id : string;  (** CLI name, cache directory, JSONL file stem. *)
+  title : string;  (** Rendered table heading ("E1  Lemma 3.9: ..."). *)
+  doc : string;  (** One-liner for [experiments list]. *)
+  version : int;
+      (** Cache epoch: bump when the cell semantics change so stale
+          entries stop matching. *)
+  tables : table list;
+  notes : string list;  (** Shape-check prose printed after the tables. *)
+  default_grid : Params.t list;
+  grid_of_ns : (int list -> Params.t list) option;
+      (** Rebuild the grid from a [--n] size-list override; [None] when
+          sizes are not the experiment's axis. *)
+  cell : Params.t -> row list;
+}
+
+(* Declaration helpers. *)
+
+val icol : ?width:int -> ?header:string -> string -> column
+val fcol : ?width:int -> ?prec:int -> ?header:string -> string -> column
+val bcol : ?width:int -> ?header:string -> string -> column
+val scol : ?width:int -> ?header:string -> string -> column
+
+val row : ?table:string -> (string * Params.value) list -> row
+
+val render : Buffer.t -> t -> row list -> unit
+(** Human tables: title, then each declared table that has rows (column
+    headers + rows in the given order), then the notes. Deterministic —
+    depends only on the row values. *)

@@ -1,0 +1,18 @@
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* The temp name embeds pid and domain id: concurrent writers of the
+   same target never share a temp file, and rename is atomic. *)
+let write_file_atomic path content =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Domain.self () :> int)
+  in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp path

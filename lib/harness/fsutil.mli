@@ -1,0 +1,14 @@
+(** Small filesystem helpers shared by {!Cache} and {!Sink}. *)
+
+val mkdir_p : string -> unit
+(** Create a directory and its missing parents; existing directories are
+    fine. Raises on a genuine failure (permission, a file in the way). *)
+
+val read_file : string -> string
+(** Whole file, binary. *)
+
+val write_file_atomic : string -> string -> unit
+(** Write [content] to a unique sibling temp file and [rename] it into
+    place, so readers never observe a partially written file — even when
+    several domains (or processes) race to write the same path, the last
+    rename wins and every intermediate state is a complete file. *)

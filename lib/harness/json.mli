@@ -1,0 +1,21 @@
+(** Minimal write-only JSON: the harness only ever {e emits} JSON (JSONL
+    rows, the run manifest, bench reports) — the cache uses checksummed
+    [Marshal] payloads — so there is no parser, just a deterministic
+    printer (stable key order is the caller's, floats round-trip). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces (used for
+    the run manifest so it is grep-able line by line). Non-finite floats
+    print as [null]. *)
+
+val write_file : ?pretty:bool -> string -> t -> unit
+(** Atomic write of [to_string] plus a trailing newline. *)

@@ -1,0 +1,10 @@
+(** The experiment registry: E1–E14 (plus E3b) of EXPERIMENTS.md as
+    {!Experiment.t} values — grids, table shapes and pure cell functions
+    — in the order [experiments all] runs them. The CLI, the runner, the
+    cache and the sinks all work off these declarations; adding an
+    experiment means adding a value here. *)
+
+val all : Experiment.t list
+
+val find : string -> Experiment.t option
+(** Look up by {!Experiment.t.id} (the CLI name). *)

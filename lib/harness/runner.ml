@@ -1,0 +1,45 @@
+module Pool = Bcclb_engine.Pool
+
+let run ?cache ?num_domains ?grid ~sink (exp : Experiment.t) =
+  let grid = match grid with Some g -> g | None -> exp.Experiment.default_grid in
+  let cells = Array.of_list grid in
+  (* One task per cell: probe, compute on miss, checkpoint immediately.
+     The [hit] flag rides along with the rows. *)
+  let task params =
+    match cache with
+    | None -> (exp.Experiment.cell params, false)
+    | Some c -> (
+      let key = Cache.key ~exp_id:exp.Experiment.id ~version:exp.Experiment.version ~params in
+      match Cache.find c key with
+      | Some rows -> (rows, true)
+      | None ->
+        let rows = exp.Experiment.cell params in
+        Cache.store c key rows;
+        (rows, false))
+  in
+  let results = Pool.map_batch_timed ?num_domains task cells in
+  let all_rows = List.concat_map (fun ((rows, _), _) -> rows) (Array.to_list results) in
+  let buf = Buffer.create 4096 in
+  Experiment.render buf exp all_rows;
+  sink.Sink.text (Buffer.contents buf);
+  Array.iteri
+    (fun i ((rows, _), _) ->
+      List.iter (fun r -> sink.Sink.row ~exp_id:exp.Experiment.id ~params:cells.(i) r) rows)
+    results;
+  let cell_reports =
+    Array.to_list
+      (Array.mapi
+         (fun i ((_, hit), seconds) -> { Sink.params = cells.(i); hit; seconds })
+         results)
+  in
+  let hits = List.length (List.filter (fun (c : Sink.cell_report) -> c.hit) cell_reports) in
+  {
+    Sink.id = exp.Experiment.id;
+    version = exp.Experiment.version;
+    cells = Array.length cells;
+    hits;
+    misses = Array.length cells - hits;
+    seconds =
+      List.fold_left (fun acc (c : Sink.cell_report) -> acc +. c.seconds) 0.0 cell_reports;
+    cell_reports;
+  }

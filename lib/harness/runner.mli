@@ -1,0 +1,26 @@
+(** The sweep engine: grid → cells → pool → checkpointed results.
+
+    [run] splits an experiment's grid into independent cells, probes the
+    cache for each, dispatches the misses through
+    {!Bcclb_engine.Pool.map_batch_timed}, and stores every computed cell
+    the moment it finishes — from the worker domain that ran it — so a
+    killed sweep has checkpointed all completed cells and a rerun
+    resumes from where it died, recomputing only what is missing. Rows
+    are assembled in grid order whatever the scheduling, so the rendered
+    report is byte-identical across domain counts, cache states, and
+    interrupted-then-resumed runs. *)
+
+val run :
+  ?cache:Cache.t ->
+  ?num_domains:int ->
+  ?grid:Params.t list ->
+  sink:Sink.t ->
+  Experiment.t ->
+  Sink.report
+(** Omitting [cache] disables lookups {e and} stores (the [--no-cache]
+    path: every cell recomputes, nothing is written). [num_domains]
+    defaults to the [BCCLB_NUM_DOMAINS] convention of {!Bcclb_engine.Pool};
+    [grid] defaults to the experiment's [default_grid]. The rendered
+    tables go to [sink.text], each row to [sink.row]. A raising cell
+    propagates its exception — after the rest of the batch has drained
+    and checkpointed. *)

@@ -1,0 +1,114 @@
+type t = {
+  text : string -> unit;
+  row : exp_id:string -> params:Params.t -> Experiment.row -> unit;
+  close : unit -> unit;
+}
+
+let null = { text = ignore; row = (fun ~exp_id:_ ~params:_ _ -> ()); close = ignore }
+
+let tee sinks =
+  {
+    text = (fun s -> List.iter (fun k -> k.text s) sinks);
+    row = (fun ~exp_id ~params r -> List.iter (fun k -> k.row ~exp_id ~params r) sinks);
+    close = (fun () -> List.iter (fun k -> k.close ()) sinks);
+  }
+
+let console () =
+  {
+    null with
+    text =
+      (fun s ->
+        print_string s;
+        flush stdout);
+  }
+
+let to_buffer buf = { null with text = Buffer.add_string buf }
+
+let row_json ~exp_id ~params (r : Experiment.row) =
+  Json.Obj
+    [ ("experiment", Json.Str exp_id);
+      ("table", Json.Str r.Experiment.table);
+      ("params", Json.Obj (Params.to_json_fields params));
+      ("fields", Json.Obj (Params.to_json_fields (Params.v r.Experiment.fields))) ]
+
+let jsonl ~dir =
+  let channels : (string, out_channel) Hashtbl.t = Hashtbl.create 8 in
+  let channel exp_id =
+    match Hashtbl.find_opt channels exp_id with
+    | Some oc -> oc
+    | None ->
+      Fsutil.mkdir_p dir;
+      let oc = open_out_bin (Filename.concat dir (exp_id ^ ".jsonl")) in
+      Hashtbl.add channels exp_id oc;
+      oc
+  in
+  {
+    null with
+    row =
+      (fun ~exp_id ~params r ->
+        let oc = channel exp_id in
+        output_string oc (Json.to_string (row_json ~exp_id ~params r));
+        output_char oc '\n');
+    close = (fun () -> Hashtbl.iter (fun _ oc -> close_out oc) channels);
+  }
+
+(* ---- run manifest ---- *)
+
+type cell_report = { params : Params.t; hit : bool; seconds : float }
+
+type report = {
+  id : string;
+  version : int;
+  cells : int;
+  hits : int;
+  misses : int;
+  seconds : float;
+  cell_reports : cell_report list;
+}
+
+let report_json r =
+  Json.Obj
+    [ ("id", Json.Str r.id);
+      ("version", Json.Int r.version);
+      ("cells", Json.Int r.cells);
+      ("hits", Json.Int r.hits);
+      ("misses", Json.Int r.misses);
+      ("seconds", Json.Float r.seconds);
+      ( "cells_detail",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [ ("params", Json.Str (Params.canonical c.params));
+                   ("hit", Json.Bool c.hit);
+                   ("seconds", Json.Float c.seconds) ])
+             r.cell_reports) ) ]
+
+let write_manifest ~path ~cache_root ~num_domains reports =
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 reports in
+  let sumf f = List.fold_left (fun acc r -> acc +. f r) 0.0 reports in
+  Json.write_file ~pretty:true path
+    (Json.Obj
+       [ ("schema", Json.Str "bcclb-run-manifest-v1");
+         ( "cache_root",
+           match cache_root with Some r -> Json.Str r | None -> Json.Null );
+         ("num_domains", Json.Int num_domains);
+         ("experiments_total", Json.Int (List.length reports));
+         ("cells_total", Json.Int (sum (fun r -> r.cells)));
+         ("hits_total", Json.Int (sum (fun r -> r.hits)));
+         ("misses_total", Json.Int (sum (fun r -> r.misses)));
+         ("seconds_total", Json.Float (sumf (fun r -> r.seconds)));
+         ("experiments", Json.List (List.map report_json reports)) ])
+
+(* ---- bench report ---- *)
+
+let write_bench ~path rows =
+  Json.write_file ~pretty:true path
+    (Json.Obj
+       [ ("schema", Json.Str "bcclb-bench-v1");
+         ( "benchmarks",
+           Json.List
+             (List.map
+                (fun (name, ns) ->
+                  Json.Obj [ ("name", Json.Str name); ("time_ns_per_run", Json.Float ns) ])
+                rows) ) ])

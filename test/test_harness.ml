@@ -1,0 +1,251 @@
+(* The experiment harness: cache round-trips, corruption recovery, cache
+   keys that ignore the domain count, the --no-cache bypass, and the
+   resume-after-kill contract of the runner.
+
+   Everything runs against a toy experiment in a private temp directory —
+   the tests never touch the repository's results/ tree. *)
+
+module Cache = Bcclb_harness.Cache
+module Experiment = Bcclb_harness.Experiment
+module Fsutil = Bcclb_harness.Fsutil
+module Params = Bcclb_harness.Params
+module Runner = Bcclb_harness.Runner
+module Sink = Bcclb_harness.Sink
+
+(* ---- scratch directories ---- *)
+
+let temp_counter = ref 0
+
+let fresh_dir () =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bcclb_harness_test.%d.%d" (Unix.getpid ()) !temp_counter)
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  dir
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* Relative paths of all regular files under [dir], sorted — how we
+   compare the entry sets two runs produced. *)
+let ls_files dir =
+  let rec go rel acc =
+    let abs = if rel = "" then dir else Filename.concat dir rel in
+    if Sys.is_directory abs then
+      Array.fold_left
+        (fun acc e -> go (if rel = "" then e else Filename.concat rel e) acc)
+        acc (Sys.readdir abs)
+    else rel :: acc
+  in
+  List.sort String.compare (if Sys.file_exists dir then go "" [] else [])
+
+(* ---- the toy experiment ---- *)
+
+let toy_grid = List.map (fun n -> Params.v [ ("n", Params.Int n) ]) [ 1; 2; 3; 4; 5; 6 ]
+
+(* [computed] counts real cell evaluations (cache hits do not count);
+   atomic because cells run from worker domains. [fail_on] injects a
+   failure for chosen cells — the kill-mid-sweep stand-in. *)
+let toy ?(fail_on = fun _ -> false) ~computed () =
+  {
+    Experiment.id = "toy";
+    title = "Toy: squares";
+    doc = "test fixture";
+    version = 1;
+    tables =
+      [ { Experiment.name = ""; columns = [ Experiment.icol "n"; Experiment.icol "sq" ] } ];
+    notes = [];
+    default_grid = toy_grid;
+    grid_of_ns = None;
+    cell =
+      (fun p ->
+        let n = Params.int p "n" in
+        if fail_on n then failwith "injected failure";
+        Atomic.incr computed;
+        [ Experiment.row [ ("n", Params.Int n); ("sq", Params.Int (n * n)) ] ]);
+  }
+
+let render_run ?cache ?num_domains exp =
+  let buf = Buffer.create 256 in
+  let report = Runner.run ?cache ?num_domains ~sink:(Sink.to_buffer buf) exp in
+  (Buffer.contents buf, report)
+
+(* ---- params ---- *)
+
+let test_params_canonical () =
+  let p = Params.v [ ("b", Params.Float 0.5); ("a", Params.Int 7) ] in
+  Alcotest.(check string) "tagged, sorted" "a=i:7;b=f:0x1p-1" (Params.canonical p);
+  let q = Params.v [ ("a", Params.Int 7); ("b", Params.Float 0.5) ] in
+  Alcotest.(check bool) "order-insensitive" true (Params.equal p q);
+  let r = Params.v [ ("a", Params.Str "7"); ("b", Params.Float 0.5) ] in
+  Alcotest.(check bool) "type changes the encoding" false
+    (String.equal (Params.canonical p) (Params.canonical r));
+  Alcotest.check_raises "duplicate key rejected"
+    (Invalid_argument "Params.v: duplicate key a") (fun () ->
+      ignore (Params.v [ ("a", Params.Int 1); ("a", Params.Int 2) ]))
+
+(* ---- cache ---- *)
+
+let toy_rows = [ Experiment.row [ ("n", Params.Int 3); ("sq", Params.Int 9) ] ]
+
+let toy_key () =
+  Cache.key ~exp_id:"toy" ~version:1 ~params:(Params.v [ ("n", Params.Int 3) ])
+
+let entry_path cache key =
+  Filename.concat (Filename.concat (Cache.root cache) "toy") (Cache.key_hash key ^ ".entry")
+
+let test_cache_roundtrip () =
+  with_dir (fun dir ->
+      let c = Cache.create ~root:dir in
+      let k = toy_key () in
+      Alcotest.(check bool) "miss before store" true (Cache.find c k = None);
+      Cache.store c k toy_rows;
+      Alcotest.(check bool) "hit after store" true (Cache.find c k = Some toy_rows);
+      let k' =
+        Cache.key ~exp_id:"toy" ~version:2 ~params:(Params.v [ ("n", Params.Int 3) ])
+      in
+      Alcotest.(check bool) "version bump misses" true (Cache.find c k' = None);
+      Cache.remove c k;
+      Alcotest.(check bool) "miss after remove" true (Cache.find c k = None))
+
+let test_cache_corruption () =
+  let clobber c k f =
+    Cache.store c k toy_rows;
+    let p = entry_path c k in
+    f p;
+    Alcotest.(check bool) "corrupt entry reads as miss" true (Cache.find c k = None);
+    Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists p);
+    (* The slot is usable again: a store after the miss round-trips. *)
+    Cache.store c k toy_rows;
+    Alcotest.(check bool) "recovered after re-store" true (Cache.find c k = Some toy_rows)
+  in
+  with_dir (fun dir ->
+      let c = Cache.create ~root:dir in
+      let k = toy_key () in
+      clobber c k (fun p ->
+          (* Flip a payload byte: magic intact, checksum mismatch. *)
+          let s = Bytes.of_string (Fsutil.read_file p) in
+          let i = Bytes.length s - 1 in
+          Bytes.set s i (Char.chr (Char.code (Bytes.get s i) lxor 0xff));
+          Fsutil.write_file_atomic p (Bytes.to_string s));
+      clobber c k (fun p ->
+          (* Truncate mid-checksum: a torn write. *)
+          let s = Fsutil.read_file p in
+          Fsutil.write_file_atomic p (String.sub s 0 (String.length s / 2)));
+      clobber c k (fun p -> Fsutil.write_file_atomic p "JUNK-MAGIC\nnot a checksum\n"))
+
+(* ---- runner: keys independent of the domain count ---- *)
+
+let test_key_domain_independence () =
+  with_dir (fun dir_seq ->
+      with_dir (fun dir_par ->
+          let computed = Atomic.make 0 in
+          let exp = toy ~computed () in
+          let out_seq, _ =
+            render_run ~cache:(Cache.create ~root:dir_seq) ~num_domains:1 exp
+          in
+          let out_par, _ =
+            render_run ~cache:(Cache.create ~root:dir_par) ~num_domains:4 exp
+          in
+          Alcotest.(check string) "reports byte-identical across domain counts" out_seq
+            out_par;
+          Alcotest.(check (list string)) "same cache entries for 1 and 4 domains"
+            (ls_files dir_seq) (ls_files dir_par);
+          (* And the parallel run now hits the sequential run's cache. *)
+          let before = Atomic.get computed in
+          let out_warm, report =
+            render_run ~cache:(Cache.create ~root:dir_seq) ~num_domains:4 exp
+          in
+          Alcotest.(check int) "warm run computes nothing" before (Atomic.get computed);
+          Alcotest.(check int) "warm run is all hits" report.Sink.cells report.Sink.hits;
+          Alcotest.(check string) "warm report byte-identical" out_seq out_warm))
+
+(* ---- runner: --no-cache bypasses reads and writes ---- *)
+
+let test_no_cache_bypass () =
+  with_dir (fun dir ->
+      let computed = Atomic.make 0 in
+      let exp = toy ~computed () in
+      let cache = Cache.create ~root:dir in
+      let cells = List.length toy_grid in
+      let cached_out, _ = render_run ~cache exp in
+      Alcotest.(check int) "cold run computes every cell" cells (Atomic.get computed);
+      let entries = ls_files dir in
+      Alcotest.(check int) "one entry per cell" cells (List.length entries);
+      (* Poke a hole so a write-through would be visible. *)
+      Cache.remove cache (toy_key ());
+      let bypass_out, report = render_run exp in
+      Alcotest.(check int) "bypass recomputes despite warm cache" (2 * cells)
+        (Atomic.get computed);
+      Alcotest.(check int) "bypass reports misses only" cells report.Sink.misses;
+      Alcotest.(check int) "hole not refilled" (cells - 1) (List.length (ls_files dir));
+      Alcotest.(check string) "same report either way" cached_out bypass_out)
+
+(* ---- runner: killed sweep resumes from checkpointed cells ---- *)
+
+let test_resume_after_failure () =
+  with_dir (fun dir ->
+      with_dir (fun dir_fresh ->
+          let computed = Atomic.make 0 in
+          let broken = ref true in
+          let exp = toy ~fail_on:(fun n -> !broken && n = 4) ~computed () in
+          let cache = Cache.create ~root:dir in
+          (* First attempt dies on cell n=4 — after the rest of the batch
+             has drained and checkpointed (the map_batch_timed contract). *)
+          (match render_run ~cache ~num_domains:2 exp with
+          | _ -> Alcotest.fail "injected failure did not propagate"
+          | exception Failure _ -> ());
+          let cells = List.length toy_grid in
+          Alcotest.(check int) "all healthy cells checkpointed" (cells - 1)
+            (List.length (ls_files dir));
+          Alcotest.(check int) "all healthy cells computed once" (cells - 1)
+            (Atomic.get computed);
+          (* Restart after the fault clears: only the dead cell recomputes. *)
+          broken := false;
+          let out_resumed, report = render_run ~cache ~num_domains:2 exp in
+          Alcotest.(check int) "resume recomputes only the failed cell" cells
+            (Atomic.get computed);
+          Alcotest.(check int) "resume reports one miss" 1 report.Sink.misses;
+          (* The resumed report is byte-identical to a never-interrupted one. *)
+          let out_fresh, _ =
+            render_run ~cache:(Cache.create ~root:dir_fresh)
+              (toy ~computed:(Atomic.make 0) ())
+          in
+          Alcotest.(check string) "resumed report byte-identical to fresh" out_fresh
+            out_resumed))
+
+let suites =
+  [ Alcotest.test_case "params canonical encoding" `Quick test_params_canonical;
+    Alcotest.test_case "cache round-trip" `Quick test_cache_roundtrip;
+    Alcotest.test_case "corrupted entries recompute" `Quick test_cache_corruption;
+    Alcotest.test_case "cache keys ignore domain count" `Quick test_key_domain_independence;
+    Alcotest.test_case "--no-cache bypasses reads and writes" `Quick test_no_cache_bypass;
+    Alcotest.test_case "killed sweep resumes from checkpoints" `Quick
+      test_resume_after_failure ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"canonical encoding is injective on int grids" ~count:100
+      Gen.(
+        pair
+          (list_size (0 -- 4) (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 3)) small_int))
+          (list_size (0 -- 4) (pair (string_size ~gen:(char_range 'a' 'z') (1 -- 3)) small_int)))
+      (fun (xs, ys) ->
+        let dedup l =
+          List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l
+          |> List.map (fun (k, v) -> (k, Params.Int v))
+        in
+        let px = Params.v (dedup xs) and py = Params.v (dedup ys) in
+        String.equal (Params.canonical px) (Params.canonical py) = Params.equal px py) ]

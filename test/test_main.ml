@@ -15,4 +15,5 @@ let () =
       ("plschemes", Test_plschemes.suites @ q Test_plschemes.qsuites);
       ("rcc", Test_rcc.suites @ q Test_rcc.qsuites);
       ("sketch", Test_sketch.suites @ q Test_sketch.qsuites);
-      ("engine", Test_engine.suites @ q Test_engine.qsuites) ]
+      ("engine", Test_engine.suites @ q Test_engine.qsuites);
+      ("harness", Test_harness.suites @ q Test_harness.qsuites) ]
