@@ -99,6 +99,28 @@ let kt0_circulant ?ids g =
   validate
     { knowledge = KT0; n; ids; peer; port_to = make_port_to ~n peer; input = input_of_graph ~n peer g }
 
+(* Census sweeps build one circulant instance per enumerated structure;
+   the clique tables and IDs depend only on n, so build them once and
+   stamp out instances from per-vertex cycle-neighbour pairs. The shared
+   tables are immutable and correct by construction, so the O(n^2)
+   per-instance validation of [kt0_circulant] is skipped — this is the
+   difference between instance construction dominating an arena sweep
+   and it being noise. *)
+let kt0_circulant_sweep n =
+  if n < 2 then invalid_arg "Instance.kt0_circulant_sweep: need at least 2 vertices";
+  let ids = default_ids n in
+  let peer = circulant_peer n in
+  let port_to = make_port_to ~n peer in
+  fun neighbors ->
+    if Array.length neighbors <> n then
+      invalid_arg "Instance.kt0_circulant_sweep: neighbour table size mismatch";
+    let input =
+      Array.init n (fun v ->
+          let a, b = neighbors.(v) in
+          Array.map (fun u -> u = a || u = b) peer.(v))
+    in
+    { knowledge = KT0; n; ids; peer; port_to; input }
+
 let kt0_random ?ids rng g =
   let n = Graph.n g in
   if n < 2 then invalid_arg "Instance.kt0_random: need at least 2 vertices";

@@ -38,6 +38,15 @@ val kt0_circulant : ?ids:int array -> Bcclb_graph.Graph.t -> t
     (port p of v → v+p+1 mod n); the shared background wiring of all
     census-level instances. Default IDs are 1..n. *)
 
+val kt0_circulant_sweep : int -> (int * int) array -> t
+(** [kt0_circulant_sweep n] precomputes the circulant wiring tables and
+    default IDs once and returns a stamp: applied to a per-vertex
+    cycle-neighbour table (the two input-graph neighbours of each vertex
+    of a 2-regular instance), it builds the same instance
+    [kt0_circulant (Cycles.to_graph ...)] would, without the per-call
+    graph construction and O(n²) validation. The hot constructor behind
+    the core layer's census sweeps. *)
+
 val kt0_random : ?ids:int array -> Bcclb_util.Rng.t -> Bcclb_graph.Graph.t -> t
 (** KT-0 instance with independently random port numbering at every
     vertex — the adversarial wiring freedom of the KT-0 model. *)

@@ -41,6 +41,28 @@ let to_char1 = function
     if Bits.width b <> 1 then invalid_arg "Msg.to_char1: message is not 1-bit";
     if Bits.to_bool b then '1' else '0'
 
+(* Packed 2-bit code for the BCC(1) alphabet {0, 1, ⊥}: bit 0 is the
+   "spoke" flag, bit 1 the value. 0b00 = silent, 0b10 = broadcast 0,
+   0b11 = broadcast 1. Transcripts and edge labels pack these codes into
+   machine words / Bits.Seq instead of building strings. *)
+let code1 = function
+  | Silent -> 0
+  | Word b ->
+    if Bits.width b <> 1 then invalid_arg "Msg.code1: message is not 1-bit";
+    if Bits.to_bool b then 3 else 2
+
+let of_code1 = function
+  | 0 -> Silent
+  | 2 -> Word (Bits.of_bool false)
+  | 3 -> Word (Bits.of_bool true)
+  | c -> invalid_arg (Printf.sprintf "Msg.of_code1: invalid code %d" c)
+
+let char_of_code1 = function
+  | 0 -> '_'
+  | 2 -> '0'
+  | 3 -> '1'
+  | c -> invalid_arg (Printf.sprintf "Msg.char_of_code1: invalid code %d" c)
+
 let to_string = function Silent -> "_" | Word b -> Bits.to_string b
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)

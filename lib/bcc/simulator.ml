@@ -44,12 +44,48 @@ let run ?(seed = 0) (Algo.Packed a) inst =
   in
   { outputs; transcripts; rounds_used = outcome.Engine.rounds_used }
 
+(* Lightweight execution for the §3 label machinery: only the packed
+   broadcast sequences are recorded — no received-traffic capture, no
+   transcript construction, no output extraction. Each vertex's code is
+   one machine word (2 bits per round), so labels compare as ints. *)
+let run_sent_codes ?(seed = 0) (Algo.Packed a) inst =
+  let n = Instance.n inst in
+  let b = a.Algo.bandwidth ~n in
+  let total_rounds = a.Algo.rounds ~n in
+  if total_rounds < 0 then invalid_arg "Simulator.run_sent_codes: negative round bound";
+  if 2 * total_rounds > Bcclb_util.Bits.max_width then
+    invalid_arg "Simulator.run_sent_codes: more than 31 rounds do not pack into a word";
+  let codes = Array.make n 0 in
+  let recorder =
+    Observer.make
+      ~on_emit:(fun ~round ~vertex ~inbox:_ ~emit ->
+        check_width ~b ~round ~vertex emit;
+        codes.(vertex) <- codes.(vertex) lor (Msg.code1 emit lsl (2 * (round - 1))))
+      ()
+  in
+  ignore
+    (Engine.run ~observers:[ recorder ]
+       { Engine.n;
+         rounds = total_rounds;
+         step = (fun state ~round ~vertex:_ ~inbox -> a.Algo.step state ~round ~inbox);
+         exchange = Topology.broadcast ~n ~peer:(Instance.peer inst) }
+       ~init_state:(fun v -> a.Algo.init (Instance.view ~coins_seed:seed inst v))
+       ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent));
+  codes
+
+let indistinguishable_from result i2 =
+  let n = Array.length result.transcripts in
+  if Instance.n i2 <> n then invalid_arg "Simulator.indistinguishable_from: sizes differ";
+  fun r2 ->
+    let rec loop v =
+      v >= n || (Transcript.equal result.transcripts.(v) r2.transcripts.(v) && loop (v + 1))
+    in
+    loop 0
+
 let indistinguishable ?(seed = 0) packed i1 i2 =
   if Instance.n i1 <> Instance.n i2 then invalid_arg "Simulator.indistinguishable: sizes differ";
   let r1 = run ~seed packed i1 and r2 = run ~seed packed i2 in
-  let n = Instance.n i1 in
-  let rec loop v = v >= n || (Transcript.equal r1.transcripts.(v) r2.transcripts.(v) && loop (v + 1)) in
-  loop 0
+  indistinguishable_from r1 i2 r2
 
 let total_bits_broadcast result =
   Array.fold_left (fun acc t -> acc + Transcript.bits_broadcast t) 0 result.transcripts

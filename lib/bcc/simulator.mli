@@ -17,11 +17,26 @@ val run : ?seed:int -> 'o Algo.packed -> Instance.t -> 'o result
 (** Execute the algorithm on the instance.
     @raise Invalid_argument if a vertex exceeds the declared bandwidth. *)
 
+val run_sent_codes : ?seed:int -> 'o Algo.packed -> Instance.t -> int array
+(** Lightweight execution recording only each vertex's packed broadcast
+    sequence: 2 bits per round ({!Msg.code1}), LSB-first, one machine
+    word per vertex. This is the fast path behind the §3 label machinery
+    — no received-traffic capture, no transcript construction.
+    @raise Invalid_argument if a vertex exceeds the declared bandwidth
+    (which must be 1 for the code to be meaningful) or the round bound
+    exceeds 31 (codes would not fit a word). *)
+
 val indistinguishable : ?seed:int -> 'o Algo.packed -> Instance.t -> Instance.t -> bool
 (** Do the two instances produce identical per-vertex states (initial
     knowledge + transcript) under this algorithm — the relation of
     Lemma 3.4? Vertices are compared by index, which is the natural
     correspondence for crossed instances. *)
+
+val indistinguishable_from : 'o result -> Instance.t -> 'o result -> bool
+(** [indistinguishable_from base i2 r2]: is [r2] (a run on [i2])
+    vertex-wise transcript-equal to the memoized [base] run? Partial
+    application over [base] lets a crossing sweep execute the base
+    instance once instead of once per candidate pair. *)
 
 val total_bits_broadcast : 'o result -> int
 (** Σ over vertices of bits actually broadcast; the "information volume"

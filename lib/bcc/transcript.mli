@@ -23,13 +23,21 @@ val received : t -> int -> int -> Msg.t
 
 val sent_sequence : t -> Msg.t array
 
+val sent_code : t -> Bcclb_util.Bits.Seq.seq
+(** The BCC(1) broadcast sequence packed 2 bits per round
+    ({!Msg.code1} codes), computed once at {!make} — the representation
+    the §3 label machinery compares and hashes. Do not mutate.
+    @raise Invalid_argument if some message is wider than 1 bit. *)
+
 val sent_string : t -> string
 (** BCC(1) broadcast sequence over the alphabet {'0','1','_'} — the
-    strings x, y that label edges in Definition 3.6.
+    strings x, y that label edges in Definition 3.6. A thin compatibility
+    view decoding {!sent_code}.
     @raise Invalid_argument if some message is wider than 1 bit. *)
 
 val equal : t -> t -> bool
-(** Same initial knowledge and identical per-round, per-port traffic. *)
+(** Same initial knowledge and identical per-round, per-port traffic.
+    Compares the packed encodings: O(traffic bits / 8), not per-message. *)
 
 val bits_broadcast : t -> int
 (** Total bits this vertex broadcast (silence counts 0). *)

@@ -1,0 +1,77 @@
+(** Interned arena of the §3.1 instance sets V₁/V₂ with integer handles.
+
+    The census is enumerated once per arena (in {!Census} order, so
+    handles agree with every array-indexed census consumer), two-cycle
+    structures are deduplicated behind packed canonical integer keys
+    (4 bits per vertex, hence n ≤ 15), and crossing successors of a
+    one-cycle instance resolve by hash lookup of the crossed key —
+    computed arithmetically from the arc decomposition, no intermediate
+    {!Bcclb_graph.Cycles.t} allocation. Broadcast codes (2 bits per
+    round, {!Bcclb_bcc.Simulator.run_sent_codes}) are memoised per
+    (algorithm name, seed): each distinct execution runs once per
+    arena, which is what makes the packed {!Indist_graph} and
+    {!Crossing_check} paths cheap. *)
+
+type handle = int
+(** Index into the arena's V₁ or V₂ array (context disambiguates). *)
+
+type t
+
+val max_n : int
+(** Largest n whose packed canonical keys fit one word (15). *)
+
+val create : n:int -> t
+(** Enumerate and intern both censuses.
+    @raise Invalid_argument for n < 6 or n > {!max_n}. *)
+
+val get : n:int -> t
+(** The process-wide shared arena for [n], created on first use —
+    census enumeration and the execution memo are per-n facts, so
+    sweeps that rebuild indistinguishability graphs (different t, same
+    n) enumerate once and run each distinct execution once. Thread-safe.
+    Use {!create} only when memo isolation is required (e.g. peak-memory
+    measurements). *)
+
+val n : t -> int
+val n_one : t -> int
+val n_two : t -> int
+
+val one_structure : t -> handle -> Bcclb_graph.Cycles.t
+val two_structure : t -> handle -> Bcclb_graph.Cycles.t
+
+val one_structures : t -> Bcclb_graph.Cycles.t array
+val two_structures : t -> Bcclb_graph.Cycles.t array
+(** The interned census arrays themselves (Census order). Do not mutate. *)
+
+val one_cycle : t -> handle -> int array
+(** The single canonical cycle of a V₁ structure. Do not mutate. *)
+
+val two_smaller_len : t -> handle -> int
+(** Smaller cycle length of a V₂ structure (the i of Lemma 3.9's Tᵢ). *)
+
+val key_two : Bcclb_graph.Cycles.t -> int
+(** Packed canonical key of a two-cycle structure:
+    [len c₁ | c₁ minus leading 0 | c₂], 4 bits per nibble, LSB-first.
+    @raise Invalid_argument if not a two-cycle structure. *)
+
+val cross_key : int array -> int -> int -> int
+(** [cross_key cyc i j] = [key_two (Census.cross_one_cycle cyc i j)]
+    without allocating the crossed structure.
+    @raise Invalid_argument under the same conditions. *)
+
+val two_handle : t -> key:int -> handle
+(** Resolve a packed key to its V₂ handle.
+    @raise Invalid_argument if the key interns nothing. *)
+
+val cross_handle : t -> int array -> int -> int -> handle
+(** [two_handle ~key:(cross_key cyc i j)]. *)
+
+val codes : t -> ?seed:int -> 'o Bcclb_bcc.Algo.packed -> int array array
+(** Per-V₁-instance, per-vertex packed broadcast codes under the
+    algorithm — memoised, pool-parallel on a miss. Requires a codable
+    algorithm ({!codable}); raises as {!Bcclb_bcc.Simulator.run_sent_codes}
+    otherwise. *)
+
+val codable : 'o Bcclb_bcc.Algo.packed -> n:int -> bool
+(** Bandwidth ≤ 1 and ≤ 31 declared rounds: the algorithm's broadcast
+    sequences pack into one machine word per vertex. *)

@@ -5,7 +5,14 @@ open Bcclb_graph
    right vertices all two-cycle instances, and {I1, I2} is an edge iff
    I2 = I1(e1, e2) for active independent directed edges e1, e2 of I1
    (active = head broadcasts x, tail broadcasts y during the t rounds of
-   the algorithm). *)
+   the algorithm).
+
+   Two construction paths exist. The packed path (default) works over an
+   interned Arena: labels are machine-word codes, and each crossing
+   successor is a hash lookup of a packed canonical key — no Cycles.t
+   allocation, no string comparison in the inner loops. The reference
+   path ([build_reference]/[build_full_reference]) is the original
+   string-label implementation, kept verbatim as the parity oracle. *)
 
 type t = {
   n : int;
@@ -21,14 +28,125 @@ let active_positions sent cyc ~x ~y =
   let k = Array.length cyc in
   List.filter (fun i -> sent.(cyc.(i)) = x && sent.(cyc.((i + 1) mod k)) = y) (Bcclb_util.Arrayx.range 0 k)
 
-let build ?(seed = 0) algo ~n ?xy () =
+let dedup l =
+  let a = Array.of_list l in
+  Array.sort Int.compare a;
+  let out = ref [] in
+  Array.iteri (fun i v -> if i = 0 || a.(i - 1) <> v then out := v :: !out) a;
+  Array.of_list (List.rev !out)
+
+let finish ~n ~x ~y ~v1 ~v2 adj_sets =
+  let radj_sets = Array.make (Array.length v2) [] in
+  Array.iteri (fun i1 row -> List.iter (fun i2 -> radj_sets.(i2) <- i1 :: radj_sets.(i2)) row) adj_sets;
+  { n; x; y; v1; v2; adj = Array.map dedup adj_sets; radj = Array.map dedup radj_sets }
+
+(* Most frequent (head, tail) code label across all one-cycle edges.
+   Ties break on the DECODED string pair — int code order differs from
+   lexicographic string order ('_' sorts after '1' in ASCII but codes as
+   0), and the reference implementation fixed string order. *)
+let most_frequent_code ~rounds codes1 one_cyc =
+  let tbl = Hashtbl.create 256 in
+  Array.iteri
+    (fun i1 sent ->
+      let cyc = one_cyc i1 in
+      let k = Array.length cyc in
+      for i = 0 to k - 1 do
+        let lbl = (sent.(cyc.(i)), sent.(cyc.((i + 1) mod k))) in
+        Hashtbl.replace tbl lbl (1 + Option.value ~default:0 (Hashtbl.find_opt tbl lbl))
+      done)
+    codes1;
+  let decode (cx, cy) = (Labels.string_of_code ~rounds cx, Labels.string_of_code ~rounds cy) in
+  let best = ref None in
+  Hashtbl.iter
+    (fun lbl count ->
+      match !best with
+      | None -> best := Some (lbl, count)
+      | Some (lbl', count') ->
+        if count > count' || (count = count' && decode lbl < decode lbl') then best := Some (lbl, count))
+    tbl;
+  match !best with
+  | None -> invalid_arg "Indist_graph: no edge labels"
+  | Some (lbl, _) -> lbl
+
+let build_packed ?(seed = 0) algo ~n ?xy () =
+  let arena = Arena.get ~n in
+  let rounds = Bcclb_bcc.Algo.rounds algo ~n in
+  let codes1 = Arena.codes arena ~seed algo in
+  let x, y =
+    match xy with
+    | Some (xs, ys) -> (Labels.code_of_string xs, Labels.code_of_string ys)
+    | None -> most_frequent_code ~rounds codes1 (Arena.one_cycle arena)
+  in
+  (* Each left vertex's edge row is independent (the arena's key table is
+     read-only here), so rows run on the pool; the reverse adjacency is
+     aggregated sequentially afterwards. *)
+  let adj_sets =
+    Bcclb_engine.Pool.tabulate (Arena.n_one arena) (fun i1 ->
+        let cyc = Arena.one_cycle arena i1 in
+        let sent = codes1.(i1) in
+        let k = Array.length cyc in
+        let actives = ref [] in
+        for i = k - 1 downto 0 do
+          if sent.(cyc.(i)) = x && sent.(cyc.((i + 1) mod k)) = y then actives := i :: !actives
+        done;
+        let actives = !actives in
+        let row = ref [] in
+        List.iter
+          (fun i ->
+            List.iter
+              (fun j ->
+                if i < j then begin
+                  let len1 = j - i and len2 = k - (j - i) in
+                  if len1 >= 3 && len2 >= 3 then row := Arena.cross_handle arena cyc i j :: !row
+                end)
+              actives)
+          actives;
+        !row)
+  in
+  finish ~n
+    ~x:(Labels.string_of_code ~rounds x)
+    ~y:(Labels.string_of_code ~rounds y)
+    ~v1:(Arena.one_structures arena) ~v2:(Arena.two_structures arena) adj_sets
+
+let build_full_packed ?(seed = 0) algo ~n () =
+  let arena = Arena.get ~n in
+  let codes1 = Arena.codes arena ~seed algo in
+  let adj_sets =
+    Bcclb_engine.Pool.tabulate (Arena.n_one arena) (fun i1 ->
+        let cyc = Arena.one_cycle arena i1 in
+        let sent = codes1.(i1) in
+        let k = Array.length cyc in
+        let row = ref [] in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            let len1 = j - i and len2 = k - (j - i) in
+            if len1 >= 3 && len2 >= 3 then begin
+              (* Same-label condition of Lemma 3.4 for this directed pair. *)
+              let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
+              let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
+              if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then
+                row := Arena.cross_handle arena cyc i j :: !row
+            end
+          done
+        done;
+        !row)
+  in
+  finish ~n ~x:"*" ~y:"*" ~v1:(Arena.one_structures arena) ~v2:(Arena.two_structures arena) adj_sets
+
+(* ------------------------------------------------------------------ *)
+(* Reference (legacy) path: string labels, Cycles.t-keyed successor
+   lookup. Kept verbatim as the oracle the packed path is tested
+   against; also the fallback for algorithms whose broadcast sequences
+   do not pack into a word. *)
+
+let build_reference ?(seed = 0) algo ~n ?xy () =
   let v1 = Census.one_cycles ~n in
   let v2 = Census.two_cycles ~n in
   let v2_index = Hashtbl.create (Array.length v2) in
   Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
   (* One independent simulation per one-cycle instance: the hot inner
      loop, run on the engine pool. *)
-  let sent1 = Bcclb_engine.Pool.map_batch (fun s -> Labels.sent_strings ~seed algo ~n s) v1 in
+  let sent1 = Bcclb_engine.Pool.map_batch (fun s -> Labels.sent_strings_legacy ~seed algo ~n s) v1 in
   let x, y =
     match xy with
     | Some p -> p
@@ -44,9 +162,6 @@ let build ?(seed = 0) algo ~n ?xy () =
         v1;
       Labels.most_frequent_label tbl
   in
-  (* Each left vertex's edge row is independent (v2_index is read-only
-     here), so rows run on the pool; the reverse adjacency is aggregated
-     sequentially afterwards. *)
   let adj_sets =
     Bcclb_engine.Pool.tabulate (Array.length v1) (fun i1 ->
         let s = v1.(i1) in
@@ -69,16 +184,47 @@ let build ?(seed = 0) algo ~n ?xy () =
           actives;
         !row)
   in
-  let radj_sets = Array.make (Array.length v2) [] in
-  Array.iteri (fun i1 row -> List.iter (fun i2 -> radj_sets.(i2) <- i1 :: radj_sets.(i2)) row) adj_sets;
-  let dedup l =
-    let a = Array.of_list l in
-    Array.sort Int.compare a;
-    let out = ref [] in
-    Array.iteri (fun i v -> if i = 0 || a.(i - 1) <> v then out := v :: !out) a;
-    Array.of_list (List.rev !out)
+  finish ~n ~x ~y ~v1 ~v2 adj_sets
+
+let build_full_reference ?(seed = 0) algo ~n () =
+  let v1 = Census.one_cycles ~n in
+  let v2 = Census.two_cycles ~n in
+  let v2_index = Hashtbl.create (Array.length v2) in
+  Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
+  let adj_sets =
+    Bcclb_engine.Pool.map_batch
+      (fun s ->
+        let sent = Labels.sent_strings_legacy ~seed algo ~n s in
+        let cyc = List.hd (Cycles.cycles s) in
+        let k = Array.length cyc in
+        let row = ref [] in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            let len1 = j - i and len2 = k - (j - i) in
+            if len1 >= 3 && len2 >= 3 then begin
+              let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
+              let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
+              if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then begin
+                let s2 = Census.cross_one_cycle cyc i j in
+                row := Hashtbl.find v2_index s2 :: !row
+              end
+            end
+          done
+        done;
+        !row)
+      v1
   in
-  { n; x; y; v1; v2; adj = Array.map dedup adj_sets; radj = Array.map dedup radj_sets }
+  finish ~n ~x:"*" ~y:"*" ~v1 ~v2 adj_sets
+
+let build ?(seed = 0) algo ~n ?xy () =
+  if n <= Arena.max_n && Arena.codable algo ~n then build_packed ~seed algo ~n ?xy ()
+  else build_reference ~seed algo ~n ?xy ()
+
+let build_full ?(seed = 0) algo ~n () =
+  if n <= Arena.max_n && Arena.codable algo ~n then build_full_packed ~seed algo ~n ()
+  else build_full_reference ~seed algo ~n ()
+
+(* ------------------------------------------------------------------ *)
 
 let num_edges t = Array.fold_left (fun acc row -> acc + Array.length row) 0 t.adj
 
@@ -126,53 +272,6 @@ let k_matching t ~k =
   match Hopcroft_karp.k_matching ~k ~nl:(Array.length live) ~nr:(Array.length t.v2) ~adj with
   | None -> None
   | Some groups -> Some (live, groups)
-
-(* The union over ALL label pairs (x, y): {I1, I2} is an edge iff SOME
-   same-label active independent pair of I1 crosses to I2. By Lemma 3.4
-   every such pair is indistinguishable under the algorithm, so in any
-   output assignment at least one endpoint of every edge errs: a maximum
-   matching certifies a lower bound on the algorithm's error under mu. *)
-let build_full ?(seed = 0) algo ~n () =
-  let v1 = Census.one_cycles ~n in
-  let v2 = Census.two_cycles ~n in
-  let v2_index = Hashtbl.create (Array.length v2) in
-  Array.iteri (fun i s -> Hashtbl.add v2_index s i) v2;
-  (* Simulation + crossing enumeration per left vertex is independent;
-     run the rows on the pool and aggregate the reverse adjacency after. *)
-  let adj_sets =
-    Bcclb_engine.Pool.map_batch
-      (fun s ->
-        let sent = Labels.sent_strings ~seed algo ~n s in
-        let cyc = List.hd (Cycles.cycles s) in
-        let k = Array.length cyc in
-        let row = ref [] in
-        for i = 0 to k - 1 do
-          for j = i + 1 to k - 1 do
-            let len1 = j - i and len2 = k - (j - i) in
-            if len1 >= 3 && len2 >= 3 then begin
-              (* Same-label condition of Lemma 3.4 for this directed pair. *)
-              let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
-              let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
-              if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then begin
-                let s2 = Census.cross_one_cycle cyc i j in
-                row := Hashtbl.find v2_index s2 :: !row
-              end
-            end
-          done
-        done;
-        !row)
-      v1
-  in
-  let radj_sets = Array.make (Array.length v2) [] in
-  Array.iteri (fun i1 row -> List.iter (fun i2 -> radj_sets.(i2) <- i1 :: radj_sets.(i2)) row) adj_sets;
-  let dedup l =
-    let a = Array.of_list l in
-    Array.sort Int.compare a;
-    let out = ref [] in
-    Array.iteri (fun i v -> if i = 0 || a.(i - 1) <> v then out := v :: !out) a;
-    Array.of_list (List.rev !out)
-  in
-  { n; x = "*"; y = "*"; v1; v2; adj = Array.map dedup adj_sets; radj = Array.map dedup radj_sets }
 
 (* Certified error lower bound under mu for THIS algorithm: a maximum
    matching M in the full indistinguishability graph forces, for every

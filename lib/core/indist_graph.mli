@@ -22,7 +22,14 @@ type t = {
 val build : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> ?xy:string * string -> unit -> t
 (** Run the (already truncated) algorithm on every one-cycle instance and
     connect crossings of same-label edge pairs. The label (x, y) defaults
-    to the most frequent one across V₁. Feasible to n ≈ 9. *)
+    to the most frequent one across V₁. Dispatches to the packed
+    {!Arena}-backed path when the algorithm is codable and n ≤
+    {!Arena.max_n} (exhaustive n = 10 is practical), to
+    {!build_reference} otherwise. *)
+
+val build_reference : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> ?xy:string * string -> unit -> t
+(** The original string-label implementation, kept as the parity oracle
+    for {!build} and as the fallback for non-codable algorithms. *)
 
 val active_positions : string array -> int array -> x:string -> y:string -> int list
 (** Positions i of a cycle whose directed edge (cᵢ, cᵢ₊₁) is active. *)
@@ -47,7 +54,11 @@ val k_matching : t -> k:int -> (int array * int array array) option
 val build_full : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> unit -> t
 (** The union of G^t_{x,y} over ALL label pairs: {I₁, I₂} is an edge iff
     some same-label active independent pair of I₁ crosses to I₂ — every
-    edge is an execution-indistinguishable pair (Lemma 3.4). *)
+    edge is an execution-indistinguishable pair (Lemma 3.4). Packed-path
+    dispatch as in {!build}. *)
+
+val build_full_reference : ?seed:int -> 'o Bcclb_bcc.Algo.packed -> n:int -> unit -> t
+(** String-label oracle twin of {!build_full}. *)
 
 val certified_error_lb : t -> int * Bcclb_bignum.Ratio.t
 (** (matching size, certified error): a maximum matching in the full

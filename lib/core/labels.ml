@@ -7,10 +7,48 @@ open Bcclb_graph
    (sent v, sent u). Edges with equal labels are interchangeable by
    crossings (Lemma 3.4). *)
 
-let sent_strings ?(seed = 0) algo ~n structure =
+(* Packed integer codes: 2 bits per round, LSB-first, Msg.code1 alphabet
+   (0 = silent, 2 = '0', 3 = '1'). Vertices of a BCC(1) run compare as
+   ints; strings remain the presentation layer. *)
+
+let sent_codes ?(seed = 0) algo ~n structure =
+  Simulator.run_sent_codes ~seed algo (Census.to_instance structure ~n)
+
+let string_of_code ~rounds code =
+  String.init rounds (fun i -> Bcclb_bcc.Msg.char_of_code1 ((code lsr (2 * i)) land 3))
+
+let code_of_string s =
+  let code = ref 0 in
+  String.iteri
+    (fun i c ->
+      let v =
+        match c with
+        | '_' -> 0
+        | '0' -> 2
+        | '1' -> 3
+        | _ -> invalid_arg "Labels.code_of_string: alphabet is {'0','1','_'}"
+      in
+      code := !code lor (v lsl (2 * i)))
+    s;
+  !code
+
+(* The pre-arena path: a full simulator run with per-port traffic
+   capture and transcript construction per instance. Kept as the cost
+   and semantics model of the seed implementation — the reference
+   Indist_graph builders use it, so parity tests and the bench smoke
+   compare the packed path against genuine pre-PR behaviour — and as
+   the fallback for algorithms whose broadcasts do not pack. *)
+let sent_strings_legacy ?(seed = 0) algo ~n structure =
   let inst = Census.to_instance structure ~n in
   let result = Simulator.run ~seed algo inst in
   Array.map Transcript.sent_string result.Simulator.transcripts
+
+let sent_strings ?(seed = 0) algo ~n structure =
+  if Arena.codable algo ~n then begin
+    let rounds = Algo.rounds algo ~n in
+    Array.map (fun c -> string_of_code ~rounds c) (sent_codes ~seed algo ~n structure)
+  end
+  else sent_strings_legacy ~seed algo ~n structure
 
 (* Directed edges along each cycle's stored orientation, with labels. *)
 let edge_labels sent structure =

@@ -18,9 +18,18 @@ type ('state, 'inbox) outcome = {
   rounds_used : int;
 }
 
+(* Process-wide execution counter: every simulated run in the repository
+   funnels through this loop, so [run_count] deltas are the
+   execution-count column of the experiment manifest. Atomic because
+   runs happen from pool worker domains. *)
+let executions = Atomic.make 0
+
+let run_count () = Atomic.get executions
+
 let run ?(observers = []) spec ~init_state ~init_inbox =
   if spec.rounds < 0 then invalid_arg "Engine.run: negative round bound";
   if spec.n < 0 then invalid_arg "Engine.run: negative number of vertices";
+  Atomic.incr executions;
   let obs = Observer.combine observers in
   let n = spec.n in
   let states = Array.init n init_state in

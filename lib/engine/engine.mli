@@ -20,6 +20,11 @@ type ('state, 'inbox) outcome = {
   rounds_used : int;
 }
 
+val run_count : unit -> int
+(** Process-wide count of {!run} invocations (atomic, so deltas are
+    meaningful across pool worker domains) — the execution-count metric
+    recorded per experiment cell in the run manifest. *)
+
 val run :
   ?observers:('emit, 'inbox) Observer.t list ->
   ('state, 'emit, 'inbox) spec ->

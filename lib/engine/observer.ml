@@ -38,6 +38,21 @@ let counter ~width =
   let obs = make ~on_emit:(fun ~round:_ ~vertex:_ ~inbox:_ ~emit -> total := !total + width emit) () in
   (obs, fun () -> !total)
 
+(* Per-vertex packed emission recorder: each emission's [width]-bit
+   [code] is appended to that vertex's growable bit sequence as it
+   happens — no per-round message arrays, no string concatenation. The
+   BCC layer instantiates this with the 2-bit {0,1,⊥} code to capture
+   broadcast sequences directly in packed form. *)
+let packed_recorder ~n ~width ~code =
+  let seqs = Array.init n (fun _ -> Bcclb_util.Bits.Seq.create ()) in
+  let obs =
+    make
+      ~on_emit:(fun ~round:_ ~vertex ~inbox:_ ~emit ->
+        Bcclb_util.Bits.Seq.append_word seqs.(vertex) ~width ~value:(code emit))
+      ()
+  in
+  (obs, fun () -> seqs)
+
 let round_timer () =
   let times = ref [] and started = ref 0.0 in
   let obs =

@@ -39,5 +39,15 @@ val counter : width:('emit -> int) -> ('emit, 'inbox) t * (unit -> int)
 (** [counter ~width] returns an observer summing [width emit] over every
     emission, and a function reading the running total. *)
 
+val packed_recorder :
+  n:int ->
+  width:int ->
+  code:('emit -> int) ->
+  ('emit, 'inbox) t * (unit -> Bcclb_util.Bits.Seq.seq array)
+(** [packed_recorder ~n ~width ~code]: record each vertex's emissions as
+    a packed bit sequence, [width] bits per round appended directly — the
+    allocation-light way to capture broadcast sequences. The reader
+    returns the live per-vertex sequences (do not mutate). *)
+
 val round_timer : unit -> ('emit, 'inbox) t * (unit -> float array)
 (** Wall-clock seconds per round, in round order. *)

@@ -55,6 +55,27 @@ let mem_edge t u v =
   in
   loop 0 (Array.length a)
 
+(* Edge iteration drives the hot connectivity loops (union-find per
+   sketch round, MST candidate scans), so it walks the adjacency rows
+   directly instead of materialising a list. *)
+let iter_edges f t =
+  for u = 0 to t.n - 1 do
+    let a = t.adj.(u) in
+    for i = 0 to Array.length a - 1 do
+      if u < a.(i) then f u a.(i)
+    done
+  done
+
+let edges_array t =
+  let out = Array.make t.m (0, 0) in
+  let pos = ref 0 in
+  iter_edges
+    (fun u v ->
+      out.(!pos) <- (u, v);
+      incr pos)
+    t;
+  out
+
 let edges t =
   let acc = ref [] in
   for u = t.n - 1 downto 0 do
@@ -64,8 +85,6 @@ let edges t =
     done
   done;
   !acc
-
-let iter_edges f t = List.iter (fun (u, v) -> f u v) (edges t)
 
 let union_find t =
   let uf = Union_find.create t.n in

@@ -27,7 +27,13 @@ val mem_edge : t -> int -> int -> bool
 val edges : t -> (int * int) list
 (** Each edge once, as (u, v) with u < v, lexicographically sorted. *)
 
+val edges_array : t -> (int * int) array
+(** Same edges as {!edges}, as a pre-sized array — the allocation-light
+    form for hot loops that index or repeatedly scan the edge set. *)
+
 val iter_edges : (int -> int -> unit) -> t -> unit
+(** Visit each edge once, (u, v) with u < v, lexicographic order,
+    without materialising a list. *)
 
 val union_find : t -> Union_find.t
 (** Disjoint-set structure of the graph's components. *)

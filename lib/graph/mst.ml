@@ -5,16 +5,14 @@
    against. *)
 
 let kruskal g ~weight =
-  let edges = Graph.edges g in
-  let sorted =
-    List.sort
-      (fun (u1, v1) (u2, v2) ->
-        let c = Int.compare (weight u1 v1) (weight u2 v2) in
-        if c <> 0 then c else compare (u1, v1) (u2, v2))
-      edges
-  in
+  let sorted = Graph.edges_array g in
+  Array.sort
+    (fun (u1, v1) (u2, v2) ->
+      let c = Int.compare (weight u1 v1) (weight u2 v2) in
+      if c <> 0 then c else compare (u1, v1) (u2, v2))
+    sorted;
   let uf = Union_find.create (Graph.n g) in
-  List.filter (fun (u, v) -> Union_find.union uf u v) sorted
+  List.filter (fun (u, v) -> Union_find.union uf u v) (Array.to_list sorted)
 
 let total_weight ~weight edges = List.fold_left (fun acc (u, v) -> acc + weight u v) 0 edges
 

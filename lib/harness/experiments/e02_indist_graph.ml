@@ -1,0 +1,41 @@
+(* E2: indistinguishability graph structure. Version 2: cells run on the
+   packed Arena path (identical rows — see the parity tests) and the
+   default grid reaches n = 8. *)
+
+open Exp_common
+
+let indist_grid ns =
+  List.concat_map (fun n -> List.map (fun t -> P.v [ pi "n" n; pi "t" t ]) [ 0; 1; 2; 3 ]) ns
+
+let indist_graph =
+  experiment ~id:"indist-graph" ~version:2
+    ~title:"E2  Lemmas 3.7/3.8 + Theorem 2.1: structure of G^t_{x,y}"
+    ~doc:"E2: indistinguishability graph structure"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.icol ~width:6 ~header:"|V1|" "v1";
+              E.icol ~width:6 ~header:"|V2|" "v2"; E.icol ~width:9 "edges";
+              E.icol ~width:9 "isolated"; E.icol ~width:8 ~header:"minDeg" "min_deg";
+              E.icol ~width:8 ~header:"maxDeg" "max_deg"; E.icol ~width:5 "k";
+              E.bcol ~width:5 ~header:"Hall" "hall"; E.bcol ~width:9 ~header:"k-match" "k_match" ]
+        } ]
+    ~notes:
+      [ "note: at t=0 every V1 vertex has degree n(n-3)/2 and |V2|<|V1|, so k=1 Hall fails";
+        "globally but every V2 vertex is reachable; as t grows the graph thins out." ]
+    ~grid:(indist_grid [ 6; 7; 8 ])
+    ~grid_of_ns:indist_grid
+    (fun p ->
+      let n = P.int p "n" and t = P.int p "t" in
+      let rng = Rng.create ~seed:(1000 + n + t) in
+      let algo = truncated_optimist ~rounds:t in
+      let s = Core.Kt0_bound.indist_stats algo ~n ~rounds:t ~k:1 rng in
+      Core.Kt0_bound.
+        [ E.row
+            [ pi "n" n; pi "t" t; pi "v1" s.v1_count; pi "v2" s.v2_count; pi "edges" s.edges;
+              pi "isolated" s.isolated_v1; pi "min_deg" s.min_live_degree;
+              pi "max_deg" s.max_degree_v1; pi "k" s.k; pb "hall" s.hall_ok;
+              pb "k_match" s.k_matching_found ]
+        ])
+
+let experiments = [ indist_graph ]

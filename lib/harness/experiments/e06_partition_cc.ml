@@ -1,0 +1,52 @@
+(* E6: communication sandwich. Version 2: cache epoch bumped with the
+   packed-transcript refactor (rows are unchanged; the bump keeps the
+   §3-adjacent experiment set on one epoch for cross-run comparisons). *)
+
+open Exp_common
+
+let partition_cc_grid ns =
+  List.map (fun n -> P.v [ ps "part" "partition"; pi "n" n ]) ns
+  @ List.map (fun n -> P.v [ ps "part" "two"; pi "n" n ]) (List.filter (fun n -> n mod 2 = 0) ns)
+
+let partition_cc =
+  let scale n = float_of_int n *. Mathx.log2 (float_of_int (max 2 n)) in
+  experiment ~id:"partition-cc" ~version:2
+    ~title:"E6  Corollaries 2.4/4.2: D(Partition) sandwiched between log2 B_n and n log n"
+    ~doc:"E6: communication sandwich"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:6 "n"; E.fcol ~width:14 ~prec:1 ~header:"LB bits" "lb_bits";
+              E.fcol ~width:14 ~prec:1 ~header:"UB bits" "ub_bits";
+              E.fcol ~width:12 ~header:"LB/(n lg n)" "lb_norm";
+              E.fcol ~width:14 ~header:"UB/(n lg n)" "ub_norm" ]
+        };
+        { E.name = "TwoPartition variant";
+          columns =
+            [ E.icol ~width:6 "n"; E.fcol ~width:14 ~prec:1 ~header:"LB bits" "lb_bits";
+              E.fcol ~width:14 ~prec:1 ~header:"UB bits" "ub_bits";
+              E.fcol ~width:12 ~header:"LB/(n lg n)" "lb_norm" ]
+        } ]
+    ~notes:[ "shape check: both normalised columns converge to constants with LB < UB." ]
+    ~grid:(partition_cc_grid [ 2; 4; 8; 16; 32; 64; 128; 256 ])
+    ~grid_of_ns:partition_cc_grid
+    (fun p ->
+      let n = P.int p "n" in
+      match P.str p "part" with
+      | "partition" ->
+        let r = Core.Kt1_bound.partition_series ~n in
+        Core.Kt1_bound.
+          [ E.row
+              [ pi "n" n; pf "lb_bits" r.lb_bits; pf "ub_bits" r.ub_bits;
+                pf "lb_norm" (r.lb_bits /. scale n); pf "ub_norm" (r.ub_bits /. scale n) ]
+          ]
+      | "two" ->
+        let r = Core.Kt1_bound.two_partition_series ~n in
+        Core.Kt1_bound.
+          [ E.row ~table:"TwoPartition variant"
+              [ pi "n" n; pf "lb_bits" r.lb_bits; pf "ub_bits" r.ub_bits;
+                pf "lb_norm" (r.lb_bits /. scale n) ]
+          ]
+      | part -> invalid_arg ("partition-cc: unknown part " ^ part))
+
+let experiments = [ partition_cc ]

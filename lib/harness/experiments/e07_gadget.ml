@@ -1,0 +1,67 @@
+(* E7: Theorem 4.3 gadget correctness. *)
+
+open Exp_common
+
+let gadget =
+  let module Sp = Bcclb_partition.Set_partition in
+  let module Tp = Bcclb_partition.Two_partition in
+  let module Rg = Bcclb_comm.Reduction_graph in
+  experiment ~id:"gadget" ~title:"E7  Theorem 4.3: components of G(P_A,P_B) = P_A v P_B"
+    ~doc:"E7: Theorem 4.3 gadget correctness"
+    ~tables:
+      [ { E.name = "exhaustive (all partition pairs)";
+          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "total" ] };
+        { E.name = "random pairs";
+          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "trials" ] };
+        { E.name = "two-gadget (2-regular MultiCycle instances)";
+          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "trials" ] } ]
+    ~notes:
+      [ "ok counts pairs whose gadget components equal P_A v P_B (two-gadget also requires";
+        "2-regularity and a well-formed MultiCycle input)." ]
+    ~grid:
+      (List.map (fun n -> P.v [ ps "part" "exhaustive"; pi "n" n ]) [ 2; 3; 4; 5 ]
+      @ List.map (fun n -> P.v [ ps "part" "random"; pi "n" n; pi "trials" 200 ]) [ 20; 100; 200 ]
+      @ List.map (fun n -> P.v [ ps "part" "two"; pi "n" n; pi "trials" 200 ]) [ 10; 50; 100 ])
+    (fun p ->
+      let n = P.int p "n" in
+      match P.str p "part" with
+      | "exhaustive" ->
+        let total = ref 0 and ok = ref 0 in
+        List.iter
+          (fun pa ->
+            List.iter
+              (fun pb ->
+                incr total;
+                let g = Rg.gadget pa pb in
+                if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok)
+              (Sp.all ~n))
+          (Sp.all ~n);
+        [ E.row ~table:"exhaustive (all partition pairs)" [ pi "n" n; pi "ok" !ok; pi "total" !total ] ]
+      | "random" ->
+        let trials = P.int p "trials" in
+        let rng = Rng.create ~seed:(70 + n) in
+        let ok = ref 0 in
+        for _ = 1 to trials do
+          let pa = Sp.random_crp rng ~n and pb = Sp.random_crp rng ~n in
+          let g = Rg.gadget pa pb in
+          if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok
+        done;
+        [ E.row ~table:"random pairs" [ pi "n" n; pi "ok" !ok; pi "trials" trials ] ]
+      | "two" ->
+        let trials = P.int p "trials" in
+        let rng = Rng.create ~seed:(71 + n) in
+        let ok = ref 0 in
+        for _ = 1 to trials do
+          let pa = Tp.random rng ~n and pb = Tp.random rng ~n in
+          let g = Rg.two_gadget pa pb in
+          if
+            Sp.equal (Rg.two_gadget_partition g ~n) (Sp.join pa pb)
+            && Graph.is_regular g ~k:2 && Problems.is_multicycle_input g
+          then incr ok
+        done;
+        [ E.row ~table:"two-gadget (2-regular MultiCycle instances)"
+            [ pi "n" n; pi "ok" !ok; pi "trials" trials ]
+        ]
+      | part -> invalid_arg ("gadget: unknown part " ^ part))
+
+let experiments = [ gadget ]

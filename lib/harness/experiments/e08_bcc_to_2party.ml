@@ -1,0 +1,32 @@
+(* E8: the section 4.3 pipeline, measured. *)
+
+open Exp_common
+
+let bcc_to_2party =
+  experiment ~id:"bcc-to-2party"
+    ~title:"E8  Theorem 4.4 pipeline: TwoPartition -> MultiCycle gadget -> KT-1 BCC(1)"
+    ~doc:"E8: the section 4.3 pipeline, measured"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:5 "n"; E.icol ~width:8 ~header:"gadgetN" "gadget_n";
+              E.icol ~width:7 "rounds"; E.icol ~width:12 ~header:"meas. bits" "measured";
+              E.icol ~width:12 ~header:"pred. bits" "predicted"; E.bcol ~width:8 "correct";
+              E.fcol ~width:14 ~prec:3 ~header:"implied t-LB" "implied_lb" ]
+        } ]
+    ~notes:
+      [ "shape check: measured = predicted (2 bits/char accounting); implied t-LB grows as Theta(log n)." ]
+    ~grid:(List.map (fun n -> P.v [ pi "n" n; pi "samples" 10 ]) [ 4; 6; 8; 10; 12; 16; 20 ])
+    ~grid_of_ns:(fun ns -> List.map (fun n -> P.v [ pi "n" n; pi "samples" 10 ]) ns)
+    (fun p ->
+      let n = P.int p "n" and samples = P.int p "samples" in
+      let rng = Rng.create ~seed:(8000 + n) in
+      let r = Core.Kt1_bound.pipeline_row ~n rng ~samples in
+      Core.Kt1_bound.
+        [ E.row
+            [ pi "n" n; pi "gadget_n" r.gadget_n; pi "rounds" r.bcc_rounds;
+              pi "measured" r.measured_bits; pi "predicted" r.predicted_bits;
+              pb "correct" r.correct; pf "implied_lb" r.implied_round_lb ]
+        ])
+
+let experiments = [ bcc_to_2party ]

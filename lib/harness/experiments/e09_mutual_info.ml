@@ -1,0 +1,48 @@
+(* E9: Theorem 4.5 information bound. *)
+
+open Exp_common
+
+let mutual_info_grid ns =
+  List.concat_map
+    (fun n -> List.map (fun e -> P.v [ ps "part" "synthetic"; pi "n" n; pf "eps" e ]) [ 0.0; 0.1; 0.25; 0.5 ])
+    ns
+  @ List.map (fun n -> P.v [ ps "part" "bcc"; pi "n" n ]) (List.filter (fun n -> n <= 5) ns)
+
+let mutual_info =
+  experiment ~id:"mutual-info"
+    ~title:"E9  Theorem 4.5: I(P_A; Pi) >= (1-eps) H(P_A) for PartitionComp"
+    ~doc:"E9: Theorem 4.5 information bound"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:3 "n"; E.fcol ~width:8 ~prec:3 "eps";
+              E.fcol ~width:12 ~header:"H(P_A)" "h_pa"; E.fcol ~width:12 ~header:"I(P_A;Pi)" "mi";
+              E.fcol ~width:12 ~header:"(1-e)H" "bound"; E.bcol ~width:7 "holds";
+              E.scol ~width:8 "errors" ]
+        };
+        { E.name = "with Pi = transcript of the real section-4.3 BCC pipeline";
+          columns =
+            [ E.icol ~width:3 "n"; E.fcol ~width:12 ~header:"H(P_A)" "h_pa";
+              E.fcol ~width:12 ~header:"I(P_A;Pi)" "mi"; E.bcol ~width:10 "correct" ]
+        } ]
+    ~grid:(mutual_info_grid [ 4; 5; 6 ])
+    ~grid_of_ns:mutual_info_grid
+    (fun p ->
+      let n = P.int p "n" in
+      match P.str p "part" with
+      | "synthetic" ->
+        let r = Core.Info_bound.row ~n ~epsilon:(P.float p "eps") in
+        Core.Info_bound.
+          [ E.row
+              [ pi "n" n; pf "eps" r.epsilon; pf "h_pa" r.h_pa; pf "mi" r.mi; pf "bound" r.bound;
+                pb "holds" r.holds; ps "errors" (Printf.sprintf "%d/%d" r.errors r.total) ]
+          ]
+      | "bcc" ->
+        let r = Core.Info_bound.bcc_row ~n in
+        Core.Info_bound.
+          [ E.row ~table:"with Pi = transcript of the real section-4.3 BCC pipeline"
+              [ pi "n" n; pf "h_pa" r.h_pa; pf "mi" r.mi; pb "correct" r.comp_correct ]
+          ]
+      | part -> invalid_arg ("mutual-info: unknown part " ^ part))
+
+let experiments = [ mutual_info ]

@@ -1,0 +1,61 @@
+(* E11: proof-labeling schemes for Connectivity (section 1.3). *)
+
+open Exp_common
+
+let pls_grid ns =
+  List.map (fun n -> P.v [ ps "part" "bits"; pi "n" n ]) ns
+  @ List.map (fun n -> P.v [ ps "part" "exec"; pi "n" n ]) (List.filter (fun n -> n <= 64) ns)
+
+let pls =
+  experiment ~id:"pls" ~title:"E11 Proof-labeling schemes: verification complexity for Connectivity"
+    ~doc:"E11: proof-labeling schemes for Connectivity"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:6 "n"; E.icol ~width:18 ~header:"spanning bits" "spanning";
+              E.icol ~width:22 ~header:"transcript bits (2r)" "transcript";
+              E.fcol ~width:14 ~prec:2 ~header:"lower bound" "lb" ]
+        };
+        { E.name = "execution: completeness / soundness probes";
+          columns =
+            [ E.icol ~width:6 "n"; E.bcol ~width:10 "complete"; E.bcol ~width:8 "fooled" ]
+        } ]
+    ~grid:(pls_grid [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
+    ~grid_of_ns:pls_grid
+    (fun p ->
+      let n = P.int p "n" in
+      let spanning = Pls.Spanning_tree.scheme in
+      match P.str p "part" with
+      | "bits" ->
+        let transcript =
+          Pls.Transcript_scheme.of_algorithm
+            (Algos.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2)
+        in
+        [ E.row
+            [ pi "n" n; pi "spanning" (spanning.Pls.Scheme.label_bits ~n);
+              pi "transcript" (transcript.Pls.Scheme.label_bits ~n);
+              pf "lb" (Core.Kt0_bound.theorem_3_1_threshold ~n) ]
+        ]
+      | "exec" ->
+        let rng = Rng.create ~seed:(110 + n) in
+        let yes = Instance.kt0_circulant (Gen.random_cycle rng n) in
+        let no = Instance.kt0_circulant (Gen.random_two_cycles rng n) in
+        let complete =
+          match spanning.Pls.Scheme.prove yes with
+          | Some labels -> Pls.Scheme.accepts spanning yes ~labels
+          | None -> false
+        in
+        let candidates =
+          List.filter_map
+            (fun _ -> spanning.Pls.Scheme.prove (Instance.kt0_circulant (Gen.random_cycle rng n)))
+            (Arrayx.range 0 3)
+        in
+        let fooled =
+          Pls.Scheme.soundness_check ~trials:100 rng spanning no ~candidate_labels:candidates
+        in
+        [ E.row ~table:"execution: completeness / soundness probes"
+            [ pi "n" n; pb "complete" complete; pb "fooled" (fooled <> None) ]
+        ]
+      | part -> invalid_arg ("pls: unknown part " ^ part))
+
+let experiments = [ pls ]

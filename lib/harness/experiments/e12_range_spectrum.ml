@@ -1,0 +1,40 @@
+(* E12: the range spectrum RCC(b, r) of [Bec+16]. *)
+
+open Exp_common
+
+let range_spectrum_grid ns =
+  List.concat_map
+    (fun n ->
+      let rs = List.sort_uniq Int.compare [ 1; 2; 4; 8; (n - 1) / 2; n - 1 ] in
+      List.filter_map (fun r -> if r >= 1 then Some (P.v [ pi "n" n; pi "r" r ]) else None) rs)
+    ns
+
+let range_spectrum =
+  experiment ~id:"range-spectrum" ~title:"E12 Range spectrum [Bec+16]: TokenRouting rounds vs range r"
+    ~doc:"E12: RCC(b,r) TokenRouting spectrum"
+    ~tables:
+      [ { E.name = "";
+          columns =
+            [ E.icol ~width:6 "n"; E.icol ~width:6 "r"; E.icol ~width:8 "rounds";
+              E.fcol ~width:8 ~prec:2 ~header:"(n-1)/r" "pred"; E.bcol ~width:10 "delivered";
+              E.icol ~width:12 ~header:"maxDistinct" "max_distinct" ]
+        } ]
+    ~notes:
+      [ "shape check: rounds = ceil((n-1)/r), interpolating smoothly from the BCC end (r=1,";
+        "n-1 rounds) to the CC end (r=n-1, 1 round) -- the spectrum the paper cites in 1.3." ]
+    ~grid:(range_spectrum_grid [ 9; 17; 33 ])
+    ~grid_of_ns:range_spectrum_grid
+    (fun p ->
+      let n = P.int p "n" and r = P.int p "r" in
+      let inst = Instance.kt1_of_graph (Gen.cycle n) in
+      let algo = Bcclb_rcc.Token_routing.algo ~r () in
+      let result = Bcclb_rcc.Rcc_simulator.run algo inst in
+      Bcclb_rcc.Rcc_simulator.
+        [ E.row
+            [ pi "n" n; pi "r" r; pi "rounds" result.rounds_used;
+              pf "pred" (float_of_int (n - 1) /. float_of_int r);
+              pb "delivered" (Array.for_all Fun.id result.outputs);
+              pi "max_distinct" result.max_distinct ]
+        ])
+
+let experiments = [ range_spectrum ]

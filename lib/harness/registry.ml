@@ -1,825 +1,15 @@
-(* E1..E14 as data. Every cell derives all randomness from its own
-   parameters (per-cell seeds), so a cell's rows are a pure function of
-   (id, version, params) — the cache-key contract — and sweeps are
-   byte-identical for any BCCLB_NUM_DOMAINS. Bump an experiment's
-   [version] whenever its cell semantics change. *)
+(* Thin aggregation of the per-experiment modules under experiments/.
+   Each EXX module exports [experiments : Experiment.t list]; the shared
+   prelude (param shorthands, cache-purity contract, algorithm families)
+   lives in Exp_common. Run order is E1..E14. *)
 
 module E = Experiment
-module P = Params
-module Core = Bcclb_core
-module Rng = Bcclb_util.Rng
-module Nat = Bcclb_bignum.Nat
-module Ratio = Bcclb_bignum.Ratio
-module Mathx = Bcclb_util.Mathx
-module Arrayx = Bcclb_util.Arrayx
-module Instance = Bcclb_bcc.Instance
-module Simulator = Bcclb_bcc.Simulator
-module Problems = Bcclb_bcc.Problems
-module Algo = Bcclb_bcc.Algo
-module Gen = Bcclb_graph.Gen
-module Graph = Bcclb_graph.Graph
-module Algos = Bcclb_algorithms
-module Pls = Bcclb_plschemes
-
-let pi k v = (k, P.Int v)
-let pf k v = (k, P.Float v)
-let pb k v = (k, P.Bool v)
-let ps k v = (k, P.Str v)
-let grid1 key xs = List.map (fun x -> P.v [ pi key x ]) xs
-
-let experiment ~id ~title ~doc ?(version = 1) ~tables ?(notes = []) ~grid ?grid_of_ns cell =
-  { E.id; title; doc; version; tables; notes; default_grid = grid; grid_of_ns; cell }
-
-let truncated_optimist ~rounds =
-  Algos.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
-    ~optimist:true
-
-let truncated_pessimist ~rounds =
-  Algos.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
-    ~optimist:false
-
-let partial_optimist ~rounds =
-  Algos.Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
-    ~optimist:true
-
-(* ---------- E1: Lemma 3.9 census ratio ---------- *)
-
-let census =
-  experiment ~id:"census" ~title:"E1  Lemma 3.9: |V2| = |V1| * Theta(log n)"
-    ~doc:"E1: Lemma 3.9 census ratio"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:4 "n"; E.scol ~width:22 ~header:"|V1|" "v1";
-              E.scol ~width:22 ~header:"|V2|" "v2"; E.fcol ~width:10 "ratio";
-              E.fcol ~width:10 ~header:"H(n/2)-1.5" "predicted";
-              E.scol ~width:8 ~header:"enum V1" "enum_v1"; E.scol ~width:8 ~header:"enum V2" "enum_v2" ]
-        } ]
-    ~notes:[ "shape check: ratio/(H(n/2)-1.5) should be ~constant (Theta(log n))." ]
-    ~grid:(grid1 "n" [ 6; 7; 8; 9; 10; 12; 16; 24; 32; 48; 64 ])
-    ~grid_of_ns:(grid1 "n")
-    (fun p ->
-      let n = P.int p "n" in
-      let r = Core.Kt0_bound.census_row ~n () in
-      let enum = function Some v -> string_of_int v | None -> "-" in
-      Core.Kt0_bound.
-        [ E.row
-            [ pi "n" n; ps "v1" (Nat.to_string r.v1); ps "v2" (Nat.to_string r.v2);
-              pf "ratio" r.ratio; pf "predicted" r.predicted;
-              ps "enum_v1" (enum r.v1_enumerated); ps "enum_v2" (enum r.v2_enumerated) ]
-        ])
-
-(* ---------- E2: indistinguishability graph structure ---------- *)
-
-let indist_grid ns =
-  List.concat_map (fun n -> List.map (fun t -> P.v [ pi "n" n; pi "t" t ]) [ 0; 1; 2; 3 ]) ns
-
-let indist_graph =
-  experiment ~id:"indist-graph"
-    ~title:"E2  Lemmas 3.7/3.8 + Theorem 2.1: structure of G^t_{x,y}"
-    ~doc:"E2: indistinguishability graph structure"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.icol ~width:6 ~header:"|V1|" "v1";
-              E.icol ~width:6 ~header:"|V2|" "v2"; E.icol ~width:9 "edges";
-              E.icol ~width:9 "isolated"; E.icol ~width:8 ~header:"minDeg" "min_deg";
-              E.icol ~width:8 ~header:"maxDeg" "max_deg"; E.icol ~width:5 "k";
-              E.bcol ~width:5 ~header:"Hall" "hall"; E.bcol ~width:9 ~header:"k-match" "k_match" ]
-        } ]
-    ~notes:
-      [ "note: at t=0 every V1 vertex has degree n(n-3)/2 and |V2|<|V1|, so k=1 Hall fails";
-        "globally but every V2 vertex is reachable; as t grows the graph thins out." ]
-    ~grid:(indist_grid [ 6; 7 ])
-    ~grid_of_ns:indist_grid
-    (fun p ->
-      let n = P.int p "n" and t = P.int p "t" in
-      let rng = Rng.create ~seed:(1000 + n + t) in
-      let algo = truncated_optimist ~rounds:t in
-      let s = Core.Kt0_bound.indist_stats algo ~n ~rounds:t ~k:1 rng in
-      Core.Kt0_bound.
-        [ E.row
-            [ pi "n" n; pi "t" t; pi "v1" s.v1_count; pi "v2" s.v2_count; pi "edges" s.edges;
-              pi "isolated" s.isolated_v1; pi "min_deg" s.min_live_degree;
-              pi "max_deg" s.max_degree_v1; pi "k" s.k; pb "hall" s.hall_ok;
-              pb "k_match" s.k_matching_found ]
-        ])
-
-(* ---------- E3: error of t-round algorithms under mu ---------- *)
-
-let error_algos = [ "truncated-optimist"; "truncated-pessimist"; "partial-optimist" ]
-
-let error_algo_make = function
-  | "truncated-optimist" -> truncated_optimist
-  | "truncated-pessimist" -> truncated_pessimist
-  | "partial-optimist" -> partial_optimist
-  | a -> invalid_arg ("kt0-error: unknown algorithm " ^ a)
-
-let kt0_error_grid ns =
-  let errors =
-    List.concat_map
-      (fun n ->
-        let tmax = Core.Kt0_bound.upper_bound_rounds ~n in
-        let ts = List.sort_uniq Int.compare [ 0; 1; 2; 3; 4; 6; tmax / 2; tmax ] in
-        List.concat_map
-          (fun t ->
-            List.map (fun a -> P.v [ ps "part" "error"; pi "n" n; pi "t" t; ps "algo" a ]) error_algos)
-          ts)
-      ns
-  in
-  let thresholds = List.map (fun n -> P.v [ ps "part" "threshold"; pi "n" n ]) ns in
-  let certified =
-    List.concat_map
-      (fun n -> List.map (fun t -> P.v [ ps "part" "certified"; pi "n" n; pi "t" t ]) [ 0; 1; 2; 3 ])
-      (Arrayx.take 2 ns)
-  in
-  let star =
-    List.concat_map
-      (fun n ->
-        if n >= 9 then
-          List.map (fun t -> P.v [ ps "part" "star"; pi "n" n; pi "t" t ]) [ 0; 1; 2; 3; 4 ]
-        else [])
-      ns
-  in
-  errors @ thresholds @ certified @ star
-
-let kt0_error =
-  experiment ~id:"kt0-error"
-    ~title:"E3  Theorems 3.1/3.5: distributional error of t-round KT-0 algorithms"
-    ~doc:"E3: error of t-round KT-0 algorithms under mu"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.scol ~width:28 ~header:"algorithm" "algo";
-              E.fcol ~width:10 ~header:"mu-error" "mu_error";
-              E.icol ~width:10 ~header:"active>=" "active_min";
-              E.fcol ~width:12 ~prec:3 ~header:"n/3^2t" "pigeonhole" ]
-        };
-        { E.name = "Theorem 3.1 thresholds and tightness ceilings";
-          columns =
-            [ E.icol ~width:3 "n"; E.fcol ~width:12 ~prec:2 ~header:"0.1*log3 n" "threshold";
-              E.icol ~width:10 ~header:"UB rounds" "ub_rounds" ]
-        };
-        { E.name = "certified per-algorithm error lower bounds (matching in full G^t)";
-          columns =
-            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.icol ~width:10 "matching";
-              E.fcol ~width:14 ~header:"certified LB" "certified"; E.fcol ~width:12 ~header:"measured" "measured" ]
-        };
-        { E.name = "star distribution (Theorem 3.5): error of t-round algorithms";
-          columns =
-            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.fcol ~width:12 ~prec:5 ~header:"star error" "star";
-              E.fcol ~width:14 ~prec:5 ~header:"Omega(3^-4t)" "bound" ]
-        } ]
-    ~notes:
-      [ "shape check: error stays >= const for t << log n, collapses to 0 at the O(log n) UB." ]
-    ~grid:(kt0_error_grid [ 6; 7; 8 ])
-    ~grid_of_ns:kt0_error_grid
-    (fun p ->
-      let n = P.int p "n" in
-      match P.str p "part" with
-      | "error" ->
-        let t = P.int p "t" in
-        let rng = Rng.create ~seed:(2000 + n + t) in
-        let r = Core.Kt0_bound.error_row ~n ~t (error_algo_make (P.str p "algo")) rng in
-        Core.Kt0_bound.
-          [ E.row
-              [ pi "n" n; pi "t" t; ps "algo" r.algo_name; pf "mu_error" r.mu_error;
-                pi "active_min" r.largest_active_min; pf "pigeonhole" r.pigeonhole_floor ]
-          ]
-      | "threshold" ->
-        [ E.row ~table:"Theorem 3.1 thresholds and tightness ceilings"
-            [ pi "n" n; pf "threshold" (Core.Kt0_bound.theorem_3_1_threshold ~n);
-              pi "ub_rounds" (Core.Kt0_bound.upper_bound_rounds ~n) ]
-        ]
-      | "certified" ->
-        let t = P.int p "t" in
-        let algo = truncated_optimist ~rounds:t in
-        let g = Core.Indist_graph.build_full algo ~n () in
-        let size, lb = Core.Indist_graph.certified_error_lb g in
-        let measured =
-          Core.Hard_distribution.error_float (Core.Hard_distribution.exact_error algo ~n)
-        in
-        [ E.row ~table:"certified per-algorithm error lower bounds (matching in full G^t)"
-            [ pi "n" n; pi "t" t; pi "matching" size; pf "certified" (Ratio.to_float lb);
-              pf "measured" measured ]
-        ]
-      | "star" ->
-        let t = P.int p "t" in
-        let algo = truncated_optimist ~rounds:t in
-        let e = Core.Hard_distribution.star_error algo ~n in
-        [ E.row ~table:"star distribution (Theorem 3.5): error of t-round algorithms"
-            [ pi "n" n; pi "t" t; pf "star" (Ratio.to_float e);
-              pf "bound" (0.5 *. (3.0 ** float_of_int (-4 * t))) ]
-        ]
-      | part -> invalid_arg ("kt0-error: unknown part " ^ part))
-
-(* ---------- E3b: randomized Monte Carlo error-vs-rounds trade-off ---------- *)
-
-let kt0_error_rand_grid ns =
-  List.concat_map
-    (fun n ->
-      List.map
-        (fun k -> P.v [ pi "n" n; pi "k" k; pi "trials" 200 ])
-        [ 1; 2; 3; 4; 6; 8; 10; 12 ])
-    ns
-
-let kt0_error_rand =
-  experiment ~id:"kt0-error-rand"
-    ~title:"E3b Theorem 3.1 (randomized side): hashed discovery, error vs rounds"
-    ~doc:"E3b: randomized hashed-discovery error trade-off"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:5 "n"; E.icol ~width:4 "k"; E.icol ~width:7 "rounds";
-              E.fcol ~width:12 ~prec:3 ~header:"err(YES)" "err_yes";
-              E.fcol ~width:12 ~prec:3 ~header:"err(NO)" "err_no";
-              E.fcol ~width:12 ~prec:3 ~header:"pred(NO)" "pred_no" ]
-        } ]
-    ~notes:
-      [ "shape check: err(YES)=0 (one-sided); err(NO) stays constant until k ~ 2 log2 n,";
-        "i.e. rounds = Theta(log n) are necessary AND sufficient for constant error." ]
-    ~grid:(kt0_error_rand_grid [ 16; 32 ])
-    ~grid_of_ns:kt0_error_rand_grid
-    (fun p ->
-      let n = P.int p "n" and k = P.int p "k" and trials = P.int p "trials" in
-      let algo = Algos.Hashed_discovery.connectivity ~k in
-      let rng = Rng.create ~seed:(4000 + n + k) in
-      let errs_yes = ref 0 and errs_no = ref 0 in
-      for seed = 1 to trials do
-        let yes = Instance.kt0_circulant (Gen.random_cycle rng n) in
-        let no = Instance.kt0_circulant (Gen.random_two_cycles rng n) in
-        let run inst =
-          Problems.system_decision (Simulator.run ~seed algo inst).Simulator.outputs
-        in
-        if not (run yes) then incr errs_yes;
-        if run no then incr errs_no
-      done;
-      [ E.row
-          [ pi "n" n; pi "k" k; pi "rounds" (Algo.rounds algo ~n);
-            pf "err_yes" (float_of_int !errs_yes /. float_of_int trials);
-            pf "err_no" (float_of_int !errs_no /. float_of_int trials);
-            pf "pred_no" (Algos.Hashed_discovery.predicted_error ~n ~k) ]
-      ])
-
-(* ---------- E4: Lemma 3.4 by execution ---------- *)
-
-let crossing_grid ns =
-  List.concat_map
-    (fun n ->
-      List.concat_map
-        (fun w ->
-          List.map (fun t -> P.v [ pi "n" n; ps "wiring" w; pi "t" t; pi "instances" 2 ]) [ 0; 3; 6 ])
-        [ "circulant"; "random" ])
-    ns
-
-let crossing =
-  experiment ~id:"crossing"
-    ~title:"E4  Lemma 3.4: crossings of same-label pairs are indistinguishable"
-    ~doc:"E4: Lemma 3.4 checked by execution"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:3 "n"; E.icol ~width:3 "t"; E.scol ~width:10 "wiring";
-              E.icol ~width:10 "crossable"; E.icol ~width:10 ~header:"same-lbl" "same_label";
-              E.icol ~width:12 ~header:"indist" "indist";
-              E.icol ~width:12 ~header:"VIOLATIONS" "violations";
-              E.icol ~width:10 ~header:"diff-dist" "diff_dist" ]
-        } ]
-    ~notes:[ "Lemma 3.4 holds iff VIOLATIONS = 0 everywhere." ]
-    ~grid:(crossing_grid [ 8; 10 ])
-    ~grid_of_ns:crossing_grid
-    (fun p ->
-      let n = P.int p "n" and t = P.int p "t" and instances = P.int p "instances" in
-      let wname = P.str p "wiring" in
-      let wiring =
-        match wname with
-        | "circulant" -> `Circulant
-        | "random" -> `Random
-        | w -> invalid_arg ("crossing: unknown wiring " ^ w)
-      in
-      let rng = Rng.create ~seed:(3000 + n + t) in
-      let algo = truncated_optimist ~rounds:t in
-      let r = Core.Crossing_check.check algo ~n ~instances ~wiring rng in
-      Core.Crossing_check.
-        [ E.row
-            [ pi "n" n; pi "t" t; ps "wiring" wname; pi "crossable" r.crossable_pairs;
-              pi "same_label" r.same_label_pairs; pi "indist" r.indistinguishable;
-              pi "violations" r.violations; pi "diff_dist" r.distinguishable_diff_label ]
-        ])
-
-(* ---------- E5: rank certificates ---------- *)
-
-let rank =
-  experiment ~id:"rank" ~title:"E5  Theorem 2.3 / Lemma 4.1: rank(M^n) = B_n, rank(E^n) = r"
-    ~doc:"E5: rank certificates for M^n and E^n"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.scol ~width:8 "matrix"; E.icol ~width:4 "n"; E.icol ~width:10 ~header:"dim" "dim";
-              E.icol ~width:8 "rank"; E.bcol ~width:6 "full";
-              E.fcol ~width:12 ~prec:2 ~header:"lb bits" "lb_bits";
-              E.icol ~width:10 ~header:"ub bits" "ub_bits" ]
-        } ]
-    ~notes:[ "full=true certifies full rank over Q (mod-p certificate)." ]
-    ~grid:
-      (List.map (fun n -> P.v [ ps "matrix" "M"; pi "n" n; pi "samples" 20 ]) [ 1; 2; 3; 4; 5; 6 ]
-      @ List.map (fun n -> P.v [ ps "matrix" "E"; pi "n" n; pi "samples" 20 ]) [ 2; 4; 6; 8; 10 ])
-    (fun p ->
-      let n = P.int p "n" and samples = P.int p "samples" and matrix = P.str p "matrix" in
-      let rng = Rng.create ~seed:(500 + (2 * n) + String.length matrix mod 2) in
-      let r =
-        match matrix with
-        | "M" -> Core.Kt1_bound.partition_rank_row ~n rng ~samples
-        | "E" -> Core.Kt1_bound.two_partition_rank_row ~n rng ~samples
-        | m -> invalid_arg ("rank: unknown matrix " ^ m)
-      in
-      Core.Kt1_bound.
-        [ E.row
-            [ ps "matrix" (matrix ^ "^n"); pi "n" n; pi "dim" r.dimension; pi "rank" r.rank;
-              pb "full" r.full; pf "lb_bits" r.lb_bits; pi "ub_bits" r.ub_bits ]
-        ])
-
-(* ---------- E6: communication sandwich ---------- *)
-
-let partition_cc_grid ns =
-  List.map (fun n -> P.v [ ps "part" "partition"; pi "n" n ]) ns
-  @ List.map (fun n -> P.v [ ps "part" "two"; pi "n" n ]) (List.filter (fun n -> n mod 2 = 0) ns)
-
-let partition_cc =
-  let scale n = float_of_int n *. Mathx.log2 (float_of_int (max 2 n)) in
-  experiment ~id:"partition-cc"
-    ~title:"E6  Corollaries 2.4/4.2: D(Partition) sandwiched between log2 B_n and n log n"
-    ~doc:"E6: communication sandwich"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:6 "n"; E.fcol ~width:14 ~prec:1 ~header:"LB bits" "lb_bits";
-              E.fcol ~width:14 ~prec:1 ~header:"UB bits" "ub_bits";
-              E.fcol ~width:12 ~header:"LB/(n lg n)" "lb_norm";
-              E.fcol ~width:14 ~header:"UB/(n lg n)" "ub_norm" ]
-        };
-        { E.name = "TwoPartition variant";
-          columns =
-            [ E.icol ~width:6 "n"; E.fcol ~width:14 ~prec:1 ~header:"LB bits" "lb_bits";
-              E.fcol ~width:14 ~prec:1 ~header:"UB bits" "ub_bits";
-              E.fcol ~width:12 ~header:"LB/(n lg n)" "lb_norm" ]
-        } ]
-    ~notes:[ "shape check: both normalised columns converge to constants with LB < UB." ]
-    ~grid:(partition_cc_grid [ 2; 4; 8; 16; 32; 64; 128; 256 ])
-    ~grid_of_ns:partition_cc_grid
-    (fun p ->
-      let n = P.int p "n" in
-      match P.str p "part" with
-      | "partition" ->
-        let r = Core.Kt1_bound.partition_series ~n in
-        Core.Kt1_bound.
-          [ E.row
-              [ pi "n" n; pf "lb_bits" r.lb_bits; pf "ub_bits" r.ub_bits;
-                pf "lb_norm" (r.lb_bits /. scale n); pf "ub_norm" (r.ub_bits /. scale n) ]
-          ]
-      | "two" ->
-        let r = Core.Kt1_bound.two_partition_series ~n in
-        Core.Kt1_bound.
-          [ E.row ~table:"TwoPartition variant"
-              [ pi "n" n; pf "lb_bits" r.lb_bits; pf "ub_bits" r.ub_bits;
-                pf "lb_norm" (r.lb_bits /. scale n) ]
-          ]
-      | part -> invalid_arg ("partition-cc: unknown part " ^ part))
-
-(* ---------- E7: gadget correctness (Theorem 4.3) ---------- *)
-
-let gadget =
-  let module Sp = Bcclb_partition.Set_partition in
-  let module Tp = Bcclb_partition.Two_partition in
-  let module Rg = Bcclb_comm.Reduction_graph in
-  experiment ~id:"gadget" ~title:"E7  Theorem 4.3: components of G(P_A,P_B) = P_A v P_B"
-    ~doc:"E7: Theorem 4.3 gadget correctness"
-    ~tables:
-      [ { E.name = "exhaustive (all partition pairs)";
-          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "total" ] };
-        { E.name = "random pairs";
-          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "trials" ] };
-        { E.name = "two-gadget (2-regular MultiCycle instances)";
-          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "ok"; E.icol ~width:8 "trials" ] } ]
-    ~notes:
-      [ "ok counts pairs whose gadget components equal P_A v P_B (two-gadget also requires";
-        "2-regularity and a well-formed MultiCycle input)." ]
-    ~grid:
-      (List.map (fun n -> P.v [ ps "part" "exhaustive"; pi "n" n ]) [ 2; 3; 4; 5 ]
-      @ List.map (fun n -> P.v [ ps "part" "random"; pi "n" n; pi "trials" 200 ]) [ 20; 100; 200 ]
-      @ List.map (fun n -> P.v [ ps "part" "two"; pi "n" n; pi "trials" 200 ]) [ 10; 50; 100 ])
-    (fun p ->
-      let n = P.int p "n" in
-      match P.str p "part" with
-      | "exhaustive" ->
-        let total = ref 0 and ok = ref 0 in
-        List.iter
-          (fun pa ->
-            List.iter
-              (fun pb ->
-                incr total;
-                let g = Rg.gadget pa pb in
-                if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok)
-              (Sp.all ~n))
-          (Sp.all ~n);
-        [ E.row ~table:"exhaustive (all partition pairs)" [ pi "n" n; pi "ok" !ok; pi "total" !total ] ]
-      | "random" ->
-        let trials = P.int p "trials" in
-        let rng = Rng.create ~seed:(70 + n) in
-        let ok = ref 0 in
-        for _ = 1 to trials do
-          let pa = Sp.random_crp rng ~n and pb = Sp.random_crp rng ~n in
-          let g = Rg.gadget pa pb in
-          if Sp.equal (Rg.gadget_partition g ~n) (Sp.join pa pb) then incr ok
-        done;
-        [ E.row ~table:"random pairs" [ pi "n" n; pi "ok" !ok; pi "trials" trials ] ]
-      | "two" ->
-        let trials = P.int p "trials" in
-        let rng = Rng.create ~seed:(71 + n) in
-        let ok = ref 0 in
-        for _ = 1 to trials do
-          let pa = Tp.random rng ~n and pb = Tp.random rng ~n in
-          let g = Rg.two_gadget pa pb in
-          if
-            Sp.equal (Rg.two_gadget_partition g ~n) (Sp.join pa pb)
-            && Graph.is_regular g ~k:2 && Problems.is_multicycle_input g
-          then incr ok
-        done;
-        [ E.row ~table:"two-gadget (2-regular MultiCycle instances)"
-            [ pi "n" n; pi "ok" !ok; pi "trials" trials ]
-        ]
-      | part -> invalid_arg ("gadget: unknown part " ^ part))
-
-(* ---------- E8: the section 4.3 pipeline, measured ---------- *)
-
-let bcc_to_2party =
-  experiment ~id:"bcc-to-2party"
-    ~title:"E8  Theorem 4.4 pipeline: TwoPartition -> MultiCycle gadget -> KT-1 BCC(1)"
-    ~doc:"E8: the section 4.3 pipeline, measured"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:5 "n"; E.icol ~width:8 ~header:"gadgetN" "gadget_n";
-              E.icol ~width:7 "rounds"; E.icol ~width:12 ~header:"meas. bits" "measured";
-              E.icol ~width:12 ~header:"pred. bits" "predicted"; E.bcol ~width:8 "correct";
-              E.fcol ~width:14 ~prec:3 ~header:"implied t-LB" "implied_lb" ]
-        } ]
-    ~notes:
-      [ "shape check: measured = predicted (2 bits/char accounting); implied t-LB grows as Theta(log n)." ]
-    ~grid:(List.map (fun n -> P.v [ pi "n" n; pi "samples" 10 ]) [ 4; 6; 8; 10; 12; 16; 20 ])
-    ~grid_of_ns:(fun ns -> List.map (fun n -> P.v [ pi "n" n; pi "samples" 10 ]) ns)
-    (fun p ->
-      let n = P.int p "n" and samples = P.int p "samples" in
-      let rng = Rng.create ~seed:(8000 + n) in
-      let r = Core.Kt1_bound.pipeline_row ~n rng ~samples in
-      Core.Kt1_bound.
-        [ E.row
-            [ pi "n" n; pi "gadget_n" r.gadget_n; pi "rounds" r.bcc_rounds;
-              pi "measured" r.measured_bits; pi "predicted" r.predicted_bits;
-              pb "correct" r.correct; pf "implied_lb" r.implied_round_lb ]
-        ])
-
-(* ---------- E9: information bound ---------- *)
-
-let mutual_info_grid ns =
-  List.concat_map
-    (fun n -> List.map (fun e -> P.v [ ps "part" "synthetic"; pi "n" n; pf "eps" e ]) [ 0.0; 0.1; 0.25; 0.5 ])
-    ns
-  @ List.map (fun n -> P.v [ ps "part" "bcc"; pi "n" n ]) (List.filter (fun n -> n <= 5) ns)
-
-let mutual_info =
-  experiment ~id:"mutual-info"
-    ~title:"E9  Theorem 4.5: I(P_A; Pi) >= (1-eps) H(P_A) for PartitionComp"
-    ~doc:"E9: Theorem 4.5 information bound"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:3 "n"; E.fcol ~width:8 ~prec:3 "eps";
-              E.fcol ~width:12 ~header:"H(P_A)" "h_pa"; E.fcol ~width:12 ~header:"I(P_A;Pi)" "mi";
-              E.fcol ~width:12 ~header:"(1-e)H" "bound"; E.bcol ~width:7 "holds";
-              E.scol ~width:8 "errors" ]
-        };
-        { E.name = "with Pi = transcript of the real section-4.3 BCC pipeline";
-          columns =
-            [ E.icol ~width:3 "n"; E.fcol ~width:12 ~header:"H(P_A)" "h_pa";
-              E.fcol ~width:12 ~header:"I(P_A;Pi)" "mi"; E.bcol ~width:10 "correct" ]
-        } ]
-    ~grid:(mutual_info_grid [ 4; 5; 6 ])
-    ~grid_of_ns:mutual_info_grid
-    (fun p ->
-      let n = P.int p "n" in
-      match P.str p "part" with
-      | "synthetic" ->
-        let r = Core.Info_bound.row ~n ~epsilon:(P.float p "eps") in
-        Core.Info_bound.
-          [ E.row
-              [ pi "n" n; pf "eps" r.epsilon; pf "h_pa" r.h_pa; pf "mi" r.mi; pf "bound" r.bound;
-                pb "holds" r.holds; ps "errors" (Printf.sprintf "%d/%d" r.errors r.total) ]
-          ]
-      | "bcc" ->
-        let r = Core.Info_bound.bcc_row ~n in
-        Core.Info_bound.
-          [ E.row ~table:"with Pi = transcript of the real section-4.3 BCC pipeline"
-              [ pi "n" n; pf "h_pa" r.h_pa; pf "mi" r.mi; pb "correct" r.comp_correct ]
-          ]
-      | part -> invalid_arg ("mutual-info: unknown part " ^ part))
-
-(* ---------- E10: upper bounds ---------- *)
-
-let upper_bounds_grid ns =
-  List.map (fun n -> P.v [ ps "part" "rounds"; pi "n" n ]) ns
-  @ List.map (fun n -> P.v [ ps "part" "normalised"; pi "n" n ]) ns
-  @ List.map (fun n -> P.v [ ps "part" "exec"; pi "n" n ]) (List.filter (fun n -> n <= 128) ns)
-
-let upper_bounds =
-  experiment ~id:"upper-bounds" ~title:"E10 Tightness: rounds of the BCC algorithms vs n"
-    ~doc:"E10: rounds of the implemented algorithms"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:6 "n"; E.icol ~width:16 ~header:"discovery KT-0" "d0";
-              E.icol ~width:16 ~header:"discovery KT-1" "d1"; E.icol ~width:12 ~header:"adj-matrix" "adj";
-              E.icol ~width:12 ~header:"min-label" "ml"; E.icol ~width:18 ~header:"boruvka(BCC(2L))" "bv" ]
-        };
-        { E.name = "normalised by log2 n";
-          columns =
-            [ E.icol ~width:6 "n"; E.fcol ~width:16 ~prec:3 ~header:"KT-0/log n" "d0_norm";
-              E.fcol ~width:16 ~prec:3 ~header:"KT-1/log n" "d1_norm";
-              E.fcol ~width:19 ~header:"min-label/(n log n)" "ml_norm" ]
-        };
-        { E.name = "execution check (YES/NO answers on random instances)";
-          columns =
-            [ E.icol ~width:6 "n"; E.bcol ~width:14 ~header:"YES-instance" "yes";
-              E.bcol ~width:13 ~header:"NO-instance" "no" ]
-        } ]
-    ~grid:(upper_bounds_grid [ 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ])
-    ~grid_of_ns:upper_bounds_grid
-    (fun p ->
-      let n = P.int p "n" in
-      let d0 () = Algos.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2 in
-      let d1 () = Algos.Discovery.connectivity ~knowledge:Instance.KT1 ~max_degree:2 in
-      match P.str p "part" with
-      | "rounds" ->
-        [ E.row
-            [ pi "n" n; pi "d0" (Algo.rounds (d0 ()) ~n); pi "d1" (Algo.rounds (d1 ()) ~n);
-              pi "adj" (Algo.rounds (Algos.Adjacency_matrix.connectivity ()) ~n);
-              pi "ml" (Algo.rounds (Algos.Min_label.connectivity ()) ~n);
-              pi "bv" (Algo.rounds (Algos.Boruvka.connectivity ()) ~n) ]
-        ]
-      | "normalised" ->
-        let lg = Mathx.log2 (float_of_int n) in
-        [ E.row ~table:"normalised by log2 n"
-            [ pi "n" n; pf "d0_norm" (float_of_int (Algo.rounds (d0 ()) ~n) /. lg);
-              pf "d1_norm" (float_of_int (Algo.rounds (d1 ()) ~n) /. lg);
-              pf "ml_norm"
-                (float_of_int (Algo.rounds (Algos.Min_label.connectivity ()) ~n)
-                /. (float_of_int n *. lg)) ]
-        ]
-      | "exec" ->
-        let rng = Rng.create ~seed:(100 + n) in
-        let yes = Gen.random_cycle rng n in
-        let no = Gen.random_two_cycles rng n in
-        let run algo inst =
-          Problems.system_decision (Simulator.run algo inst).Simulator.outputs
-        in
-        [ E.row ~table:"execution check (YES/NO answers on random instances)"
-            [ pi "n" n; pb "yes" (run (d0 ()) (Instance.kt0_circulant yes));
-              pb "no" (run (d0 ()) (Instance.kt0_circulant no)) ]
-        ]
-      | part -> invalid_arg ("upper-bounds: unknown part " ^ part))
-
-(* ---------- E11: proof-labeling schemes (section 1.3) ---------- *)
-
-let pls_grid ns =
-  List.map (fun n -> P.v [ ps "part" "bits"; pi "n" n ]) ns
-  @ List.map (fun n -> P.v [ ps "part" "exec"; pi "n" n ]) (List.filter (fun n -> n <= 64) ns)
-
-let pls =
-  experiment ~id:"pls" ~title:"E11 Proof-labeling schemes: verification complexity for Connectivity"
-    ~doc:"E11: proof-labeling schemes for Connectivity"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:6 "n"; E.icol ~width:18 ~header:"spanning bits" "spanning";
-              E.icol ~width:22 ~header:"transcript bits (2r)" "transcript";
-              E.fcol ~width:14 ~prec:2 ~header:"lower bound" "lb" ]
-        };
-        { E.name = "execution: completeness / soundness probes";
-          columns =
-            [ E.icol ~width:6 "n"; E.bcol ~width:10 "complete"; E.bcol ~width:8 "fooled" ]
-        } ]
-    ~grid:(pls_grid [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
-    ~grid_of_ns:pls_grid
-    (fun p ->
-      let n = P.int p "n" in
-      let spanning = Pls.Spanning_tree.scheme in
-      match P.str p "part" with
-      | "bits" ->
-        let transcript =
-          Pls.Transcript_scheme.of_algorithm
-            (Algos.Discovery.connectivity ~knowledge:Instance.KT0 ~max_degree:2)
-        in
-        [ E.row
-            [ pi "n" n; pi "spanning" (spanning.Pls.Scheme.label_bits ~n);
-              pi "transcript" (transcript.Pls.Scheme.label_bits ~n);
-              pf "lb" (Core.Kt0_bound.theorem_3_1_threshold ~n) ]
-        ]
-      | "exec" ->
-        let rng = Rng.create ~seed:(110 + n) in
-        let yes = Instance.kt0_circulant (Gen.random_cycle rng n) in
-        let no = Instance.kt0_circulant (Gen.random_two_cycles rng n) in
-        let complete =
-          match spanning.Pls.Scheme.prove yes with
-          | Some labels -> Pls.Scheme.accepts spanning yes ~labels
-          | None -> false
-        in
-        let candidates =
-          List.filter_map
-            (fun _ -> spanning.Pls.Scheme.prove (Instance.kt0_circulant (Gen.random_cycle rng n)))
-            (Arrayx.range 0 3)
-        in
-        let fooled =
-          Pls.Scheme.soundness_check ~trials:100 rng spanning no ~candidate_labels:candidates
-        in
-        [ E.row ~table:"execution: completeness / soundness probes"
-            [ pi "n" n; pb "complete" complete; pb "fooled" (fooled <> None) ]
-        ]
-      | part -> invalid_arg ("pls: unknown part " ^ part))
-
-(* ---------- E12: the range spectrum RCC(b, r) of [Bec+16] ---------- *)
-
-let range_spectrum_grid ns =
-  List.concat_map
-    (fun n ->
-      let rs = List.sort_uniq Int.compare [ 1; 2; 4; 8; (n - 1) / 2; n - 1 ] in
-      List.filter_map (fun r -> if r >= 1 then Some (P.v [ pi "n" n; pi "r" r ]) else None) rs)
-    ns
-
-let range_spectrum =
-  experiment ~id:"range-spectrum" ~title:"E12 Range spectrum [Bec+16]: TokenRouting rounds vs range r"
-    ~doc:"E12: RCC(b,r) TokenRouting spectrum"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:6 "n"; E.icol ~width:6 "r"; E.icol ~width:8 "rounds";
-              E.fcol ~width:8 ~prec:2 ~header:"(n-1)/r" "pred"; E.bcol ~width:10 "delivered";
-              E.icol ~width:12 ~header:"maxDistinct" "max_distinct" ]
-        } ]
-    ~notes:
-      [ "shape check: rounds = ceil((n-1)/r), interpolating smoothly from the BCC end (r=1,";
-        "n-1 rounds) to the CC end (r=n-1, 1 round) -- the spectrum the paper cites in 1.3." ]
-    ~grid:(range_spectrum_grid [ 9; 17; 33 ])
-    ~grid_of_ns:range_spectrum_grid
-    (fun p ->
-      let n = P.int p "n" and r = P.int p "r" in
-      let inst = Instance.kt1_of_graph (Gen.cycle n) in
-      let algo = Bcclb_rcc.Token_routing.algo ~r () in
-      let result = Bcclb_rcc.Rcc_simulator.run algo inst in
-      Bcclb_rcc.Rcc_simulator.
-        [ E.row
-            [ pi "n" n; pi "r" r; pi "rounds" result.rounds_used;
-              pf "pred" (float_of_int (n - 1) /. float_of_int r);
-              pb "delivered" (Array.for_all Fun.id result.outputs);
-              pi "max_distinct" result.max_distinct ]
-        ])
-
-(* ---------- E13: bandwidth translation + MST ---------- *)
-
-let bandwidth_grid ns =
-  List.map (fun n -> P.v [ ps "part" "rounds"; pi "n" n ]) ns
-  @ List.map (fun check -> P.v [ ps "part" "exec"; ps "check" check ])
-      [ "split-vs-direct"; "kt0-compiled-boruvka"; "mst-vs-kruskal" ]
-
-let bandwidth =
-  experiment ~id:"bandwidth"
-    ~title:"E13 Bandwidth translation (1.1) and MST: BCC(2L) algorithms in BCC(1)"
-    ~doc:"E13: bandwidth translation + MST"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:6 "n"; E.icol ~width:14 ~header:"boruvka(2L)" "bv";
-              E.icol ~width:16 ~header:"split->BCC(1)" "split"; E.fcol ~width:10 ~prec:1 "factor";
-              E.icol ~width:14 ~header:"mst rounds" "mst" ]
-        };
-        { E.name = "execution checks";
-          columns =
-            [ E.scol ~width:24 "check"; E.bcol ~width:6 "ok"; E.scol ~width:30 "detail" ]
-        } ]
-    ~grid:(bandwidth_grid [ 8; 16; 32; 64; 128; 256; 512; 1024 ])
-    ~grid_of_ns:bandwidth_grid
-    (fun p ->
-      match P.str p "part" with
-      | "rounds" ->
-        let n = P.int p "n" in
-        let bv = Algos.Boruvka.connectivity () in
-        let split = Bcclb_bcc.Split.compile bv in
-        let mst = Algos.Mst_boruvka.forest () in
-        let r1 = Algo.rounds bv ~n and r2 = Algo.rounds split ~n in
-        [ E.row
-            [ pi "n" n; pi "bv" r1; pi "split" r2;
-              pf "factor" (float_of_int r2 /. float_of_int r1); pi "mst" (Algo.rounds mst ~n) ]
-        ]
-      | "exec" ->
-        let exec_row check ok detail =
-          [ E.row ~table:"execution checks" [ ps "check" check; pb "ok" ok; ps "detail" detail ] ]
-        in
-        (match P.str p "check" with
-        | "split-vs-direct" ->
-          let rng = Rng.create ~seed:13 in
-          let inst = Instance.kt1_of_graph (Gen.gnp rng 14 0.2) in
-          let bv = Algos.Boruvka.connectivity () in
-          let direct = Simulator.run bv inst in
-          let split = Simulator.run (Bcclb_bcc.Split.compile bv) inst in
-          exec_row "split-vs-direct"
-            (direct.Simulator.outputs = split.Simulator.outputs)
-            "same outputs on G(14,0.2)"
-        | "kt0-compiled-boruvka" ->
-          let rng = Rng.create ~seed:113 in
-          let bv = Algos.Boruvka.connectivity () in
-          let kt0 = Algos.Kt0_compiler.compile bv in
-          let g0 = Gen.random_multicycle rng 12 in
-          let r0 = Simulator.run kt0 (Instance.kt0_random rng g0) in
-          exec_row "kt0-compiled-boruvka"
-            (Problems.system_decision r0.Simulator.outputs = Graph.is_connected g0)
-            (Printf.sprintf "additive %d learning rounds"
-               (Algos.Kt0_compiler.learning_rounds ~n:12 ~bandwidth:(Algo.bandwidth bv ~n:12)))
-        | "mst-vs-kruskal" ->
-          let rng = Rng.create ~seed:213 in
-          let g = Gen.gnp rng 14 0.2 in
-          let inst = Instance.kt1_of_graph g in
-          let mst = Simulator.run (Algos.Mst_boruvka.forest ()) inst in
-          let weight_ids = Bcclb_graph.Mst.weight_of_ids ~max_id:14 in
-          let weight u v = weight_ids (u + 1) (v + 1) in
-          let kruskal = List.sort compare (Bcclb_graph.Mst.kruskal g ~weight) in
-          let got =
-            List.sort compare
-              (List.map (fun (a, b) -> (a - 1, b - 1)) mst.Simulator.outputs.(0))
-          in
-          exec_row "mst-vs-kruskal" (got = kruskal) "distributed forest = Kruskal"
-        | check -> invalid_arg ("bandwidth: unknown check " ^ check))
-      | part -> invalid_arg ("bandwidth: unknown part " ^ part))
-
-(* ---------- E14: polylog-round Connectivity for general graphs ---------- *)
-
-let general_graphs_grid ns =
-  List.map (fun n -> P.v [ ps "part" "rounds"; pi "n" n ]) ns
-  @ [ P.v [ ps "part" "accuracy"; pi "n" 16; pi "trials" 30 ] ]
-
-let general_graphs =
-  experiment ~id:"general-graphs"
-    ~title:"E14 General graphs in BCC(1): AGM sketches O(log^3 n) vs adjacency Theta(n)"
-    ~doc:"E14: polylog Connectivity for general graphs (AGM sketches)"
-    ~tables:
-      [ { E.name = "";
-          columns =
-            [ E.icol ~width:8 "n"; E.icol ~width:14 ~header:"agm rounds" "agm";
-              E.icol ~width:14 ~header:"adj rounds" "adj";
-              E.icol ~width:16 ~header:"boruvka-split" "split";
-              E.fcol ~width:16 ~prec:2 ~header:"agm/(log2 n)^3" "agm_norm" ]
-        };
-        { E.name = "Monte Carlo accuracy (mixed connected/G(n,p) instances)";
-          columns = [ E.icol ~width:6 "n"; E.icol ~width:8 "trials"; E.icol ~width:8 "correct" ] } ]
-    ~notes:
-      [ "shape check: agm/(log n)^3 bounded while adjacency grows linearly; crossover where";
-        "c*log^3 n < n-1. The Omega(log n) lower bound leaves a log^2 n gap here, as in the paper." ]
-    ~grid:(general_graphs_grid [ 16; 64; 256; 1024; 4096; 16384; 65536; 262144 ])
-    ~grid_of_ns:general_graphs_grid
-    (fun p ->
-      match P.str p "part" with
-      | "rounds" ->
-        let n = P.int p "n" in
-        let agm = Algos.Agm_connectivity.connectivity () in
-        let adj = Algos.Adjacency_matrix.connectivity () in
-        let split = Bcclb_bcc.Split.compile (Algos.Boruvka.connectivity ()) in
-        let lg = Mathx.log2 (float_of_int n) in
-        [ E.row
-            [ pi "n" n; pi "agm" (Algo.rounds agm ~n); pi "adj" (Algo.rounds adj ~n);
-              pi "split" (Algo.rounds split ~n);
-              pf "agm_norm" (float_of_int (Algo.rounds agm ~n) /. (lg ** 3.0)) ]
-        ]
-      | "accuracy" ->
-        let n = P.int p "n" and trials = P.int p "trials" in
-        let rng = Rng.create ~seed:14 in
-        let agm = Algos.Agm_connectivity.connectivity () in
-        let correct = ref 0 in
-        for seed = 1 to trials do
-          let g =
-            if seed mod 2 = 0 then Gen.random_connected rng n else Gen.gnp rng n 0.12
-          in
-          let inst = Instance.kt1_of_graph g in
-          let r = Simulator.run ~seed agm inst in
-          if Problems.system_decision r.Simulator.outputs = Graph.is_connected g then
-            incr correct
-        done;
-        [ E.row ~table:"Monte Carlo accuracy (mixed connected/G(n,p) instances)"
-            [ pi "n" n; pi "trials" trials; pi "correct" !correct ]
-        ]
-      | part -> invalid_arg ("general-graphs: unknown part " ^ part))
-
-(* ---------- the registry ---------- *)
 
 let all =
-  [ census; indist_graph; kt0_error; kt0_error_rand; crossing; rank; partition_cc; gadget;
-    bcc_to_2party; mutual_info; upper_bounds; pls; range_spectrum; bandwidth; general_graphs ]
+  E01_census.experiments @ E02_indist_graph.experiments @ E03_kt0_error.experiments
+  @ E04_crossing.experiments @ E05_rank.experiments @ E06_partition_cc.experiments
+  @ E07_gadget.experiments @ E08_bcc_to_2party.experiments @ E09_mutual_info.experiments
+  @ E10_upper_bounds.experiments @ E11_pls.experiments @ E12_range_spectrum.experiments
+  @ E13_bandwidth.experiments @ E14_general_graphs.experiments
 
 let find id = List.find_opt (fun e -> String.equal e.E.id id) all

@@ -6,30 +6,45 @@ let run ?cache ?num_domains ?grid ~sink (exp : Experiment.t) =
   (* One task per cell: probe, compute on miss, checkpoint immediately.
      The [hit] flag rides along with the rows. *)
   let task params =
-    match cache with
-    | None -> (exp.Experiment.cell params, false)
-    | Some c -> (
-      let key = Cache.key ~exp_id:exp.Experiment.id ~version:exp.Experiment.version ~params in
-      match Cache.find c key with
-      | Some rows -> (rows, true)
+    (* The executions column is the engine run-count delta seen by this
+       worker around the cell; peak_words the GC top-heap high-water
+       mark once the cell is done (see Sink.cell_report). *)
+    let exec0 = Bcclb_engine.Engine.run_count () in
+    let compute () =
+      let rows = exp.Experiment.cell params in
+      let executions = Bcclb_engine.Engine.run_count () - exec0 in
+      (rows, executions)
+    in
+    let rows, hit, executions =
+      match cache with
       | None ->
-        let rows = exp.Experiment.cell params in
-        Cache.store c key rows;
-        (rows, false))
+        let rows, executions = compute () in
+        (rows, false, executions)
+      | Some c -> (
+        let key = Cache.key ~exp_id:exp.Experiment.id ~version:exp.Experiment.version ~params in
+        match Cache.find c key with
+        | Some rows -> (rows, true, 0)
+        | None ->
+          let rows, executions = compute () in
+          Cache.store c key rows;
+          (rows, false, executions))
+    in
+    (rows, hit, executions, (Gc.quick_stat ()).Gc.top_heap_words)
   in
   let results = Pool.map_batch_timed ?num_domains task cells in
-  let all_rows = List.concat_map (fun ((rows, _), _) -> rows) (Array.to_list results) in
+  let all_rows = List.concat_map (fun ((rows, _, _, _), _) -> rows) (Array.to_list results) in
   let buf = Buffer.create 4096 in
   Experiment.render buf exp all_rows;
   sink.Sink.text (Buffer.contents buf);
   Array.iteri
-    (fun i ((rows, _), _) ->
+    (fun i ((rows, _, _, _), _) ->
       List.iter (fun r -> sink.Sink.row ~exp_id:exp.Experiment.id ~params:cells.(i) r) rows)
     results;
   let cell_reports =
     Array.to_list
       (Array.mapi
-         (fun i ((_, hit), seconds) -> { Sink.params = cells.(i); hit; seconds })
+         (fun i ((_, hit, executions, peak_words), seconds) ->
+           { Sink.params = cells.(i); hit; seconds; executions; peak_words })
          results)
   in
   let hits = List.length (List.filter (fun (c : Sink.cell_report) -> c.hit) cell_reports) in

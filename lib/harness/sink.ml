@@ -54,7 +54,13 @@ let jsonl ~dir =
 
 (* ---- run manifest ---- *)
 
-type cell_report = { params : Params.t; hit : bool; seconds : float }
+type cell_report = {
+  params : Params.t;
+  hit : bool;
+  seconds : float;
+  executions : int;
+  peak_words : int;
+}
 
 type report = {
   id : string;
@@ -66,6 +72,9 @@ type report = {
   cell_reports : cell_report list;
 }
 
+let executions r =
+  List.fold_left (fun acc c -> acc + c.executions) 0 r.cell_reports
+
 let report_json r =
   Json.Obj
     [ ("id", Json.Str r.id);
@@ -74,6 +83,7 @@ let report_json r =
       ("hits", Json.Int r.hits);
       ("misses", Json.Int r.misses);
       ("seconds", Json.Float r.seconds);
+      ("executions", Json.Int (executions r));
       ( "cells_detail",
         Json.List
           (List.map
@@ -81,7 +91,9 @@ let report_json r =
                Json.Obj
                  [ ("params", Json.Str (Params.canonical c.params));
                    ("hit", Json.Bool c.hit);
-                   ("seconds", Json.Float c.seconds) ])
+                   ("seconds", Json.Float c.seconds);
+                   ("executions", Json.Int c.executions);
+                   ("peak_words", Json.Int c.peak_words) ])
              r.cell_reports) ) ]
 
 let write_manifest ~path ~cache_root ~num_domains reports =
@@ -97,6 +109,7 @@ let write_manifest ~path ~cache_root ~num_domains reports =
          ("cells_total", Json.Int (sum (fun r -> r.cells)));
          ("hits_total", Json.Int (sum (fun r -> r.hits)));
          ("misses_total", Json.Int (sum (fun r -> r.misses)));
+         ("executions_total", Json.Int (sum executions));
          ("seconds_total", Json.Float (sumf (fun r -> r.seconds)));
          ("experiments", Json.List (List.map report_json reports)) ])
 

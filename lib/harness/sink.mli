@@ -31,7 +31,20 @@ val jsonl : dir:string -> t
 
 (** {1 Run manifest} *)
 
-type cell_report = { params : Params.t; hit : bool; seconds : float }
+type cell_report = {
+  params : Params.t;
+  hit : bool;
+  seconds : float;
+  executions : int;
+      (** Engine round-loop runs attributed to this cell: the
+          {!Bcclb_engine.Engine.run_count} delta observed by the worker
+          around the cell's computation — exact with one domain, an
+          upper bound when other cells run concurrently; 0 on a cache
+          hit. *)
+  peak_words : int;
+      (** GC top-heap high-water mark (words) when the cell finished —
+          the shared-heap peak observed so far, not a per-cell delta. *)
+}
 
 type report = {
   id : string;

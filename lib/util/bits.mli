@@ -48,3 +48,51 @@ val of_string : string -> t
 (** Inverse of {!to_string}. @raise Invalid_argument on other characters. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Growable packed bit sequences of unbounded length — the backing store
+    of BCC transcripts. Bytes-backed, LSB-first within bytes, amortised
+    O(1) append; [equal]/[compare]/[hash] run bytewise over the packed
+    words, never per-bit, so comparing two T-round transcripts costs
+    O(T/8) instead of O(T) character compares. *)
+module Seq : sig
+  type seq
+
+  val create : ?capacity:int -> unit -> seq
+  (** Fresh empty sequence; [capacity] is a bit-count growth hint. *)
+
+  val length : seq -> int
+  val copy : seq -> seq
+
+  val append_bit : seq -> bool -> unit
+
+  val append : seq -> t -> unit
+  (** Append a fixed word, its low bit first. *)
+
+  val append_word : seq -> width:int -> value:int -> unit
+  (** [append] without constructing the word.
+      @raise Invalid_argument as {!make}. *)
+
+  val get : seq -> int -> bool
+  (** Bit [i], lowest (earliest appended) first. @raise Invalid_argument. *)
+
+  val word : seq -> pos:int -> len:int -> t
+  (** Read back [len] ≤ 62 bits starting at [pos] as a fixed word.
+      @raise Invalid_argument out of range. *)
+
+  val slice : seq -> pos:int -> len:int -> seq
+
+  val equal : seq -> seq -> bool
+  val compare : seq -> seq -> int
+
+  val hash : seq -> int
+  (** FNV-1a over the packed bytes; equal sequences hash equally. *)
+
+  val to_string : seq -> string
+  (** Most significant (last appended) bit first, matching {!Bits.to_string}. *)
+
+  val of_string : string -> seq
+
+  val of_bits : t -> seq
+
+  val pp : Format.formatter -> seq -> unit
+end

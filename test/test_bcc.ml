@@ -181,6 +181,57 @@ let test_transcript_bounds () =
   in
   Alcotest.(check bool) "fingerprint matters" false (Transcript.equal t t')
 
+(* Randomized parity: sent_string decoded from the packed 2-bit code must
+   match the character-by-character construction from the raw Msg array,
+   including sequences long past one machine word (40 rounds = 80 bits). *)
+let test_packed_sent_code () =
+  let module Bits = Bcclb_util.Bits in
+  let rng = Rng.create ~seed:77 in
+  for _ = 1 to 100 do
+    let rounds = 1 + Rng.int rng 40 in
+    let sent =
+      Array.init rounds (fun _ ->
+          match Rng.int rng 3 with 0 -> Msg.silent | 1 -> Msg.zero | _ -> Msg.one)
+    in
+    let received = Array.map (fun _ -> [||]) sent in
+    let t = Transcript.make ~fingerprint:"fp" ~sent ~received in
+    let expect = String.init rounds (fun i -> Msg.to_char1 sent.(i)) in
+    Alcotest.(check string) "sent_string parity" expect (Transcript.sent_string t);
+    let code = Transcript.sent_code t in
+    Alcotest.(check int) "code length" (2 * rounds) (Bits.Seq.length code);
+    for r = 0 to rounds - 1 do
+      Alcotest.(check int) "code1 per round"
+        (Msg.code1 sent.(r))
+        (Bits.value (Bits.Seq.word code ~pos:(2 * r) ~len:2))
+    done
+  done
+
+(* run_sent_codes must agree with the full simulator's transcripts. *)
+let test_run_sent_codes () =
+  let algo = Bcclb_algorithms.Trivial.chatter ~rounds:5 () in
+  let inst = Instance.kt0_circulant (Gen.cycle 8) in
+  let r = Simulator.run algo inst in
+  let codes = Simulator.run_sent_codes algo inst in
+  Array.iteri
+    (fun v t ->
+      let decoded =
+        String.init (Transcript.rounds t) (fun i ->
+            Msg.char_of_code1 ((codes.(v) lsr (2 * i)) land 3))
+      in
+      Alcotest.(check string) "codes = transcript" (Transcript.sent_string t) decoded)
+    r.Simulator.transcripts
+
+let test_indistinguishable_from () =
+  let algo = Bcclb_algorithms.Trivial.chatter ~rounds:5 () in
+  let inst = Instance.kt0_circulant (Gen.cycle 8) in
+  let crossed = Instance.cross inst (0, 1) (4, 5) in
+  let base = Simulator.run algo inst in
+  let pred = Simulator.indistinguishable_from base crossed in
+  Alcotest.(check bool) "partial application matches one-shot" true
+    (pred (Simulator.run algo crossed));
+  Alcotest.(check bool) "self-indistinguishable" true
+    (Simulator.indistinguishable_from base inst base)
+
 let test_msg_ordering () =
   Alcotest.(check int) "silent < word" (-1) (Msg.compare Msg.silent Msg.zero);
   Alcotest.(check int) "zero < one" (-1) (Msg.compare Msg.zero Msg.one);
@@ -296,6 +347,9 @@ let suites =
     Alcotest.test_case "bandwidth enforced" `Quick test_simulator_bandwidth_enforced;
     Alcotest.test_case "message delivery" `Quick test_simulator_delivery;
     Alcotest.test_case "transcripts" `Quick test_transcripts;
+    Alcotest.test_case "packed sent_code parity" `Quick test_packed_sent_code;
+    Alcotest.test_case "run_sent_codes = transcripts" `Quick test_run_sent_codes;
+    Alcotest.test_case "indistinguishable_from" `Quick test_indistinguishable_from;
     Alcotest.test_case "split compiler: boruvka" `Quick test_split_compiler_boruvka;
     Alcotest.test_case "split compiler: rounds" `Quick test_split_compiler_rounds;
     Alcotest.test_case "split compiler: bcc1 identity" `Quick test_split_compiler_identity_on_bcc1;

@@ -169,16 +169,114 @@ let test_crossing_check_lemma_3_4 () =
   List.iter
     (fun t ->
       let algo = truncated ~rounds:t in
-      let r = Crossing_check.check algo ~n:10 ~instances:3 ~wiring:`Circulant rng in
+      let r = Crossing_check.check ~verify:`All algo ~n:10 ~instances:3 ~wiring:`Circulant rng in
       Alcotest.(check int) (Printf.sprintf "no violations t=%d" t) 0 r.Crossing_check.violations;
-      Alcotest.(check bool) "examined pairs" true (r.Crossing_check.crossable_pairs > 0))
+      Alcotest.(check bool) "examined pairs" true (r.Crossing_check.crossable_pairs > 0);
+      Alcotest.(check int) "all same-label pairs verified" r.Crossing_check.same_label_pairs
+        r.Crossing_check.verified)
     [ 0; 2; 5 ]
 
 let test_crossing_check_random_wiring () =
   let rng = Rng.create ~seed:6 in
   let algo = truncated ~rounds:4 in
-  let r = Crossing_check.check algo ~n:9 ~instances:3 ~wiring:`Random rng in
+  let r = Crossing_check.check ~verify:`All algo ~n:9 ~instances:3 ~wiring:`Random rng in
   Alcotest.(check int) "no violations" 0 r.Crossing_check.violations
+
+(* The verify knob trades execution for trust in Lemma 3.4: all three
+   modes must agree on the census-level counts (crossable, same-label,
+   indistinguishable), differ only in how many pairs they execute, and
+   never report violations. *)
+let test_crossing_check_verify_modes () =
+  let algo = truncated ~rounds:3 in
+  let run verify =
+    Crossing_check.check ~verify algo ~n:9 ~instances:2 ~wiring:`Circulant (Rng.create ~seed:8)
+  in
+  let all = run `All and sampled = run (`Sampled 4) and off = run `Off in
+  List.iter
+    (fun (name, r) ->
+      Alcotest.(check int) (name ^ " crossable") all.Crossing_check.crossable_pairs
+        r.Crossing_check.crossable_pairs;
+      Alcotest.(check int) (name ^ " same-label") all.Crossing_check.same_label_pairs
+        r.Crossing_check.same_label_pairs;
+      Alcotest.(check int) (name ^ " indistinguishable") all.Crossing_check.indistinguishable
+        r.Crossing_check.indistinguishable;
+      Alcotest.(check int) (name ^ " violations") 0 r.Crossing_check.violations)
+    [ ("all", all); ("sampled", sampled); ("off", off) ];
+  Alcotest.(check int) "off executes nothing" 0 off.Crossing_check.executed;
+  Alcotest.(check int) "off verifies nothing" 0 off.Crossing_check.verified;
+  Alcotest.(check bool) "sampled executes fewer than all" true
+    (sampled.Crossing_check.executed < all.Crossing_check.executed);
+  Alcotest.(check bool) "sampled verifies a bounded sample" true
+    (sampled.Crossing_check.verified <= 2 * 4
+    && sampled.Crossing_check.verified <= sampled.Crossing_check.same_label_pairs);
+  Alcotest.(check int) "all verifies everything" all.Crossing_check.same_label_pairs
+    all.Crossing_check.verified
+
+(* The packed arena path must be bit-for-bit interchangeable with the
+   reference implementation: same label pair, same census orders, same
+   adjacency. n=7 keeps |V1| = 360 so three truncation depths stay fast. *)
+let test_indist_build_parity () =
+  let n = 7 in
+  List.iter
+    (fun t ->
+      let algo = truncated ~rounds:t in
+      let p = Indist_graph.build algo ~n () in
+      let r = Indist_graph.build_reference algo ~n () in
+      Alcotest.(check string) (Printf.sprintf "x t=%d" t) r.Indist_graph.x p.Indist_graph.x;
+      Alcotest.(check string) (Printf.sprintf "y t=%d" t) r.Indist_graph.y p.Indist_graph.y;
+      Alcotest.(check bool) (Printf.sprintf "adj t=%d" t) true (p.Indist_graph.adj = r.Indist_graph.adj);
+      Alcotest.(check bool) (Printf.sprintf "radj t=%d" t) true (p.Indist_graph.radj = r.Indist_graph.radj))
+    [ 0; 1; 2 ]
+
+let test_indist_build_full_parity () =
+  let n = 7 in
+  List.iter
+    (fun t ->
+      let algo = truncated ~rounds:t in
+      let p = Indist_graph.build_full algo ~n () in
+      let r = Indist_graph.build_full_reference algo ~n () in
+      Alcotest.(check bool) (Printf.sprintf "adj t=%d" t) true (p.Indist_graph.adj = r.Indist_graph.adj);
+      Alcotest.(check bool) (Printf.sprintf "radj t=%d" t) true (p.Indist_graph.radj = r.Indist_graph.radj))
+    [ 0; 1; 2 ]
+
+(* Arena invariants: interned censuses match Census order; every
+   two-cycle key resolves to its own handle; cross_key computes the
+   same key the allocating path would. *)
+let test_arena_interning () =
+  let n = 8 in
+  let arena = Arena.create ~n in
+  Alcotest.(check int) "V1 size" (Array.length (Census.one_cycles ~n)) (Arena.n_one arena);
+  Alcotest.(check int) "V2 size" (Array.length (Census.two_cycles ~n)) (Arena.n_two arena);
+  Array.iteri
+    (fun h s2 ->
+      Alcotest.(check bool) "census order" true (Cycles.equal s2 (Arena.two_structure arena h));
+      Alcotest.(check int) "key roundtrip" h (Arena.two_handle arena ~key:(Arena.key_two s2)))
+    (Census.two_cycles ~n)
+
+let test_arena_cross_key () =
+  let n = 8 in
+  let arena = Arena.create ~n in
+  (* Exhaustive over a sample of one-cycles, all valid split positions. *)
+  let ones = Census.one_cycles ~n in
+  for idx = 0 to 49 do
+    let s1 = ones.(idx * (Array.length ones / 50)) in
+    match Cycles.cycles s1 with
+    | [ cyc ] ->
+      let k = Array.length cyc in
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if j - i >= 3 && k - (j - i) >= 3 then begin
+            let expect = Arena.key_two (Census.cross_one_cycle cyc i j) in
+            Alcotest.(check int)
+              (Printf.sprintf "cross_key idx=%d i=%d j=%d" idx i j)
+              expect (Arena.cross_key cyc i j);
+            Alcotest.(check int) "cross_handle resolves" (Arena.two_handle arena ~key:expect)
+              (Arena.cross_handle arena cyc i j)
+          end
+        done
+      done
+    | _ -> Alcotest.fail "one-cycle expected"
+  done
 
 let test_census_row () =
   let row = Kt0_bound.census_row ~n:8 () in
@@ -309,6 +407,11 @@ let suites =
     Alcotest.test_case "star distribution (Thm 3.5)" `Quick test_star_distribution;
     Alcotest.test_case "Lemma 3.4 by execution" `Slow test_crossing_check_lemma_3_4;
     Alcotest.test_case "Lemma 3.4 random wiring" `Slow test_crossing_check_random_wiring;
+    Alcotest.test_case "crossing verify modes agree" `Slow test_crossing_check_verify_modes;
+    Alcotest.test_case "packed build = reference" `Slow test_indist_build_parity;
+    Alcotest.test_case "packed build_full = reference" `Slow test_indist_build_full_parity;
+    Alcotest.test_case "arena interning" `Quick test_arena_interning;
+    Alcotest.test_case "arena cross_key" `Quick test_arena_cross_key;
     Alcotest.test_case "Lemma 3.7 neighbour structure" `Slow test_lemma_3_7_neighbor_structure;
     Alcotest.test_case "Lemma 3.9 |T_i| bound" `Slow test_lemma_3_9_t_i_bound;
     Alcotest.test_case "certified error LB" `Slow test_certified_error_lb;

@@ -109,6 +109,79 @@ let test_bits_invalid () =
   Alcotest.check_raises "value too wide" (Invalid_argument "Bits.make: value does not fit in width")
     (fun () -> ignore (Bits.make ~width:2 ~value:4))
 
+let test_seq_append_roundtrip () =
+  let s = Bits.Seq.create () in
+  check "empty length" 0 (Bits.Seq.length s);
+  Bits.Seq.append_bit s true;
+  Bits.Seq.append_bit s false;
+  Bits.Seq.append_word s ~width:3 ~value:0b101;
+  check "length" 5 (Bits.Seq.length s);
+  Alcotest.(check bool) "bit 0" true (Bits.Seq.get s 0);
+  Alcotest.(check bool) "bit 1" false (Bits.Seq.get s 1);
+  Alcotest.(check bool) "bit 2" true (Bits.Seq.get s 2);
+  Alcotest.(check bool) "bit 3" false (Bits.Seq.get s 3);
+  Alcotest.(check bool) "bit 4" true (Bits.Seq.get s 4);
+  Alcotest.(check string) "to_string" "10101" (Bits.Seq.to_string s);
+  let w = Bits.Seq.word s ~pos:2 ~len:3 in
+  Alcotest.(check bool) "word readback" true (Bits.equal w (Bits.make ~width:3 ~value:0b101))
+
+let test_seq_long () =
+  (* Sequences well past one machine word: 200 bits with a recognisable pattern. *)
+  let s = Bits.Seq.create () in
+  for i = 0 to 199 do
+    Bits.Seq.append_bit s (i mod 3 = 0)
+  done;
+  check "long length" 200 (Bits.Seq.length s);
+  for i = 0 to 199 do
+    if Bits.Seq.get s i <> (i mod 3 = 0) then Alcotest.failf "bit %d wrong" i
+  done;
+  let str = Bits.Seq.to_string s in
+  check "string length" 200 (String.length str);
+  let rt = Bits.Seq.of_string str in
+  Alcotest.(check bool) "of_string/to_string roundtrip" true (Bits.Seq.equal s rt);
+  check "roundtrip hash" (Bits.Seq.hash s) (Bits.Seq.hash rt);
+  check "roundtrip compare" 0 (Bits.Seq.compare s rt);
+  (* Cross-word reads: every 50-bit window decodes consistently with get. *)
+  for pos = 0 to 150 do
+    let w = Bits.Seq.word s ~pos ~len:50 in
+    for k = 0 to 49 do
+      if Bits.bit w k <> Bits.Seq.get s (pos + k) then
+        Alcotest.failf "window pos=%d bit %d wrong" pos k
+    done
+  done
+
+let test_seq_slice_copy () =
+  let s = Bits.Seq.of_string "110010111010001" in
+  let sl = Bits.Seq.slice s ~pos:3 ~len:7 in
+  check "slice length" 7 (Bits.Seq.length sl);
+  for k = 0 to 6 do
+    Alcotest.(check bool) "slice bit" (Bits.Seq.get s (3 + k)) (Bits.Seq.get sl k)
+  done;
+  let c = Bits.Seq.copy s in
+  Alcotest.(check bool) "copy equal" true (Bits.Seq.equal s c);
+  Bits.Seq.append_bit c true;
+  Alcotest.(check bool) "copy independent" false (Bits.Seq.equal s c);
+  check "original length unchanged" 15 (Bits.Seq.length s)
+
+let test_seq_of_bits () =
+  let b = Bits.of_string "101100" in
+  let s = Bits.Seq.of_bits b in
+  check "of_bits length" 6 (Bits.Seq.length s);
+  Alcotest.(check string) "of_bits string" "101100" (Bits.Seq.to_string s);
+  let s2 = Bits.Seq.create () in
+  Bits.Seq.append s2 b;
+  Alcotest.(check bool) "append = of_bits" true (Bits.Seq.equal s s2)
+
+let test_seq_order () =
+  (* compare is length-first, then lexicographic on packed words (low bits first);
+     we only rely on it being a total order consistent with equal. *)
+  let a = Bits.Seq.of_string "101" and b = Bits.Seq.of_string "1010" in
+  Alcotest.(check bool) "unequal lengths differ" false (Bits.Seq.equal a b);
+  check "compare antisym" 0 (compare (Bits.Seq.compare a b) (-Bits.Seq.compare b a));
+  Alcotest.(check bool) "shorter first" true (Bits.Seq.compare a b < 0);
+  Alcotest.check_raises "get out of range" (Invalid_argument "Bits.Seq.get: index out of range")
+    (fun () -> ignore (Bits.Seq.get a 3))
+
 let test_arrayx () =
   let a = [| 1; 2; 3; 4 |] in
   Arrayx.swap a 0 3;
@@ -137,6 +210,11 @@ let suites =
     Alcotest.test_case "bits append/slice" `Quick test_bits_append_slice;
     Alcotest.test_case "bits bool" `Quick test_bits_bool;
     Alcotest.test_case "bits invalid" `Quick test_bits_invalid;
+    Alcotest.test_case "bit-seq append roundtrip" `Quick test_seq_append_roundtrip;
+    Alcotest.test_case "bit-seq long" `Quick test_seq_long;
+    Alcotest.test_case "bit-seq slice/copy" `Quick test_seq_slice_copy;
+    Alcotest.test_case "bit-seq of_bits" `Quick test_seq_of_bits;
+    Alcotest.test_case "bit-seq order" `Quick test_seq_order;
     Alcotest.test_case "arrayx" `Quick test_arrayx ]
 
 let qsuites =
@@ -144,6 +222,31 @@ let qsuites =
   [ Test.make ~name:"bits string roundtrip" ~count:500
       Gen.(string_size ~gen:(oneofl [ '0'; '1' ]) (0 -- 30))
       (fun s -> Bits.to_string (Bits.of_string s) = s);
+    Test.make ~name:"bit-seq string roundtrip" ~count:300
+      Gen.(string_size ~gen:(oneofl [ '0'; '1' ]) (0 -- 200))
+      (fun s -> Bits.Seq.to_string (Bits.Seq.of_string s) = s);
+    Test.make ~name:"bit-seq append_word vs string model" ~count:300
+      Gen.(list_size (0 -- 20) (pair (1 -- 10) (0 -- 1023)))
+      (fun chunks ->
+        (* Build the sequence word-wise and a reference string bit-wise; both views
+           must agree (to_string is MSB-first, so the model prepends). *)
+        let s = Bits.Seq.create () in
+        let model = Buffer.create 64 in
+        List.iter
+          (fun (w, v) ->
+            let v = v land ((1 lsl w) - 1) in
+            Bits.Seq.append_word s ~width:w ~value:v;
+            for k = 0 to w - 1 do
+              Buffer.add_char model (if (v lsr k) land 1 = 1 then '1' else '0')
+            done)
+          chunks;
+        let expect =
+          let b = Buffer.contents model in
+          String.init (String.length b) (fun i -> b.[String.length b - 1 - i])
+        in
+        Bits.Seq.to_string s = expect
+        && Bits.Seq.equal s (Bits.Seq.of_string expect)
+        && Bits.Seq.hash s = Bits.Seq.hash (Bits.Seq.of_string expect));
     Test.make ~name:"isqrt spec" ~count:1000
       Gen.(0 -- 1_000_000)
       (fun n ->
