@@ -8,8 +8,10 @@ build:
 test:
 	dune runtest
 
-# The tier-1 gate: what CI runs.
+# The tier-1 gate: what CI runs. Stray trace files from local --trace /
+# BCCLB_TRACE runs are cleaned up so they never end up in commits.
 check:
+	rm -f *.trace.json *.trace.jsonl
 	dune build && dune runtest
 
 bench:

@@ -135,6 +135,7 @@ let () =
   let deep = Array.exists (String.equal "--deep") Sys.argv in
   let out = ref "BENCH_engine.json" in
   Array.iteri (fun i a -> if String.equal a "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
+  Bcclb_obs.Trace.start_from_env ();
   Printf.printf "bench smoke: packed vs legacy parity at n=8\n%!";
   smoke_indist ~n:8 ~t:2;
   smoke_crossing ~n:8 ~t:2;
@@ -143,8 +144,19 @@ let () =
     deep_speedup ();
     deep_n10 ()
   end;
+  (* write_bench appends the merged obs-metric snapshot plus GC words
+     and peak RSS, so BENCH_engine.json carries the counters (engine
+     runs/bits, arena memo hits, pool latencies) that make the perf
+     trajectory comparable PR-over-PR. *)
   Bcclb_harness.Sink.write_bench ~path:!out (List.rev !rows);
-  Printf.printf "wrote %s (%d rows)\n%!" !out (List.length !rows);
+  let gc = Gc.quick_stat () in
+  Printf.printf "wrote %s (%d rows); engine runs %d, bits broadcast %d\n%!" !out
+    (List.length !rows)
+    (Bcclb_engine.Engine.run_count ())
+    Bcclb_obs.Metrics.(Counter.total (Counter.v "engine.bits_broadcast"));
+  Printf.printf "gc major words %.0f, peak rss %d MiB\n%!" gc.Gc.major_words
+    (Bcclb_obs.peak_rss_bytes () / (1024 * 1024));
+  Bcclb_obs.Trace.stop ();
   if !failures > 0 then begin
     Printf.printf "%d parity/target failure(s)\n%!" !failures;
     exit 1

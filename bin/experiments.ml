@@ -8,6 +8,7 @@
 
 open Cmdliner
 module H = Bcclb_harness
+module Obs = Bcclb_obs
 
 let ns_arg =
   Arg.(
@@ -36,7 +37,34 @@ let results_arg =
     & info [ "results" ] ~docv:"DIR"
         ~doc:"Directory for structured outputs: JSONL rows, run manifest, result cache.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event file (open in Perfetto / about:tracing) plus a JSONL \
+           span log next to it. $(b,BCCLB_TRACE)=FILE does the same without the flag.")
+
 let resolved_domains jobs = if jobs > 0 then jobs else Bcclb_engine.Pool.default_num_domains ()
+
+(* Tracing wraps a whole invocation: --trace wins over $BCCLB_TRACE, and
+   the files are written once the run (and its manifest) is done. *)
+let with_trace trace f =
+  (match trace with
+  | Some file -> Obs.Trace.start ~file
+  | None -> Obs.Trace.start_from_env ());
+  Fun.protect
+    ~finally:(fun () ->
+      if Obs.Trace.enabled () then begin
+        (match trace with
+        | Some file ->
+          Printf.eprintf "[trace] %d spans -> %s + %s\n%!" (Obs.Trace.event_count ()) file
+            (Obs.Trace.jsonl_path file)
+        | None -> Printf.eprintf "[trace] %d spans\n%!" (Obs.Trace.event_count ()));
+        Obs.Trace.stop ()
+      end)
+    f
 
 let run_experiments ~results_dir ~no_cache ~jobs ~ns exps =
   let cache =
@@ -97,25 +125,93 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun id ns no_cache jobs results_dir ->
+      const (fun id ns no_cache jobs results_dir trace ->
           match H.Registry.find id with
           | None ->
             Printf.eprintf "experiments: unknown experiment %S (try `experiments list')\n" id;
             Stdlib.exit 2
-          | Some exp -> run_experiments ~results_dir ~no_cache ~jobs ~ns [ exp ])
-      $ id_arg $ ns_arg $ no_cache_arg $ jobs_arg $ results_arg)
+          | Some exp ->
+            with_trace trace (fun () -> run_experiments ~results_dir ~no_cache ~jobs ~ns [ exp ]))
+      $ id_arg $ ns_arg $ no_cache_arg $ jobs_arg $ results_arg $ trace_arg)
 
 let all_cmd =
   let doc = "Run every experiment at default scale" in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const (fun no_cache jobs results_dir ->
-          run_experiments ~results_dir ~no_cache ~jobs ~ns:None H.Registry.all)
-      $ no_cache_arg $ jobs_arg $ results_arg)
+      const (fun no_cache jobs results_dir trace ->
+          with_trace trace (fun () ->
+              run_experiments ~results_dir ~no_cache ~jobs ~ns:None H.Registry.all))
+      $ no_cache_arg $ jobs_arg $ results_arg $ trace_arg)
+
+(* ---- stats: render the manifest's metrics block as a table ---- *)
+
+let float_s f = Printf.sprintf "%.6f" f
+
+let hist_line name o =
+  let g k = Option.bind (H.Json.member k o) H.Json.to_float_opt in
+  let gi k = Option.bind (H.Json.member k o) H.Json.to_int_opt in
+  Printf.printf "%-28s %-9s count=%-8d sum=%ss mean=%ss p50=%ss p90=%ss p99=%ss\n" name
+    "histogram"
+    (Option.value (gi "count") ~default:0)
+    (float_s (Option.value (g "sum") ~default:0.0))
+    (float_s (Option.value (g "mean") ~default:0.0))
+    (float_s (Option.value (g "p50") ~default:0.0))
+    (float_s (Option.value (g "p90") ~default:0.0))
+    (float_s (Option.value (g "p99") ~default:0.0))
+
+let print_metrics metrics =
+  Printf.printf "%-28s %-9s %s\n" "metric" "type" "value";
+  List.iter
+    (fun (name, v) ->
+      match Option.bind (H.Json.member "type" v) H.Json.to_str_opt with
+      | Some "counter" ->
+        Printf.printf "%-28s %-9s %d\n" name "counter"
+          (Option.value ~default:0 (Option.bind (H.Json.member "value" v) H.Json.to_int_opt))
+      | Some "gauge" ->
+        Printf.printf "%-28s %-9s %s\n" name "gauge"
+          (float_s
+             (Option.value ~default:0.0
+                (Option.bind (H.Json.member "value" v) H.Json.to_float_opt)))
+      | Some "histogram" -> hist_line name v
+      | _ -> Printf.printf "%-28s %-9s ?\n" name "?")
+    metrics
+
+let stats_cmd =
+  let doc = "Summarize the metrics block of an existing run manifest" in
+  Cmd.v (Cmd.info "stats" ~doc)
+    Term.(
+      const (fun results_dir ->
+          let path = Filename.concat results_dir "manifest.json" in
+          if not (Sys.file_exists path) then begin
+            Printf.eprintf
+              "experiments stats: no manifest at %s (run `experiments run <id>' first)\n" path;
+            Stdlib.exit 2
+          end;
+          match H.Json.of_string (String.trim (H.Fsutil.read_file path)) with
+          | exception Failure msg ->
+            Printf.eprintf "experiments stats: %s: %s\n" path msg;
+            Stdlib.exit 2
+          | doc_json ->
+            (match H.Json.member "provenance" doc_json with
+            | Some (H.Json.Obj kvs) ->
+              let field k =
+                match List.assoc_opt k kvs with Some (H.Json.Str s) -> s | _ -> "-"
+              in
+              Printf.printf "manifest: %s\ncommit: %s  ocaml: %s  host: %s  domains: %d\n\n" path
+                (field "git_commit") (field "ocaml_version") (field "hostname")
+                (Option.value ~default:1
+                   (Option.bind (H.Json.member "num_domains" doc_json) H.Json.to_int_opt))
+            | _ -> Printf.printf "manifest: %s\n\n" path);
+            (match H.Json.member "metrics" doc_json with
+            | Some (H.Json.Obj metrics) when metrics <> [] -> print_metrics metrics
+            | _ ->
+              Printf.eprintf "experiments stats: manifest has no metrics block (pre-v2?)\n";
+              Stdlib.exit 2))
+      $ results_arg)
 
 let () =
   let info =
     Cmd.info "experiments"
       ~doc:"Reproduction experiments for the BCC connectivity lower bounds"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; stats_cmd ]))

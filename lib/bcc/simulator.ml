@@ -4,6 +4,11 @@ module Topology = Bcclb_engine.Topology
 
 type 'o result = { outputs : 'o array; transcripts : Transcript.t array; rounds_used : int }
 
+(* Both simulator entry points account every accepted emission's width
+   into the process-wide broadcast-volume series — the "bits each player
+   communicates" that the paper's counting arguments are about. *)
+let bits_broadcast_metric = Bcclb_obs.Metrics.Counter.v "engine.bits_broadcast"
+
 let check_width ~b ~round ~vertex msg =
   if Msg.width msg > b then
     invalid_arg
@@ -18,10 +23,14 @@ let run ?(seed = 0) (Algo.Packed a) inst =
   let views = Array.init n (fun v -> Instance.view ~coins_seed:seed inst v) in
   let sent = Array.init n (fun _ -> Array.make total_rounds Msg.silent) in
   let received = Array.init n (fun _ -> Array.init total_rounds (fun _ -> [||])) in
+  (* Widths accumulate in a plain local and land in the shard once per
+     run: the emit path stays free of domain-local lookups. *)
+  let bits = ref 0 in
   let recorder =
     Observer.make
       ~on_emit:(fun ~round ~vertex ~inbox ~emit ->
         check_width ~b ~round ~vertex emit;
+        bits := !bits + Msg.width emit;
         received.(vertex).(round - 1) <- inbox;
         sent.(vertex).(round - 1) <- emit)
       ()
@@ -35,6 +44,7 @@ let run ?(seed = 0) (Algo.Packed a) inst =
       ~init_state:(fun v -> a.Algo.init views.(v))
       ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent)
   in
+  Bcclb_obs.Metrics.Counter.add bits_broadcast_metric !bits;
   let outputs =
     Array.init n (fun v -> a.Algo.finish outcome.Engine.states.(v) ~inbox:outcome.Engine.final_inbox.(v))
   in
@@ -56,10 +66,12 @@ let run_sent_codes ?(seed = 0) (Algo.Packed a) inst =
   if 2 * total_rounds > Bcclb_util.Bits.max_width then
     invalid_arg "Simulator.run_sent_codes: more than 31 rounds do not pack into a word";
   let codes = Array.make n 0 in
+  let bits = ref 0 in
   let recorder =
     Observer.make
       ~on_emit:(fun ~round ~vertex ~inbox:_ ~emit ->
         check_width ~b ~round ~vertex emit;
+        bits := !bits + Msg.width emit;
         codes.(vertex) <- codes.(vertex) lor (Msg.code1 emit lsl (2 * (round - 1))))
       ()
   in
@@ -71,6 +83,7 @@ let run_sent_codes ?(seed = 0) (Algo.Packed a) inst =
          exchange = Topology.broadcast ~n ~peer:(Instance.peer inst) }
        ~init_state:(fun v -> a.Algo.init (Instance.view ~coins_seed:seed inst v))
        ~init_inbox:(fun _ -> Array.make (n - 1) Msg.silent));
+  Bcclb_obs.Metrics.Counter.add bits_broadcast_metric !bits;
   codes
 
 let indistinguishable_from result i2 =

@@ -1,5 +1,15 @@
 open Bcclb_graph
 open Bcclb_bcc
+module Obs = Bcclb_obs
+
+(* Arena observability: intern volume, cross-key hash probes, and the
+   execution-memo hit ratio — the numbers that show whether a sweep is
+   actually reusing the census instead of re-enumerating it. *)
+let interned_one_metric = Obs.Metrics.Counter.v "arena.interned_one"
+let interned_two_metric = Obs.Metrics.Counter.v "arena.interned_two"
+let cross_probes_metric = Obs.Metrics.Counter.v "arena.cross_key_probes"
+let memo_hits_metric = Obs.Metrics.Counter.v "arena.memo_hits"
+let memo_misses_metric = Obs.Metrics.Counter.v "arena.memo_misses"
 
 (* Interned arena of the §3.1 instance sets: V1 and V2 are enumerated
    once (in Census order, so handles line up with every existing census
@@ -94,20 +104,23 @@ let cross_key cyc i j =
 let create ~n =
   if n > max_n then
     invalid_arg (Printf.sprintf "Arena.create: packed canonical keys need n <= %d" max_n);
-  let one = Census.one_cycles ~n in
-  let two = Census.two_cycles ~n in
-  let one_cyc = Array.map (fun s -> List.hd (Cycles.cycles s)) one in
-  let two_smaller = Array.map (fun s -> List.fold_left min n (Cycles.lengths s)) two in
-  let two_index = Hashtbl.create (2 * Array.length two) in
-  Array.iteri (fun h s -> Hashtbl.replace two_index (key_two s) h) two;
-  { n;
-    one;
-    one_cyc;
-    two;
-    two_smaller;
-    two_index;
-    codes_memo = Hashtbl.create 4;
-    memo_lock = Mutex.create () }
+  Obs.span "arena.build" ~attrs:[ ("n", string_of_int n) ] (fun () ->
+      let one = Census.one_cycles ~n in
+      let two = Census.two_cycles ~n in
+      let one_cyc = Array.map (fun s -> List.hd (Cycles.cycles s)) one in
+      let two_smaller = Array.map (fun s -> List.fold_left min n (Cycles.lengths s)) two in
+      let two_index = Hashtbl.create (2 * Array.length two) in
+      Array.iteri (fun h s -> Hashtbl.replace two_index (key_two s) h) two;
+      Obs.Metrics.Counter.add interned_one_metric (Array.length one);
+      Obs.Metrics.Counter.add interned_two_metric (Array.length two);
+      { n;
+        one;
+        one_cyc;
+        two;
+        two_smaller;
+        two_index;
+        codes_memo = Hashtbl.create 4;
+        memo_lock = Mutex.create () })
 
 (* Process-level interning: census enumeration and the execution memo
    are per-n facts, so sharing one arena per n across all builds in the
@@ -144,6 +157,7 @@ let one_cycle t h = t.one_cyc.(h)
 let two_smaller_len t h = t.two_smaller.(h)
 
 let two_handle t ~key =
+  Obs.Metrics.Counter.incr cross_probes_metric;
   match Hashtbl.find_opt t.two_index key with
   | Some h -> h
   | None -> invalid_arg "Arena.two_handle: key does not intern a census structure"
@@ -163,21 +177,27 @@ let codes arena ?(seed = 0) algo =
     c
   in
   match cached with
-  | Some c -> c
+  | Some c ->
+    Obs.Metrics.Counter.incr memo_hits_metric;
+    c
   | None ->
+    Obs.Metrics.Counter.incr memo_misses_metric;
     let n = arena.n in
     (* Shared circulant wiring: the clique tables are built once, each
        instance only needs its per-vertex cycle-neighbour pairs. *)
     let stamp = Instance.kt0_circulant_sweep n in
     let computed =
-      Bcclb_engine.Pool.tabulate (Array.length arena.one) (fun h ->
-          let cyc = arena.one_cyc.(h) in
-          let k = Array.length cyc in
-          let neighbors = Array.make n (0, 0) in
-          for i = 0 to k - 1 do
-            neighbors.(cyc.(i)) <- (cyc.((i + k - 1) mod k), cyc.((i + 1) mod k))
-          done;
-          Simulator.run_sent_codes ~seed algo (stamp neighbors))
+      Obs.span "arena.codes"
+        ~attrs:[ ("algo", fst key); ("seed", string_of_int seed); ("n", string_of_int n) ]
+        (fun () ->
+          Bcclb_engine.Pool.tabulate (Array.length arena.one) (fun h ->
+              let cyc = arena.one_cyc.(h) in
+              let k = Array.length cyc in
+              let neighbors = Array.make n (0, 0) in
+              for i = 0 to k - 1 do
+                neighbors.(cyc.(i)) <- (cyc.((i + k - 1) mod k), cyc.((i + 1) mod k))
+              done;
+              Simulator.run_sent_codes ~seed algo (stamp neighbors)))
     in
     Mutex.lock arena.memo_lock;
     (* A racing recompute stores the identical deterministic result. *)

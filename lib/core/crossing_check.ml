@@ -19,6 +19,16 @@ open Bcclb_graph
 
 type verify = [ `All | `Sampled of int | `Off ]
 
+module Obs = Bcclb_obs
+
+(* The process-wide series mirror the report: the loop counts in plain
+   local refs (the pair loop is the hot path; a shard write there would
+   cost more than the work it counts) and the totals land in the
+   registry once per check. *)
+let executed_metric = Obs.Metrics.Counter.v "crossing.executed"
+let verified_metric = Obs.Metrics.Counter.v "crossing.verified"
+let pairs_metric = Obs.Metrics.Counter.v "crossing.pairs_examined"
+
 type report = {
   instances : int;
   crossable_pairs : int;  (* independent pairs examined *)
@@ -38,6 +48,9 @@ let directed_edges structure =
     (Cycles.cycles structure)
 
 let check ?(seed = 0) ?(verify = `Sampled 16) algo ~n ~instances ~wiring rng =
+  Obs.span "crossing.check"
+    ~attrs:[ ("n", string_of_int n); ("instances", string_of_int instances) ]
+  @@ fun () ->
   let crossable = ref 0 and same_label = ref 0 and indist = ref 0 in
   let violations = ref 0 and diff_dist = ref 0 in
   let executed = ref 0 and verified = ref 0 in
@@ -89,6 +102,9 @@ let check ?(seed = 0) ?(verify = `Sampled 16) algo ~n ~instances ~wiring rng =
         done
       done
   done;
+  Obs.Metrics.Counter.add pairs_metric !crossable;
+  Obs.Metrics.Counter.add executed_metric !executed;
+  Obs.Metrics.Counter.add verified_metric !verified;
   { instances;
     crossable_pairs = !crossable;
     same_label_pairs = !same_label;

@@ -217,12 +217,14 @@ let build_full_reference ?(seed = 0) algo ~n () =
   finish ~n ~x:"*" ~y:"*" ~v1 ~v2 adj_sets
 
 let build ?(seed = 0) algo ~n ?xy () =
-  if n <= Arena.max_n && Arena.codable algo ~n then build_packed ~seed algo ~n ?xy ()
-  else build_reference ~seed algo ~n ?xy ()
+  Bcclb_obs.span "indist.build" ~attrs:[ ("n", string_of_int n) ] (fun () ->
+      if n <= Arena.max_n && Arena.codable algo ~n then build_packed ~seed algo ~n ?xy ()
+      else build_reference ~seed algo ~n ?xy ())
 
 let build_full ?(seed = 0) algo ~n () =
-  if n <= Arena.max_n && Arena.codable algo ~n then build_full_packed ~seed algo ~n ()
-  else build_full_reference ~seed algo ~n ()
+  Bcclb_obs.span "indist.build_full" ~attrs:[ ("n", string_of_int n) ] (fun () ->
+      if n <= Arena.max_n && Arena.codable algo ~n then build_full_packed ~seed algo ~n ()
+      else build_full_reference ~seed algo ~n ())
 
 (* ------------------------------------------------------------------ *)
 

@@ -18,18 +18,24 @@ type ('state, 'inbox) outcome = {
   rounds_used : int;
 }
 
-(* Process-wide execution counter: every simulated run in the repository
-   funnels through this loop, so [run_count] deltas are the
-   execution-count column of the experiment manifest. Atomic because
-   runs happen from pool worker domains. *)
-let executions = Atomic.make 0
+(* Process-wide execution metrics: every simulated run in the repository
+   funnels through this loop, so the [engine.*] counters are the
+   source of truth for how much simulation a workload performed.
+   [run_count] is the execution-count column of the experiment manifest,
+   now a view over the sharded obs counter (pool workers each increment
+   their own shard lock-free; the total merges them). *)
+module Metrics = Bcclb_obs.Metrics
 
-let run_count () = Atomic.get executions
+let runs_metric = Metrics.Counter.v "engine.runs"
+let rounds_metric = Metrics.Counter.v "engine.rounds"
+let emissions_metric = Metrics.Counter.v "engine.emissions"
+
+let run_count () = Metrics.Counter.total runs_metric
 
 let run ?(observers = []) spec ~init_state ~init_inbox =
   if spec.rounds < 0 then invalid_arg "Engine.run: negative round bound";
   if spec.n < 0 then invalid_arg "Engine.run: negative number of vertices";
-  Atomic.incr executions;
+  Metrics.Counter.incr runs_metric;
   let obs = Observer.combine observers in
   let n = spec.n in
   let states = Array.init n init_state in
@@ -60,4 +66,9 @@ let run ?(observers = []) spec ~init_state ~init_inbox =
     inbox := spec.exchange ~round ~prev:!inbox emits;
     obs.Observer.on_round_end ~round ~inboxes:!inbox
   done;
+  (* One shard write per series per run, not per round: the loop emits
+     exactly [n] messages each of [rounds] rounds, so the aggregate is
+     exact and the round loop itself stays metric-free. *)
+  Metrics.Counter.add rounds_metric spec.rounds;
+  Metrics.Counter.add emissions_metric (n * spec.rounds);
   { states; final_inbox = !inbox; rounds_used = spec.rounds }

@@ -21,9 +21,13 @@ type ('state, 'inbox) outcome = {
 }
 
 val run_count : unit -> int
-(** Process-wide count of {!run} invocations (atomic, so deltas are
-    meaningful across pool worker domains) — the execution-count metric
-    recorded per experiment cell in the run manifest. *)
+(** Process-wide count of {!run} invocations — a view over the sharded
+    [engine.runs] counter of {!Bcclb_obs.Metrics} (each pool worker
+    increments its own shard lock-free; the total merges them), and the
+    execution-count metric recorded per experiment cell in the run
+    manifest. Reads concurrent with live workers may miss in-flight
+    increments; deltas taken after workers join are exact. The loop also
+    maintains [engine.rounds] and [engine.emissions]. *)
 
 val run :
   ?observers:('emit, 'inbox) Observer.t list ->

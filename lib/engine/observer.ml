@@ -33,9 +33,23 @@ let combine observers =
 let validator check =
   make ~on_emit:(fun ~round ~vertex ~inbox:_ ~emit -> check ~round ~vertex emit) ()
 
+(* Counters are thin views over the obs layer: the per-run total is
+   still read locally (callers need this run's bits, not the process
+   total), but every width also feeds the process-wide
+   [engine.bits_broadcast] series so traces and manifests see broadcast
+   volume without a second mechanism. *)
+let bits_broadcast_metric = Bcclb_obs.Metrics.Counter.v "engine.bits_broadcast"
+
 let counter ~width =
   let total = ref 0 in
-  let obs = make ~on_emit:(fun ~round:_ ~vertex:_ ~inbox:_ ~emit -> total := !total + width emit) () in
+  let obs =
+    make
+      ~on_emit:(fun ~round:_ ~vertex:_ ~inbox:_ ~emit ->
+        let w = width emit in
+        total := !total + w;
+        Bcclb_obs.Metrics.Counter.add bits_broadcast_metric w)
+      ()
+  in
   (obs, fun () -> !total)
 
 (* Per-vertex packed emission recorder: each emission's [width]-bit
@@ -53,12 +67,16 @@ let packed_recorder ~n ~width ~code =
   in
   (obs, fun () -> seqs)
 
+(* Monotonic, same clock as Obs.Trace spans: wall-clock steps (NTP
+   slews, DST) can never produce a negative or skewed round time, and a
+   round timing laid next to a span timeline lines up. *)
 let round_timer () =
-  let times = ref [] and started = ref 0.0 in
+  let times = ref [] and started = ref 0 in
   let obs =
     make
-      ~on_round_start:(fun ~round:_ -> started := Unix.gettimeofday ())
-      ~on_round_end:(fun ~round:_ ~inboxes:_ -> times := (Unix.gettimeofday () -. !started) :: !times)
+      ~on_round_start:(fun ~round:_ -> started := Bcclb_obs.Mclock.now_ns ())
+      ~on_round_end:(fun ~round:_ ~inboxes:_ ->
+        times := Bcclb_obs.Mclock.(ns_to_s (elapsed_ns ~since:!started)) :: !times)
       ()
   in
   (obs, fun () -> Array.of_list (List.rev !times))

@@ -37,7 +37,10 @@ val validator : (round:int -> vertex:int -> 'emit -> unit) -> ('emit, 'inbox) t
 
 val counter : width:('emit -> int) -> ('emit, 'inbox) t * (unit -> int)
 (** [counter ~width] returns an observer summing [width emit] over every
-    emission, and a function reading the running total. *)
+    emission, and a function reading the running total. Every width also
+    feeds the process-wide [engine.bits_broadcast] series of
+    {!Bcclb_obs.Metrics}, so manifests and traces see broadcast volume
+    without a second mechanism. *)
 
 val packed_recorder :
   n:int ->
@@ -50,4 +53,6 @@ val packed_recorder :
     returns the live per-vertex sequences (do not mutate). *)
 
 val round_timer : unit -> ('emit, 'inbox) t * (unit -> float array)
-(** Wall-clock seconds per round, in round order. *)
+(** Per-round elapsed time, in round order. Unit: seconds, measured on
+    the monotonic clock ({!Bcclb_obs.Mclock}) — immune to wall-clock
+    steps, and directly comparable with [Obs] span timelines. *)

@@ -5,7 +5,15 @@
     lowest-index exception re-raised — for every [num_domains], provided
     each task is pure up to per-task state (seed each task's Rng from its
     input, never share one across tasks). Scheduling order is the only
-    thing that varies with the domain count. *)
+    thing that varies with the domain count.
+
+    Observability: every batch increments [pool.batches], every task
+    increments [pool.tasks] and lands its latency in the
+    [pool.cell_seconds] histogram; workers record the gap between their
+    consecutive tasks in [pool.queue_wait_seconds] and spawned domains
+    count into [pool.domains_spawned] (all {!Bcclb_obs.Metrics},
+    shard-local writes). With tracing active, each batch is a
+    ["pool.batch"] span and each spawned worker a ["pool.worker"] span. *)
 
 val default_domains_env : string
 (** ["BCCLB_NUM_DOMAINS"] — the environment variable consulted when
@@ -25,9 +33,10 @@ val map_batch_timed :
   ('a -> 'b) ->
   'a array ->
   ('b * float) array
-(** [map_batch] plus per-task wall-clock seconds, measured on the worker
-    that ran each task — the hook the experiment harness uses for
-    per-cell timing. [on_done] is called once per task from the worker
+(** [map_batch] plus per-task elapsed seconds (monotonic clock,
+    {!Bcclb_obs.Mclock}), measured on the worker that ran each task —
+    the hook the experiment harness uses for per-cell timing. [on_done]
+    is called once per task from the worker
     domain (serialised by a mutex), in completion order; completion order
     varies with the domain count, results do not. Unlike exceptions in
     [map_batch], a failing task does not prevent the remaining tasks from

@@ -1,5 +1,17 @@
 type t = { root : string }
 
+module Obs = Bcclb_obs
+
+(* Cache health series: [cache.corrupt_recomputes] counts entries that
+   existed on disk but failed the magic/checksum/key check — each one is
+   a cell the runner silently recomputed. *)
+let hits_metric = Obs.Metrics.Counter.v "cache.hits"
+let misses_metric = Obs.Metrics.Counter.v "cache.misses"
+let corrupt_metric = Obs.Metrics.Counter.v "cache.corrupt_recomputes"
+let stores_metric = Obs.Metrics.Counter.v "cache.stores"
+let load_seconds = Obs.Metrics.Histogram.v "cache.load_seconds"
+let store_seconds = Obs.Metrics.Histogram.v "cache.store_seconds"
+
 let default_root = Filename.concat "results" "cache"
 
 let create ~root =
@@ -25,9 +37,12 @@ let path t k = Filename.concat (Filename.concat t.root k.exp_id) (k.hash ^ ".ent
 let magic = "BCCLB-CACHE-1"
 
 let store t k (rows : Experiment.row list) =
+  let stop = Obs.Mclock.counter () in
   let payload = Marshal.to_string (k.spec, rows) [] in
   let sum = Digest.to_hex (Digest.string payload) in
-  Fsutil.write_file_atomic (path t k) (magic ^ "\n" ^ sum ^ "\n" ^ payload)
+  Fsutil.write_file_atomic (path t k) (magic ^ "\n" ^ sum ^ "\n" ^ payload);
+  Obs.Metrics.Counter.incr stores_metric;
+  Obs.Metrics.Histogram.observe store_seconds (stop ())
 
 let remove t k = try Sys.remove (path t k) with Sys_error _ -> ()
 
@@ -44,11 +59,20 @@ let decode k content =
       if String.equal spec k.spec then Some rows else None
 
 let find t k =
-  let p = path t k in
-  if not (Sys.file_exists p) then None
-  else
-    match decode k (Fsutil.read_file p) with
-    | Some rows -> Some rows
-    | None | (exception _) ->
-      remove t k;
-      None
+  let stop = Obs.Mclock.counter () in
+  let result =
+    let p = path t k in
+    if not (Sys.file_exists p) then None
+    else
+      match decode k (Fsutil.read_file p) with
+      | Some rows -> Some rows
+      | None | (exception _) ->
+        (* Entry existed but failed validation: the caller will
+           recompute the cell. *)
+        Obs.Metrics.Counter.incr corrupt_metric;
+        remove t k;
+        None
+  in
+  Obs.Metrics.Counter.incr (if Option.is_some result then hits_metric else misses_metric);
+  Obs.Metrics.Histogram.observe load_seconds (stop ());
+  result

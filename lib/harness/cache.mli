@@ -11,7 +11,13 @@
     Entries are checksummed; {!find} treats a truncated, corrupted or
     mismatched entry exactly like a miss (and deletes it), so the worst
     failure mode of a killed run is recomputation of one cell. Writes go
-    through a temp-file rename and are safe against concurrent writers. *)
+    through a temp-file rename and are safe against concurrent writers.
+
+    Observability: every probe lands in [cache.hits] / [cache.misses]
+    (with [cache.corrupt_recomputes] counting validation failures that
+    will force a recompute), every write in [cache.stores], and
+    load/store latencies in the [cache.load_seconds] /
+    [cache.store_seconds] histograms of {!Bcclb_obs.Metrics}. *)
 
 type t
 

@@ -1,11 +1,27 @@
 module Pool = Bcclb_engine.Pool
+module Obs = Bcclb_obs
+
+(* Runner-level series: experiment wall time, and checkpoint flushes
+   (each computed cell stored from its worker the moment it finishes —
+   [runner.checkpoints] counts those stores, so a killed sweep's resume
+   cost is readable from the metrics). *)
+let experiments_metric = Obs.Metrics.Counter.v "runner.experiments"
+let cells_metric = Obs.Metrics.Counter.v "runner.cells"
+let checkpoints_metric = Obs.Metrics.Counter.v "runner.checkpoints"
+let experiment_seconds = Obs.Metrics.Histogram.v "runner.experiment_seconds"
 
 let run ?cache ?num_domains ?grid ~sink (exp : Experiment.t) =
   let grid = match grid with Some g -> g | None -> exp.Experiment.default_grid in
   let cells = Array.of_list grid in
+  Obs.Metrics.Counter.incr experiments_metric;
+  Obs.Metrics.Counter.add cells_metric (Array.length cells);
+  let exp_stopwatch = Obs.Mclock.counter () in
   (* One task per cell: probe, compute on miss, checkpoint immediately.
      The [hit] flag rides along with the rows. *)
   let task params =
+    Obs.span "runner.cell"
+      ~attrs:[ ("experiment", exp.Experiment.id); ("params", Params.canonical params) ]
+    @@ fun () ->
     (* The executions column is the engine run-count delta seen by this
        worker around the cell; peak_words the GC top-heap high-water
        mark once the cell is done (see Sink.cell_report). *)
@@ -27,11 +43,16 @@ let run ?cache ?num_domains ?grid ~sink (exp : Experiment.t) =
         | None ->
           let rows, executions = compute () in
           Cache.store c key rows;
+          Obs.Metrics.Counter.incr checkpoints_metric;
           (rows, false, executions))
     in
     (rows, hit, executions, (Gc.quick_stat ()).Gc.top_heap_words)
   in
-  let results = Pool.map_batch_timed ?num_domains task cells in
+  let results =
+    Obs.span "runner.experiment" ~attrs:[ ("experiment", exp.Experiment.id) ] (fun () ->
+        Pool.map_batch_timed ?num_domains task cells)
+  in
+  Obs.Metrics.Histogram.observe experiment_seconds (exp_stopwatch ());
   let all_rows = List.concat_map (fun ((rows, _, _, _), _) -> rows) (Array.to_list results) in
   let buf = Buffer.create 4096 in
   Experiment.render buf exp all_rows;

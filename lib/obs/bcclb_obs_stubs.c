@@ -1,0 +1,25 @@
+/* Monotonic clock + process peak RSS for Bcclb_obs. Both return
+   immediate values (Val_long), so the externals are [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+#include <sys/resource.h>
+
+/* Nanoseconds on the monotonic clock. 2^62 ns is ~146 years of uptime,
+   so the value always fits an OCaml int on 64-bit platforms. */
+CAMLprim value caml_bcclb_mclock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0) return Val_long(0);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}
+
+/* Peak resident set size in bytes (ru_maxrss is KiB on Linux). */
+CAMLprim value caml_bcclb_peak_rss_bytes(value unit)
+{
+  struct rusage ru;
+  (void)unit;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return Val_long(0);
+  return Val_long((intnat)ru.ru_maxrss * 1024);
+}

@@ -1,0 +1,98 @@
+(** Process-wide metrics registry: counters, gauges and fixed-bucket
+    histograms, {e per-domain sharded}.
+
+    Every writer (a {!Bcclb_engine.Pool} worker, the main domain) owns a
+    private shard — an ordinary unsynchronised array it alone mutates —
+    so the hot path of an increment is one domain-local array write: no
+    locks, no atomics, no allocation. Shards are merged only when a
+    snapshot is taken, and the merge is deterministic for the
+    order-independent aggregates (counter totals, histogram bucket
+    counts and observation counts are integer sums), which is what makes
+    metric totals identical under [BCCLB_NUM_DOMAINS=1] and [=4].
+
+    Registration is idempotent by name: [Counter.v "engine.runs"]
+    returns the same metric wherever it is called, so independent layers
+    can share a series without threading handles. Registering the same
+    name with a different kind (or different histogram buckets) is a
+    programming error and raises [Invalid_argument]. *)
+
+module Counter : sig
+  type t
+
+  val v : string -> t
+  (** Register (or look up) the counter named [name]. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Shard-local, lock-free, alloc-free. [add] with a negative value
+      raises [Invalid_argument]: counters only go up. *)
+
+  val total : t -> int
+  (** Sum over all shards. Reads concurrent with writers may miss
+      in-flight increments (same weak consistency as any statistical
+      counter); reads after workers have joined are exact. *)
+end
+
+module Gauge : sig
+  type t
+
+  val v : string -> t
+  val set : t -> float -> unit
+  (** Shard-local last-written value. *)
+
+  val max : t -> float -> unit
+  (** Shard-local running maximum. *)
+
+  val read : t -> float
+  (** Merged view: the maximum over all shards (shards start at 0, so
+      gauges are for nonnegative high-water marks — peak sizes, peak
+      depths). *)
+end
+
+module Histogram : sig
+  type t
+
+  val default_time_buckets : float array
+  (** Upper bounds in seconds, 1µs to 100s in decades — the default for
+      every latency histogram in the repository. *)
+
+  val v : ?buckets:float array -> string -> t
+  (** [buckets] are strictly increasing finite upper bounds; an implicit
+      overflow bucket catches everything above the last. Defaults to
+      {!default_time_buckets}. *)
+
+  val observe : t -> float -> unit
+  (** Record one observation: bump the first bucket whose upper bound is
+      [>=] the value (the overflow bucket if none) and add the value to
+      the shard's sum. Lock-free, alloc-free after the shard's first
+      observation. *)
+end
+
+(** {2 Snapshots} *)
+
+type hist = {
+  le : float array;  (** The finite upper bounds, as registered. *)
+  counts : int array;  (** [Array.length le + 1] entries; last = overflow. *)
+  sum : float;
+  count : int;  (** Total observations = sum of [counts]. *)
+}
+
+type value = Counter of int | Gauge of float | Histogram of hist
+
+val quantile : hist -> float -> float
+(** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) by linear
+    interpolation inside the bucket containing the target rank, with 0
+    as the lower edge of the first bucket. Observations in the overflow
+    bucket clamp to the last finite bound. Returns 0 for an empty
+    histogram. *)
+
+val hist_mean : hist -> float
+(** [sum /. count], 0 for an empty histogram. *)
+
+val snapshot : unit -> (string * value) list
+(** Merged view of every registered metric, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every shard of every metric (registrations survive). Only
+    meaningful while no worker domain is writing — tests call it between
+    cases; production code never needs it. *)

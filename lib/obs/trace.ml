@@ -1,0 +1,162 @@
+(* Span tracer. Completed spans append to one mutex-guarded in-memory
+   buffer (tracing-on runs are diagnostic, not benchmarked); the
+   disabled path is a single ref read. Timestamps come from Mclock so
+   spans, Observer.round_timer and the pool histograms all share one
+   clock. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  tid : int;  (* domain id *)
+  start_ns : int;  (* relative to trace start *)
+  dur_ns : int;
+  depth : int;  (* per-domain nesting depth at entry *)
+}
+
+type state = {
+  file : string;
+  t0 : int;
+  mutable events : event list;
+  mutable count : int;
+  lock : Mutex.t;
+}
+
+let current : state option ref = ref None
+
+let env_var = "BCCLB_TRACE"
+
+let depth_key = Domain.DLS.new_key (fun () -> 0)
+
+let enabled () = Option.is_some !current
+
+let event_count () = match !current with None -> 0 | Some st -> st.count
+
+let start ~file =
+  current := Some { file; t0 = Mclock.now_ns (); events = []; count = 0; lock = Mutex.create () }
+
+let start_from_env ?(var = env_var) () =
+  match Sys.getenv_opt var with
+  | Some file when String.trim file <> "" -> start ~file
+  | _ -> ()
+
+let record st ev =
+  Mutex.lock st.lock;
+  st.events <- ev :: st.events;
+  st.count <- st.count + 1;
+  Mutex.unlock st.lock
+
+let span ?(attrs = []) name f =
+  match !current with
+  | None -> f ()
+  | Some st ->
+    let d = Domain.DLS.get depth_key in
+    Domain.DLS.set depth_key (d + 1);
+    let t_start = Mclock.now_ns () in
+    let finish () =
+      let dur_ns = Mclock.now_ns () - t_start in
+      Domain.DLS.set depth_key d;
+      record st
+        { name;
+          attrs;
+          tid = (Domain.self () :> int);
+          start_ns = t_start - st.t0;
+          dur_ns;
+          depth = d }
+    in
+    Fun.protect ~finally:finish f
+
+(* ---- exporters ---- *)
+
+let jsonl_path file =
+  if Filename.check_suffix file ".json" then Filename.chop_suffix file ".json" ^ ".jsonl"
+  else file ^ ".jsonl"
+
+(* Minimal JSON string escaping (obs sits below the harness, so it
+   cannot use Bcclb_harness.Json). *)
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  escape buf s;
+  Buffer.add_char buf '"'
+
+let add_attrs buf attrs =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_str buf k;
+      Buffer.add_char buf ':';
+      add_str buf v)
+    attrs;
+  Buffer.add_char buf '}'
+
+let write_file path content =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+(* Chrome trace_event JSON: complete ("ph":"X") events, ts/dur in
+   microseconds. Perfetto infers nesting from overlapping X events on
+   the same (pid, tid) track. *)
+let chrome_json events =
+  let pid = Unix.getpid () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf "\n{\"name\":";
+      add_str buf ev.name;
+      Buffer.add_string buf ",\"cat\":\"bcclb\",\"ph\":\"X\",\"ts\":";
+      Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ev.start_ns /. 1e3));
+      Buffer.add_string buf ",\"dur\":";
+      Buffer.add_string buf (Printf.sprintf "%.3f" (float_of_int ev.dur_ns /. 1e3));
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d,\"args\":" pid ev.tid);
+      add_attrs buf ev.attrs;
+      Buffer.add_char buf '}')
+    events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf "{\"name\":";
+      add_str buf ev.name;
+      Buffer.add_string buf
+        (Printf.sprintf ",\"start_ns\":%d,\"dur_ns\":%d,\"tid\":%d,\"depth\":%d,\"attrs\":"
+           ev.start_ns ev.dur_ns ev.tid ev.depth);
+      add_attrs buf ev.attrs;
+      Buffer.add_string buf "}\n")
+    events;
+  Buffer.contents buf
+
+let stop () =
+  match !current with
+  | None -> ()
+  | Some st ->
+    current := None;
+    let events =
+      (* Start-time order, ties broken by domain then deeper-first so a
+         parent precedes the children it started at the same tick. *)
+      List.sort
+        (fun a b ->
+          match compare a.start_ns b.start_ns with
+          | 0 -> ( match compare a.tid b.tid with 0 -> compare a.depth b.depth | c -> c)
+          | c -> c)
+        st.events
+    in
+    write_file st.file (chrome_json events);
+    write_file (jsonl_path st.file) (jsonl events)

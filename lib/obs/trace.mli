@@ -1,0 +1,49 @@
+(** Lightweight span tracing with monotonic timestamps.
+
+    A span wraps a function call: [span "arena.build" ~attrs f] records
+    when [f] started, how long it ran, on which domain, and at what
+    nesting depth. When no trace is active (the default) a span is one
+    branch and a call to [f] — cheap enough to leave in production
+    paths. When active, completed spans buffer in memory and
+    {!stop} writes two files:
+
+    - the Chrome [trace_event] file at the path given to {!start}
+      (a JSON object with a ["traceEvents"] array of ["ph": "X"]
+      complete events, microsecond timestamps relative to trace start) —
+      loadable in Perfetto / [about:tracing];
+    - a JSONL event log next to it ({!jsonl_path}): one JSON object per
+      line, sorted by start time, with [name], [start_ns], [dur_ns],
+      [tid] (domain id), [depth] (per-domain nesting) and [attrs].
+
+    [start]/[stop] must be called from quiescent points (before and
+    after the traced workload) — the span hot path itself is safe from
+    any domain. *)
+
+val start : file:string -> unit
+(** Begin collecting spans; {!stop} will write [file]. Replaces any
+    trace already active (its events are dropped). *)
+
+val start_from_env : ?var:string -> unit -> unit
+(** [start_from_env ()] calls {!start} with the value of [$BCCLB_TRACE]
+    (or [var]) when set and nonempty; otherwise does nothing. *)
+
+val env_var : string
+(** ["BCCLB_TRACE"]. *)
+
+val enabled : unit -> bool
+
+val stop : unit -> unit
+(** Write the Chrome trace and JSONL files and deactivate tracing. A
+    no-op when no trace is active. *)
+
+val span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()], recording it as a complete span when
+    tracing is active. Exceptions propagate; the span is recorded either
+    way. *)
+
+val jsonl_path : string -> string
+(** The JSONL twin of a Chrome trace path: [x.json -> x.jsonl],
+    otherwise [x -> x.jsonl]. *)
+
+val event_count : unit -> int
+(** Spans recorded by the active trace so far (0 when inactive). *)

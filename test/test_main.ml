@@ -16,4 +16,5 @@ let () =
       ("rcc", Test_rcc.suites @ q Test_rcc.qsuites);
       ("sketch", Test_sketch.suites @ q Test_sketch.qsuites);
       ("engine", Test_engine.suites @ q Test_engine.qsuites);
-      ("harness", Test_harness.suites @ q Test_harness.qsuites) ]
+      ("harness", Test_harness.suites @ q Test_harness.qsuites);
+      ("obs", Test_obs.suites @ q Test_obs.qsuites) ]
