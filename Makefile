@@ -9,9 +9,10 @@ test:
 	dune runtest
 
 # The tier-1 gate: what CI runs. Stray trace files from local --trace /
-# BCCLB_TRACE runs are cleaned up so they never end up in commits.
+# BCCLB_TRACE runs and dist sockets from killed --backend procs runs are
+# cleaned up so they never end up in commits.
 check:
-	rm -f *.trace.json *.trace.jsonl
+	rm -f *.trace.json *.trace.jsonl *.sock
 	dune build && dune runtest
 
 bench:

@@ -25,11 +25,40 @@ let no_cache_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 0
+    value
+    & opt (some int) None
     & info [ "jobs"; "j" ] ~docv:"N"
         ~doc:
-          "Worker domains for the sweeps (0 = the $(b,BCCLB_NUM_DOMAINS) environment \
+          "Worker domains for the sweeps (unset = the $(b,BCCLB_NUM_DOMAINS) environment \
            variable, defaulting to 1). Results are byte-identical for any value.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("domains", `Domains); ("procs", `Procs) ]) `Domains
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Execution backend: $(b,domains) runs cells on shared-memory domains in this \
+           process; $(b,procs) ships them to worker processes over a socket (crash-\
+           recovering, see --workers). Reports and cache entries are byte-identical \
+           either way.")
+
+let workers_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "workers" ] ~docv:"N"
+        ~doc:
+          "Worker processes for $(b,--backend procs) (default: the $(b,--jobs) \
+           resolution). Ignored by the domains backend.")
+
+let tcp_arg =
+  Arg.(
+    value & flag
+    & info [ "tcp" ]
+        ~doc:
+          "With $(b,--backend procs): talk to workers over loopback TCP instead of a \
+           Unix-domain socket.")
 
 let results_arg =
   Arg.(
@@ -46,7 +75,33 @@ let trace_arg =
           "Write a Chrome trace_event file (open in Perfetto / about:tracing) plus a JSONL \
            span log next to it. $(b,BCCLB_TRACE)=FILE does the same without the flag.")
 
-let resolved_domains jobs = if jobs > 0 then jobs else Bcclb_engine.Pool.default_num_domains ()
+let resolved_domains jobs =
+  match jobs with Some j -> j | None -> Bcclb_engine.Pool.default_num_domains ()
+
+(* Flag sanity, reported as a usage error rather than a raw exception
+   from deep inside the pool or the coordinator. *)
+let require_positive flag v =
+  match v with
+  | Some j when j < 1 ->
+    Printf.eprintf "experiments: %s must be >= 1 (got %d)\n" flag j;
+    Stdlib.exit 2
+  | _ -> ()
+
+(* The procs backend self-execs this very binary as `experiments worker
+   --socket ADDR`; install wires that spawn into the Runner hook. *)
+let resolve_backend ~backend ~jobs ~workers ~tcp =
+  require_positive "--jobs" jobs;
+  require_positive "--workers" workers;
+  match backend with
+  | `Domains -> `Domains
+  | `Procs ->
+    Bcclb_dist.Backend.install
+      ~transport:(if tcp then `Tcp else `Unix_socket)
+      ~spawn:
+        (Bcclb_dist.Backend.spawn_argv (fun addr ->
+             [| Sys.executable_name; "worker"; "--socket"; addr |]))
+      ();
+    `Procs (match workers with Some w -> w | None -> resolved_domains jobs)
 
 (* Tracing wraps a whole invocation: --trace wins over $BCCLB_TRACE, and
    the files are written once the run (and its manifest) is done. *)
@@ -66,14 +121,14 @@ let with_trace trace f =
       end)
     f
 
-let run_experiments ~results_dir ~no_cache ~jobs ~ns exps =
+let run_experiments ~results_dir ~no_cache ~jobs ~backend ~ns exps =
   let cache =
     if no_cache then None
     else Some (H.Cache.create ~root:(Filename.concat results_dir "cache"))
   in
   let jsonl = H.Sink.jsonl ~dir:results_dir in
   let sink = H.Sink.tee [ H.Sink.console (); jsonl ] in
-  let num_domains = if jobs > 0 then Some jobs else None in
+  let num_domains = jobs in
   let reports =
     List.map
       (fun (exp : H.Experiment.t) ->
@@ -86,7 +141,7 @@ let run_experiments ~results_dir ~no_cache ~jobs ~ns exps =
             None
           | None, _ -> None
         in
-        let r = H.Runner.run ?cache ?num_domains ?grid ~sink exp in
+        let r = H.Runner.run ~backend ?cache ?num_domains ?grid ~sink exp in
         Printf.eprintf "[harness] %-16s %4d cells, %4d hits, %4d misses, %7.2fs\n%!"
           r.H.Sink.id r.H.Sink.cells r.H.Sink.hits r.H.Sink.misses r.H.Sink.seconds;
         r)
@@ -125,23 +180,52 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const (fun id ns no_cache jobs results_dir trace ->
+      const (fun id ns no_cache jobs backend workers tcp results_dir trace ->
           match H.Registry.find id with
           | None ->
-            Printf.eprintf "experiments: unknown experiment %S (try `experiments list')\n" id;
+            (match H.Registry.suggest id with
+            | Some close ->
+              Printf.eprintf
+                "experiments: unknown experiment %S — did you mean %S? (run `experiments \
+                 list' for every id)\n"
+                id close
+            | None ->
+              Printf.eprintf
+                "experiments: unknown experiment %S (run `experiments list' for every id)\n"
+                id);
             Stdlib.exit 2
           | Some exp ->
-            with_trace trace (fun () -> run_experiments ~results_dir ~no_cache ~jobs ~ns [ exp ]))
-      $ id_arg $ ns_arg $ no_cache_arg $ jobs_arg $ results_arg $ trace_arg)
+            let backend = resolve_backend ~backend ~jobs ~workers ~tcp in
+            with_trace trace (fun () ->
+                run_experiments ~results_dir ~no_cache ~jobs ~backend ~ns [ exp ]))
+      $ id_arg $ ns_arg $ no_cache_arg $ jobs_arg $ backend_arg $ workers_arg $ tcp_arg
+      $ results_arg $ trace_arg)
 
 let all_cmd =
   let doc = "Run every experiment at default scale" in
   Cmd.v (Cmd.info "all" ~doc)
     Term.(
-      const (fun no_cache jobs results_dir trace ->
+      const (fun no_cache jobs backend workers tcp results_dir trace ->
+          let backend = resolve_backend ~backend ~jobs ~workers ~tcp in
           with_trace trace (fun () ->
-              run_experiments ~results_dir ~no_cache ~jobs ~ns:None H.Registry.all))
-      $ no_cache_arg $ jobs_arg $ results_arg $ trace_arg)
+              run_experiments ~results_dir ~no_cache ~jobs ~backend ~ns:None H.Registry.all))
+      $ no_cache_arg $ jobs_arg $ backend_arg $ workers_arg $ tcp_arg $ results_arg
+      $ trace_arg)
+
+(* The hidden half of --backend procs: what the coordinator self-execs.
+   Not for human invocation — it connects back to ADDR and serves cells
+   until told to shut down. *)
+let worker_cmd =
+  let socket_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"ADDR"
+          ~doc:"Coordinator address, $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  Cmd.v
+    (Cmd.info "worker" ~doc:"(internal) dist worker process; spawned by --backend procs")
+    Term.(const (fun address -> Bcclb_dist.Worker.main ~address ()) $ socket_arg)
 
 (* ---- stats: render the manifest's metrics block as a table ---- *)
 
@@ -214,4 +298,4 @@ let () =
     Cmd.info "experiments"
       ~doc:"Reproduction experiments for the BCC connectivity lower bounds"
   in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; stats_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; stats_cmd; worker_cmd ]))

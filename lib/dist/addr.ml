@@ -1,0 +1,37 @@
+type t = Unix_socket of string | Tcp of string * int
+
+let to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S has no transport prefix" s)
+  | Some i -> (
+    let scheme = String.sub s 0 i in
+    let rest = String.sub s (i + 1) (String.length s - i - 1) in
+    match scheme with
+    | "unix" -> if rest = "" then Error "empty unix socket path" else Ok (Unix_socket rest)
+    | "tcp" -> (
+      match String.rindex_opt rest ':' with
+      | None -> Error (Printf.sprintf "tcp address %S has no port" s)
+      | Some j -> (
+        let host = String.sub rest 0 j in
+        match int_of_string_opt (String.sub rest (j + 1) (String.length rest - j - 1)) with
+        | Some port when port > 0 && port < 65536 -> Ok (Tcp (host, port))
+        | _ -> Error (Printf.sprintf "tcp address %S has a bad port" s)))
+    | _ -> Error (Printf.sprintf "unknown transport %S (want unix: or tcp:)" scheme))
+
+let sockaddr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> ip
+        | _ -> failwith ("Addr: cannot resolve host " ^ host))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let domain = function Unix_socket _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET

@@ -1,0 +1,20 @@
+(** Worker-facing endpoint addresses.
+
+    The coordinator prints one of these into each worker's command line
+    ([unix:/tmp/....sock] or [tcp:127.0.0.1:PORT]); the worker parses it
+    back and connects. Unix-domain sockets are the default transport —
+    no ports to collide, file permissions for free; TCP (loopback) is
+    the [--tcp] escape hatch for environments without them. *)
+
+type t = Unix_socket of string | Tcp of string * int
+
+val to_string : t -> string
+(** ["unix:<path>"] / ["tcp:<host>:<port>"]. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] explains the malformation. *)
+
+val sockaddr : t -> Unix.sockaddr
+(** @raise Failure when a TCP host does not resolve. *)
+
+val domain : t -> Unix.socket_domain

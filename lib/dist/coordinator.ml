@@ -1,0 +1,400 @@
+(* The coordinator event loop. Single-threaded: one select over the
+   listener and every worker socket, then four passes per tick —
+   population (spawn up to the target while work remains), assignment
+   (idle workers get the next unresolved cell), reaping (waitpid
+   WNOHANG so crashed pids are seen even before their socket EOFs), and
+   deadlines (busy workers against cell_timeout, idle ones against
+   heartbeat_timeout). All worker fds are nonblocking and read through
+   Wire.Reader; frames the reader rejects poison the connection and the
+   worker is treated as crashed.
+
+   Recovery invariant: a cell is assigned to at most one live worker at
+   a time, and is requeued (attempt + 1) only after its worker has been
+   destroyed — killed or seen dead — so duplicate results can only come
+   from a race already settled by [is_resolved], never from two live
+   computations. *)
+
+module H = Bcclb_harness
+module Obs = Bcclb_obs
+
+let workers_spawned = Obs.Metrics.Counter.v "dist.workers_spawned"
+let worker_deaths = Obs.Metrics.Counter.v "dist.worker_deaths"
+let assignments = Obs.Metrics.Counter.v "dist.assignments"
+let requeues = Obs.Metrics.Counter.v "dist.requeues"
+let frames_in = Obs.Metrics.Counter.v "dist.frames_in"
+let bytes_in = Obs.Metrics.Counter.v "dist.bytes_in"
+let heartbeats_metric = Obs.Metrics.Counter.v "dist.heartbeats"
+let snapshots_metric = Obs.Metrics.Counter.v "dist.metric_snapshots_absorbed"
+
+type config = {
+  workers : int;
+  transport : [ `Unix_socket | `Tcp ];
+  heartbeat_interval : float;
+  heartbeat_timeout : float;
+  cell_timeout : float;
+  max_retries : int;
+  spawn : address:string -> int;
+}
+
+let config ?(transport = `Unix_socket) ?(heartbeat_interval = 0.25) ?(heartbeat_timeout = 30.0)
+    ?(cell_timeout = 600.0) ?(max_retries = 2) ~spawn ~workers () =
+  if workers < 1 then invalid_arg "Coordinator.config: workers must be >= 1";
+  { workers; transport; heartbeat_interval; heartbeat_timeout; cell_timeout; max_retries; spawn }
+
+type wstate =
+  | Greeting  (** Accepted, no [Hello] yet. *)
+  | Idle
+  | Busy of int * float  (** Cell index, assignment time. *)
+  | Saying_bye of float  (** [Shutdown] sent at this time. *)
+
+type conn = {
+  fd : Unix.file_descr;
+  reader : Wire.Reader.t;
+  mutable pid : int;  (* -1 until Hello *)
+  mutable state : wstate;
+  mutable last_seen : float;
+  mutable dead : bool;
+}
+
+let now () = Obs.Mclock.ns_to_s (Obs.Mclock.now_ns ())
+
+let sock_counter = Atomic.make 0
+
+(* Listener + printable address + a cleanup for the socket file. *)
+let listen_endpoint transport =
+  match transport with
+  | `Unix_socket ->
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "bcclb-dist-%d-%d.sock" (Unix.getpid ())
+           (Atomic.fetch_and_add sock_counter 1))
+    in
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 64;
+    (fd, Addr.to_string (Addr.Unix_socket path), fun () ->
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Tcp ->
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen fd 64;
+    let port =
+      match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> assert false
+    in
+    (fd, Addr.to_string (Addr.Tcp ("127.0.0.1", port)), fun () -> ())
+
+let run c ~cache ~exp ~cells =
+  let n = Array.length cells in
+  if n = 0 then [||]
+  else begin
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    Obs.span "dist.sweep"
+      ~attrs:
+        [
+          ("experiment", exp.H.Experiment.id);
+          ("cells", string_of_int n);
+          ("workers", string_of_int c.workers);
+        ]
+    @@ fun () ->
+    let listen_fd, address, cleanup_listener = listen_endpoint c.transport in
+    Unix.set_nonblock listen_fd;
+    let results : (H.Runner.cell_outcome * float) option array = Array.make n None in
+    let failures : string option array = Array.make n None in
+    let attempts = Array.make n 0 in
+    let resolved = ref 0 in
+    let pending = Queue.create () in
+    Array.iteri (fun i _ -> Queue.push i pending) cells;
+    let conns : conn list ref = ref [] in
+    let live_pids : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let helloed : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+    let unconnected = ref 0 in
+    let spawned = ref 0 in
+    let spawn_cap = c.workers + ((c.max_retries + 1) * n) in
+    let shutdown_at = ref None in
+
+    let is_resolved i = results.(i) <> None || failures.(i) <> None in
+    let resolve_result i r =
+      if not (is_resolved i) then begin
+        results.(i) <- Some r;
+        incr resolved
+      end
+    in
+    let resolve_failure i msg =
+      if not (is_resolved i) then begin
+        failures.(i) <- Some msg;
+        incr resolved
+      end
+    in
+    let fail fmt = Printf.ksprintf (fun s -> failwith ("dist: " ^ s)) fmt in
+
+    let spawn_one () =
+      if !spawned >= spawn_cap then
+        fail "spawn budget exhausted after %d workers (is the worker binary broken?)" !spawned;
+      incr spawned;
+      let pid = c.spawn ~address in
+      Hashtbl.replace live_pids pid ();
+      incr unconnected;
+      Obs.Metrics.Counter.incr workers_spawned
+    in
+
+    let requeue i =
+      Obs.Metrics.Counter.incr requeues;
+      if attempts.(i) > c.max_retries then
+        fail "cell %d (%s) of %s lost its worker %d times; giving up" i
+          (H.Params.canonical cells.(i))
+          exp.H.Experiment.id attempts.(i);
+      Queue.push i pending
+    in
+
+    (* Graceful end of a connection (after Bye): no kill, no requeue —
+       the pid is reaped by the WNOHANG pass once it exits. *)
+    let retire conn =
+      if not conn.dead then begin
+        conn.dead <- true;
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end
+    in
+    (* Crash/timeout path: close, kill (unless the process is already
+       dead), and put any in-flight cell back on the queue. *)
+    let destroy ?(kill = true) conn =
+      if not conn.dead then begin
+        conn.dead <- true;
+        (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+        if kill && conn.pid > 0 then (
+          try Unix.kill conn.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        Obs.Metrics.Counter.incr worker_deaths;
+        match conn.state with
+        | Busy (i, _) when not (is_resolved i) -> requeue i
+        | _ -> ()
+      end
+    in
+
+    let send conn m =
+      try Wire.write_frame conn.fd (Msg.to_worker_payload m)
+      with Unix.Unix_error _ -> destroy conn
+    in
+
+    let handle conn = function
+      | Msg.Hello { pid } ->
+        conn.pid <- pid;
+        Hashtbl.replace helloed pid ();
+        if !shutdown_at <> None then begin
+          (* Late joiner of a finished sweep: straight to goodbye. *)
+          send conn Msg.Shutdown;
+          if not conn.dead then conn.state <- Saying_bye (now ())
+        end
+        else begin
+          conn.state <- Idle;
+          send conn
+            (Msg.Init
+               {
+                 exp_id = exp.H.Experiment.id;
+                 cache_root = Option.map H.Cache.root cache;
+                 heartbeat_interval = c.heartbeat_interval;
+               })
+        end
+      | Msg.Heartbeat -> Obs.Metrics.Counter.incr heartbeats_metric
+      | Msg.Result { cell; outcome; seconds } ->
+        resolve_result cell (outcome, seconds);
+        (match conn.state with Busy _ -> conn.state <- Idle | _ -> ())
+      | Msg.Cell_error { cell; message } ->
+        resolve_failure cell message;
+        (match conn.state with Busy _ -> conn.state <- Idle | _ -> ())
+      | Msg.Bye { metrics } ->
+        Obs.Metrics.absorb metrics;
+        Obs.Metrics.Counter.incr snapshots_metric;
+        retire conn
+      | Msg.Fatal { message } -> fail "worker %d is unserviceable: %s" conn.pid message
+    in
+
+    let read_buf = Bytes.create 65536 in
+    let pump conn =
+      match Unix.read conn.fd read_buf 0 (Bytes.length read_buf) with
+      | 0 -> destroy ~kill:false conn
+      | k ->
+        Obs.Metrics.Counter.add bytes_in k;
+        Wire.Reader.feed conn.reader read_buf ~pos:0 ~len:k;
+        conn.last_seen <- now ();
+        let rec drain () =
+          if not conn.dead then
+            match Wire.Reader.next conn.reader with
+            | Ok None -> ()
+            | Ok (Some payload) ->
+              Obs.Metrics.Counter.incr frames_in;
+              (match Msg.of_payload_from_worker payload with
+              | Ok m ->
+                handle conn m;
+                drain ()
+              | Error _ -> destroy conn)
+            | Error _ -> destroy conn
+        in
+        drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> destroy conn
+    in
+
+    let accept_new () =
+      let rec go () =
+        match Unix.accept listen_fd with
+        | fd, _ ->
+          Unix.set_nonblock fd;
+          if !unconnected > 0 then decr unconnected;
+          conns :=
+            {
+              fd;
+              reader = Wire.Reader.create ();
+              pid = -1;
+              state = Greeting;
+              last_seen = now ();
+              dead = false;
+            }
+            :: !conns;
+          go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      in
+      go ()
+    in
+
+    let reap () =
+      let gone =
+        Hashtbl.fold
+          (fun pid () acc ->
+            match Unix.waitpid [ Unix.WNOHANG ] pid with
+            | 0, _ -> acc
+            | _ -> pid :: acc
+            | exception Unix.Unix_error (Unix.ECHILD, _, _) -> pid :: acc)
+          live_pids []
+      in
+      List.iter
+        (fun pid ->
+          Hashtbl.remove live_pids pid;
+          if Hashtbl.mem helloed pid then (
+            (* Its connection EOF handles (or handled) the rest. *)
+            match List.find_opt (fun k -> k.pid = pid && not k.dead) !conns with
+            | Some conn -> destroy ~kill:false conn
+            | None -> ())
+          else if
+            (* Died before it ever connected: give its spawn slot back so
+               the population pass replaces it. *)
+            !unconnected > 0
+          then decr unconnected)
+        gone
+    in
+
+    let check_deadlines () =
+      let t = now () in
+      List.iter
+        (fun conn ->
+          if not conn.dead then
+            match conn.state with
+            | Busy (_, since) -> if t -. since > c.cell_timeout then destroy conn
+            | Greeting | Idle ->
+              if t -. conn.last_seen > c.heartbeat_timeout then destroy conn
+            | Saying_bye since -> if t -. since > c.heartbeat_timeout then destroy conn)
+        !conns
+    in
+
+    let ensure_workers () =
+      if !shutdown_at = None then begin
+        let live = List.length (List.filter (fun k -> not k.dead) !conns) + !unconnected in
+        let want = min c.workers (n - !resolved) in
+        for _ = live + 1 to want do
+          spawn_one ()
+        done
+      end
+    in
+
+    let next_pending () =
+      let rec go () =
+        if Queue.is_empty pending then None
+        else
+          let i = Queue.pop pending in
+          if is_resolved i then go () else Some i
+      in
+      go ()
+    in
+
+    let assign () =
+      List.iter
+        (fun conn ->
+          if (not conn.dead) && conn.state = Idle then
+            match next_pending () with
+            | None -> ()
+            | Some i ->
+              let attempt = attempts.(i) in
+              attempts.(i) <- attempt + 1;
+              Obs.Metrics.Counter.incr assignments;
+              (* Busy before send: a failing send destroys the conn and
+                 the Busy state routes the cell back to the queue. *)
+              conn.state <- Busy (i, now ());
+              send conn (Msg.Assign { cell = i; attempt; params = cells.(i) }))
+        !conns
+    in
+
+    let broadcast_shutdown () =
+      if !shutdown_at = None then begin
+        shutdown_at := Some (now ());
+        List.iter
+          (fun conn ->
+            if not conn.dead then begin
+              send conn Msg.Shutdown;
+              if not conn.dead then conn.state <- Saying_bye (now ())
+            end)
+          !conns
+      end
+    in
+
+    let cleanup () =
+      List.iter
+        (fun conn ->
+          (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+          if conn.pid > 0 then
+            try Unix.kill conn.pid Sys.sigkill with Unix.Unix_error _ -> ())
+        !conns;
+      Hashtbl.iter
+        (fun pid () -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ())
+        live_pids;
+      Hashtbl.iter
+        (fun pid () ->
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        live_pids;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      cleanup_listener ()
+    in
+
+    Fun.protect ~finally:cleanup @@ fun () ->
+    let finished () = !resolved = n && !conns = [] && Hashtbl.length live_pids = 0 in
+    while not (finished ()) do
+      ensure_workers ();
+      assign ();
+      if !resolved = n then broadcast_shutdown ();
+      let rds =
+        listen_fd :: List.filter_map (fun k -> if k.dead then None else Some k.fd) !conns
+      in
+      (match Unix.select rds [] [] 0.05 with
+      | ready, _, _ ->
+        if List.memq listen_fd ready then accept_new ();
+        List.iter (fun k -> if (not k.dead) && List.memq k.fd ready then pump k) !conns
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      reap ();
+      check_deadlines ();
+      conns := List.filter (fun k -> not k.dead) !conns
+    done;
+    let first_failure = ref None in
+    for i = n - 1 downto 0 do
+      match failures.(i) with Some m -> first_failure := Some (i, m) | None -> ()
+    done;
+    match !first_failure with
+    | Some (i, message) ->
+      raise
+        (H.Runner.Cell_failed
+           {
+             exp_id = exp.H.Experiment.id;
+             params = H.Params.canonical cells.(i);
+             message;
+           })
+    | None -> Array.map (fun r -> Option.get r) results
+  end

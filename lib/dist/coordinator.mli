@@ -1,0 +1,70 @@
+(** The coordinator: sockets, scheduling, deadlines, recovery.
+
+    [run] listens on a Unix-domain socket (or loopback TCP), spawns
+    worker processes via the caller-supplied [spawn], and drives the
+    sweep: cells go out as [Assign] frames to idle workers, results
+    stream back, and every completed cell is already checkpointed in the
+    shared cache by the worker that computed it.
+
+    The failure model, concretely:
+    {ul
+    {- {b Crash} (SIGKILL, injected exit, OOM): the worker's socket hits
+       EOF (or its pid is reaped). Its in-flight cell is requeued with
+       [attempt + 1] and a replacement worker is spawned while
+       unresolved cells remain.}
+    {- {b Stall} (hung cell, livelocked worker): a busy worker that has
+       not answered within [cell_timeout] is SIGKILLed and treated as a
+       crash.}
+    {- {b Silence} (wedged before/between cells): an idle worker that
+       has not heartbeat within [heartbeat_timeout] is SIGKILLed.}
+    {- {b Bounded retries}: a cell lost more than [max_retries] times
+       aborts the sweep (infrastructure is presumed broken) — as does
+       exhausting the spawn budget, so a worker binary that always dies
+       cannot respawn forever.}
+    {- {b Deterministic cell failure} (the cell function raised): not
+       retried; the sweep drains and then the lowest-index failure is
+       re-raised as {!Bcclb_harness.Runner.Cell_failed}, matching the
+       in-process pool contract.}}
+
+    Results are returned in cell order, so the report a [`Procs] sweep
+    renders is byte-identical to the [`Domains] one. Worker metric
+    snapshots arriving in [Bye] frames are merged into this process by
+    {!Bcclb_obs.Metrics.absorb}. *)
+
+type config = {
+  workers : int;  (** Target number of live worker processes. *)
+  transport : [ `Unix_socket | `Tcp ];
+  heartbeat_interval : float;  (** Told to workers in [Init]. *)
+  heartbeat_timeout : float;  (** Idle-worker silence limit. *)
+  cell_timeout : float;  (** Busy-worker answer limit, per assignment. *)
+  max_retries : int;  (** Reassignments tolerated per cell. *)
+  spawn : address:string -> int;
+      (** Start one worker process pointed at [address]; return its pid.
+          See {!Backend.spawn_argv}. *)
+}
+
+val config :
+  ?transport:[ `Unix_socket | `Tcp ] ->
+  ?heartbeat_interval:float ->
+  ?heartbeat_timeout:float ->
+  ?cell_timeout:float ->
+  ?max_retries:int ->
+  spawn:(address:string -> int) ->
+  workers:int ->
+  unit ->
+  config
+(** Defaults: Unix socket, 0.25s heartbeats, 30s heartbeat deadline,
+    600s cell deadline, 2 retries. *)
+
+val run :
+  config ->
+  cache:Bcclb_harness.Cache.t option ->
+  exp:Bcclb_harness.Experiment.t ->
+  cells:Bcclb_harness.Params.t array ->
+  (Bcclb_harness.Runner.cell_outcome * float) array
+(** The [`Procs] implementation of {!Bcclb_harness.Runner.procs_runner}
+    (modulo argument order); {!Backend.install} adapts it. Raises
+    [Failure] on infrastructure exhaustion and
+    {!Bcclb_harness.Runner.Cell_failed} on a deterministic cell
+    failure. Always tears down: sockets closed, socket file unlinked,
+    every spawned pid killed or reaped before returning or raising. *)

@@ -1,0 +1,39 @@
+type action = Crash | Stall
+
+type t = (int * action) list  (* by cell index; later entries win *)
+
+let env_var = "BCCLB_DIST_FAULTS"
+
+let empty : t = []
+let is_empty t = t = []
+
+let parse s =
+  let s = String.trim s in
+  if s = "" then Ok empty
+  else
+    let entry acc item =
+      match acc with
+      | Error _ as e -> e
+      | Ok acc -> (
+        match String.split_on_char ':' (String.trim item) with
+        | [ kind; cell ] -> (
+          match (kind, int_of_string_opt cell) with
+          | _, Some c when c < 0 -> Error (Printf.sprintf "negative cell index in %S" item)
+          | "crash", Some c -> Ok ((c, Crash) :: acc)
+          | "stall", Some c -> Ok ((c, Stall) :: acc)
+          | ("crash" | "stall"), None -> Error (Printf.sprintf "bad cell index in %S" item)
+          | _ -> Error (Printf.sprintf "unknown fault kind in %S (want crash:|stall:)" item))
+        | _ -> Error (Printf.sprintf "malformed fault %S (want kind:cell)" item))
+    in
+    List.fold_left entry (Ok empty) (String.split_on_char ',' s)
+
+let of_env () =
+  match Sys.getenv_opt env_var with
+  | None -> Ok empty
+  | Some s -> (
+    match parse s with
+    | Ok _ as ok -> ok
+    | Error e -> Error (Printf.sprintf "%s: %s" env_var e))
+
+let action (t : t) ~cell ~attempt =
+  if attempt > 0 then None else List.assoc_opt cell t

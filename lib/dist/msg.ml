@@ -1,0 +1,39 @@
+(* See the .mli for the Marshal audit. The direction tag is one leading
+   byte: 'C' on coordinator->worker payloads, 'W' on worker->coordinator
+   ones. *)
+
+type to_worker =
+  | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
+  | Assign of { cell : int; attempt : int; params : Bcclb_harness.Params.t }
+  | Shutdown
+
+type from_worker =
+  | Hello of { pid : int }
+  | Heartbeat
+  | Result of { cell : int; outcome : Bcclb_harness.Runner.cell_outcome; seconds : float }
+  | Cell_error of { cell : int; message : string }
+  | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
+  | Fatal of { message : string }
+
+let tag_to_worker = 'C'
+let tag_from_worker = 'W'
+
+let with_tag tag marshalled = String.make 1 tag ^ marshalled
+
+let to_worker_payload (m : to_worker) = with_tag tag_to_worker (Marshal.to_string m [])
+let from_worker_payload (m : from_worker) = with_tag tag_from_worker (Marshal.to_string m [])
+
+let decode ~expect ~what payload =
+  if String.length payload < 1 then Error (what ^ ": empty payload")
+  else if payload.[0] <> expect then
+    Error (Printf.sprintf "%s: wrong direction tag %C" what payload.[0])
+  else
+    match Marshal.from_string payload 1 with
+    | m -> Ok m
+    | exception _ -> Error (what ^ ": undecodable payload")
+
+let of_payload_to_worker payload : (to_worker, string) result =
+  decode ~expect:tag_to_worker ~what:"to_worker" payload
+
+let of_payload_from_worker payload : (from_worker, string) result =
+  decode ~expect:tag_from_worker ~what:"from_worker" payload

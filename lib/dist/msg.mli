@@ -1,0 +1,51 @@
+(** The coordinator/worker message vocabulary, and its (de)serializer.
+
+    {b This is the repository's audited [Marshal] boundary for the
+    wire.} The safety argument, in full: (1) payloads only reach
+    {!of_payload_*} after {!Wire} has verified magic, protocol version
+    and CRC, so random corruption is rejected before unmarshalling; (2)
+    both ends are the {e same executable} (workers are self-exec'd), so
+    the marshalled representations agree by construction; (3) a
+    direction tag byte leads every payload, so a coordinator frame
+    misrouted to coordinator code (or vice versa) is refused before
+    [Marshal.from_string] can misinterpret it; (4) none of the carried
+    types contain closures or custom blocks — they are ints, floats,
+    strings, lists, arrays and records thereof. Do not add a message
+    that violates (4). *)
+
+type to_worker =
+  | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
+      (** First message after [Hello]: which experiment this sweep runs,
+          where the shared result cache lives ([None] = [--no-cache]),
+          and how often an idle worker should heartbeat. *)
+  | Assign of { cell : int; attempt : int; params : Bcclb_harness.Params.t }
+      (** Compute one cell. [attempt] counts prior assignments of this
+          cell that were lost to a crash or timeout — fault injection
+          only fires on [attempt = 0], which is what makes injected
+          crashes recoverable. *)
+  | Shutdown  (** No more work: send [Bye] and exit. *)
+
+type from_worker =
+  | Hello of { pid : int }  (** First frame on a fresh connection. *)
+  | Heartbeat  (** Sent while idle, every [heartbeat_interval]. *)
+  | Result of {
+      cell : int;
+      outcome : Bcclb_harness.Runner.cell_outcome;
+      seconds : float;  (** Compute+probe seconds on the worker's clock. *)
+    }
+  | Cell_error of { cell : int; message : string }
+      (** The cell function raised — a deterministic failure, reported
+          and not retried (matching the in-process pool's contract). *)
+  | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
+      (** Goodbye, carrying the worker's full metric snapshot for the
+          coordinator to {!Bcclb_obs.Metrics.absorb}. *)
+  | Fatal of { message : string }
+      (** The worker cannot serve at all (unknown experiment id, bad
+          fault spec); the coordinator aborts the sweep. *)
+
+val to_worker_payload : to_worker -> string
+val from_worker_payload : from_worker -> string
+
+val of_payload_to_worker : string -> (to_worker, string) result
+val of_payload_from_worker : string -> (from_worker, string) result
+(** [Error] on a wrong direction tag or an unmarshallable payload. *)

@@ -1,0 +1,180 @@
+(* Framing, CRC and the incremental reader. The CRC table is the
+   standard reflected IEEE-802.3 one (zlib, PNG); 32-bit values live in
+   native ints, masked where they could carry into bit 32. *)
+
+type error =
+  | Closed
+  | Truncated
+  | Bad_magic
+  | Bad_version of int
+  | Bad_crc
+  | Oversized of int
+  | Trailing of int
+
+let error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Bad_magic -> "bad frame magic"
+  | Bad_version v -> Printf.sprintf "protocol version mismatch (got %d)" v
+  | Bad_crc -> "frame checksum mismatch"
+  | Oversized n -> Printf.sprintf "declared payload of %d bytes exceeds the frame bound" n
+  | Trailing n -> Printf.sprintf "%d stray bytes after the frame" n
+
+let magic = "BCLB"
+let version = 1
+let header_size = 13
+let max_payload = 1 lsl 30
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32_sub s pos len =
+  let t = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let crc32 s = crc32_sub s 0 (String.length s)
+
+let encode payload =
+  let n = String.length payload in
+  if n > max_payload then invalid_arg "Wire.encode: payload exceeds max_payload";
+  let b = Bytes.create (header_size + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set_int32_be b 5 (Int32.of_int n);
+  Bytes.set_int32_be b 9 (Int32.of_int (crc32 payload));
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+(* Header fields out of [s] at [pos] (caller guarantees header_size
+   bytes are there). Returns the declared length and expected CRC. *)
+let parse_header s pos =
+  if String.sub s pos 4 <> magic then Error Bad_magic
+  else
+    let v = Char.code s.[pos + 4] in
+    if v <> version then Error (Bad_version v)
+    else
+      let len = Int32.to_int (String.get_int32_be s (pos + 5)) land 0xFFFFFFFF in
+      if len > max_payload then Error (Oversized len)
+      else
+        let crc = Int32.to_int (String.get_int32_be s (pos + 9)) land 0xFFFFFFFF in
+        Ok (len, crc)
+
+let decode s =
+  let total = String.length s in
+  if total < header_size then Error Truncated
+  else
+    match parse_header s 0 with
+    | Error e -> Error e
+    | Ok (len, crc) ->
+      if total < header_size + len then Error Truncated
+      else if total > header_size + len then Error (Trailing (total - header_size - len))
+      else if crc32_sub s header_size len <> crc then Error Bad_crc
+      else Ok (String.sub s header_size len)
+
+module Reader = struct
+  type t = {
+    mutable buf : Bytes.t;
+    mutable off : int;  (* consumed prefix *)
+    mutable len : int;  (* filled prefix; off <= len *)
+    mutable err : error option;
+  }
+
+  let create () = { buf = Bytes.create 4096; off = 0; len = 0; err = None }
+
+  let feed t src ~pos ~len =
+    if len > 0 then begin
+      (* Compact, then grow if the tail still does not fit. *)
+      if t.off > 0 && t.len + len > Bytes.length t.buf then begin
+        Bytes.blit t.buf t.off t.buf 0 (t.len - t.off);
+        t.len <- t.len - t.off;
+        t.off <- 0
+      end;
+      if t.len + len > Bytes.length t.buf then begin
+        let cap = max (t.len + len) (2 * Bytes.length t.buf) in
+        let b = Bytes.create cap in
+        Bytes.blit t.buf 0 b 0 t.len;
+        t.buf <- b
+      end;
+      Bytes.blit src pos t.buf t.len len;
+      t.len <- t.len + len
+    end
+
+  let next t =
+    match t.err with
+    | Some e -> Error e
+    | None ->
+      let avail = t.len - t.off in
+      if avail < header_size then Ok None
+      else begin
+        let s = Bytes.unsafe_to_string t.buf in
+        match parse_header s t.off with
+        | Error e ->
+          t.err <- Some e;
+          Error e
+        | Ok (len, crc) ->
+          if avail < header_size + len then Ok None
+          else if crc32_sub s (t.off + header_size) len <> crc then begin
+            t.err <- Some Bad_crc;
+            Error Bad_crc
+          end
+          else begin
+            let payload = String.sub s (t.off + header_size) len in
+            t.off <- t.off + header_size + len;
+            if t.off = t.len then begin
+              t.off <- 0;
+              t.len <- 0
+            end;
+            Ok (Some payload)
+          end
+      end
+end
+
+(* ---- blocking fd IO ---- *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let n = try Unix.write fd b pos len with Unix.Unix_error (Unix.EINTR, _, _) -> 0 in
+    write_all fd b (pos + n) (len - n)
+  end
+
+let write_frame fd payload =
+  let s = encode payload in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+(* [`Eof got] when the stream ends before [len] bytes arrived. *)
+let really_read fd b pos len =
+  let got = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !got < len do
+    match Unix.read fd b (pos + !got) (len - !got) with
+    | 0 -> eof := true
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  if !eof then `Eof !got else `Ok
+
+let read_frame fd =
+  let hdr = Bytes.create header_size in
+  match really_read fd hdr 0 header_size with
+  | `Eof 0 -> Error Closed
+  | `Eof _ -> Error Truncated
+  | `Ok -> (
+    match parse_header (Bytes.unsafe_to_string hdr) 0 with
+    | Error e -> Error e
+    | Ok (len, crc) -> (
+      let payload = Bytes.create len in
+      match really_read fd payload 0 len with
+      | `Eof _ -> Error Truncated
+      | `Ok ->
+        let s = Bytes.unsafe_to_string payload in
+        if crc32 s <> crc then Error Bad_crc else Ok s))

@@ -1,0 +1,117 @@
+(* The worker half of the dist runtime: a single-threaded select loop.
+   While idle it wakes every heartbeat_interval to send a Heartbeat;
+   while computing a cell it is silent (the coordinator's per-cell
+   deadline covers that window). Cells run through Runner.run_cell —
+   the same probe/compute/checkpoint path as the in-process backend —
+   so cache keys, stored entries and rows cannot diverge. *)
+
+module H = Bcclb_harness
+module Obs = Bcclb_obs
+
+let cells_metric = Obs.Metrics.Counter.v "dist.worker.cells"
+let heartbeats_metric = Obs.Metrics.Counter.v "dist.worker.heartbeats"
+let cell_seconds = Obs.Metrics.Histogram.v "dist.worker.cell_seconds"
+
+exception Done  (* clean shutdown requested *)
+
+(* A fresh socket per attempt: a fd whose connect failed is not
+   reusable. The coordinator listens before it spawns anyone, so the
+   retries only cover scheduler lag. *)
+let connect addr =
+  let rec go tries =
+    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Addr.sockaddr addr) with
+    | () -> fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when tries > 0 ->
+      Unix.close fd;
+      Unix.sleepf 0.05;
+      go (tries - 1)
+  in
+  go 20
+
+let send fd m = Wire.write_frame fd (Msg.from_worker_payload m)
+
+let fatal fd message =
+  (try send fd (Msg.Fatal { message }) with _ -> ());
+  exit 3
+
+(* One assignment. Faults fire before any computation and only on
+   attempt 0 (see Faults); a Crash is an abrupt exit — no farewell
+   frame, exactly like a SIGKILL from outside — and a Stall just never
+   answers, so the coordinator's cell deadline has something real to
+   catch. *)
+let serve_cell fd faults ~cache ~exp ~cell ~attempt ~params =
+  (match Faults.action faults ~cell ~attempt with
+  | Some Faults.Crash -> exit 66
+  | Some Faults.Stall ->
+    while true do
+      Unix.sleepf 3600.0
+    done
+  | None -> ());
+  let stop = Obs.Mclock.counter () in
+  match H.Runner.run_cell ?cache exp params with
+  | outcome ->
+    let seconds = stop () in
+    Obs.Metrics.Counter.incr cells_metric;
+    Obs.Metrics.Histogram.observe cell_seconds seconds;
+    send fd (Msg.Result { cell; outcome; seconds })
+  | exception H.Runner.Cell_failed { message; _ } -> send fd (Msg.Cell_error { cell; message })
+
+let main ?(resolve = H.Registry.find) ~address () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr =
+    match Addr.of_string address with
+    | Ok a -> a
+    | Error e ->
+      prerr_endline ("dist worker: " ^ e);
+      exit 3
+  in
+  let fd = connect addr in
+  send fd (Msg.Hello { pid = Unix.getpid () });
+  let faults =
+    match Faults.of_env () with Ok f -> f | Error e -> fatal fd e
+  in
+  (* Sweep context, filled by Init. *)
+  let exp = ref None in
+  let cache = ref None in
+  let interval = ref 0.25 in
+  let handle = function
+    | Msg.Init { exp_id; cache_root; heartbeat_interval } ->
+      (match resolve exp_id with
+      | None -> fatal fd (Printf.sprintf "unknown experiment id %S" exp_id)
+      | Some e -> exp := Some e);
+      cache := Option.map (fun root -> H.Cache.create ~root) cache_root;
+      interval := heartbeat_interval
+    | Msg.Assign { cell; attempt; params } -> (
+      match !exp with
+      | None -> fatal fd "Assign before Init"
+      | Some exp -> serve_cell fd faults ~cache:!cache ~exp ~cell ~attempt ~params)
+    | Msg.Shutdown ->
+      send fd (Msg.Bye { metrics = Obs.Metrics.snapshot () });
+      raise Done
+  in
+  let rec loop () =
+    let readable =
+      match Unix.select [ fd ] [] [] !interval with
+      | [], _, _ -> false
+      | _ -> true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+    in
+    if not readable then begin
+      Obs.Metrics.Counter.incr heartbeats_metric;
+      send fd Msg.Heartbeat
+    end
+    else begin
+      match Wire.read_frame fd with
+      | Error Wire.Closed -> exit 0 (* coordinator gone: nothing left to do *)
+      | Error e -> fatal fd ("bad frame from coordinator: " ^ Wire.error_to_string e)
+      | Ok payload -> (
+        match Msg.of_payload_to_worker payload with
+        | Error e -> fatal fd e
+        | Ok m -> handle m)
+    end;
+    loop ()
+  in
+  try loop () with
+  | Done -> exit 0
+  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> exit 0

@@ -1,0 +1,27 @@
+(** The worker process entry point.
+
+    A worker is the same executable as the coordinator, re-exec'd (the
+    hidden [experiments worker --socket ADDR] subcommand, or the test
+    binary under an environment flag). It connects, says [Hello], learns
+    its sweep from [Init], then serves [Assign] frames by running
+    {!Bcclb_harness.Runner.run_cell} — cache probe, compute,
+    checkpoint — and streaming each {!Msg.Result} back. While idle it
+    heartbeats every [heartbeat_interval]; while computing it is silent
+    and the coordinator's per-cell deadline stands guard. On [Shutdown]
+    it answers [Bye] with its full metric snapshot (which the
+    coordinator merges by integer sum) and exits 0.
+
+    Fault injection ({!Faults}, [$BCCLB_DIST_FAULTS]) is honoured here:
+    an injected crash exits the process without a farewell, an injected
+    stall sleeps in the cell forever — both only on a cell's first
+    assignment. *)
+
+val main :
+  ?resolve:(string -> Bcclb_harness.Experiment.t option) ->
+  address:string ->
+  unit ->
+  unit
+(** Never returns normally: exits 0 on shutdown or coordinator
+    disappearance, 3 on a fatal protocol/setup error (after attempting
+    to report {!Msg.Fatal}), 66 on an injected crash. [resolve] defaults
+    to {!Bcclb_harness.Registry.find}; tests pass their own registry. *)

@@ -13,3 +13,28 @@ let all =
   @ E13_bandwidth.experiments @ E14_general_graphs.experiments
 
 let find id = List.find_opt (fun e -> String.equal e.E.id id) all
+
+(* Levenshtein distance over lowercased ids — small strings, the O(nm)
+   two-row DP is plenty. Drives the CLI's "did you mean" hint. *)
+let edit_distance a b =
+  let a = String.lowercase_ascii a and b = String.lowercase_ascii b in
+  let n = String.length a and m = String.length b in
+  let prev = Array.init (m + 1) Fun.id and cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+let suggest id =
+  let scored =
+    List.map (fun (e : E.t) -> (edit_distance id e.E.id, e.E.id)) all
+    |> List.sort compare
+  in
+  match scored with
+  | (d, best) :: _ when d <= max 2 (String.length id / 3) -> Some best
+  | _ -> None

@@ -8,3 +8,8 @@ val all : Experiment.t list
 
 val find : string -> Experiment.t option
 (** Look up by {!Experiment.t.id} (the CLI name). *)
+
+val suggest : string -> string option
+(** The registered id closest to a mistyped one (case-insensitive edit
+    distance), when it is close enough to be a plausible typo — the
+    CLI's "did you mean" hint. *)

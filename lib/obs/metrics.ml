@@ -216,6 +216,44 @@ let snapshot () =
     (fun (a, _) (b, _) -> String.compare a b)
     (List.map (fun d -> (d.name, value d)) ds)
 
+(* Merging a remote snapshot: each value is folded into the calling
+   domain's own shard through the ordinary write path semantics —
+   counters add, gauges max, histogram buckets and sums add — so an
+   absorbed snapshot is indistinguishable from the same work having run
+   locally, and [snapshot]/[total] after an absorb merge it like any
+   other shard. Registration is by name, exactly as [Counter.v] etc.
+   would have done it in this process. *)
+let absorb entries =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n ->
+        let d = register name Counter_k in
+        if n < 0 then invalid_arg ("Metrics.absorb: negative counter " ^ name);
+        let s = my_shard d.id in
+        s.ints.(d.id) <- s.ints.(d.id) + n
+      | Gauge x ->
+        let d = register name Gauge_max_k in
+        let s = my_shard d.id in
+        if x > s.floats.(d.id) then s.floats.(d.id) <- x
+      | Histogram h ->
+        if Array.length h.counts <> Array.length h.le + 1 then
+          invalid_arg ("Metrics.absorb: malformed histogram " ^ name);
+        let d = register name (Hist_k (Array.copy h.le)) in
+        let s = my_shard d.id in
+        let b =
+          let b = s.buckets.(d.id) in
+          if Array.length b > 0 then b
+          else begin
+            let b = Array.make (Array.length h.le + 1) 0 in
+            s.buckets.(d.id) <- b;
+            b
+          end
+        in
+        Array.iteri (fun i c -> b.(i) <- b.(i) + c) h.counts;
+        s.floats.(d.id) <- s.floats.(d.id) +. h.sum)
+    entries
+
 let reset () =
   Mutex.lock lock;
   List.iter

@@ -92,6 +92,17 @@ val hist_mean : hist -> float
 val snapshot : unit -> (string * value) list
 (** Merged view of every registered metric, sorted by name. *)
 
+val absorb : (string * value) list -> unit
+(** Merge a snapshot taken elsewhere (typically in a worker {e process},
+    serialised home over a socket) into this process's registry:
+    counters add their totals, gauges take the running maximum,
+    histograms add bucket counts and sums — the same integer-sum merge
+    {!snapshot} applies to domain shards, so totals after an absorb are
+    what they would have been had the work run locally. Metrics are
+    registered by name on first sight; absorbing a name already
+    registered with a different kind (or different histogram buckets)
+    raises [Invalid_argument], as {!Counter.v} would. *)
+
 val reset : unit -> unit
 (** Zero every shard of every metric (registrations survive). Only
     meaningful while no worker domain is writing — tests call it between

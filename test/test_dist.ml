@@ -1,0 +1,317 @@
+(* The dist subsystem. Three layers of coverage:
+
+   - Wire: frame round-trips (property-tested across payload sizes,
+     including empty and >64 KiB), and rejection of truncation, bit
+     flips, version skew and stray magic — the codec is the safety
+     boundary in front of Marshal.
+   - Faults: spec parsing and the attempt-0-only contract.
+   - End to end: real coordinator, real worker processes (this very
+     test binary, re-exec'd — see [worker_main] and the hook at the top
+     of test_main.ml), over a real Unix-domain socket. The recovery
+     cases inject crashes and stalls mid-sweep and assert the sweep
+     still completes with a report byte-identical to the in-process
+     Domains backend. *)
+
+module Dist = Bcclb_dist
+module Wire = Bcclb_dist.Wire
+module Faults = Bcclb_dist.Faults
+module Msg = Bcclb_dist.Msg
+module H = Bcclb_harness
+module Experiment = H.Experiment
+module Params = H.Params
+
+(* ---- the toy experiment served by re-exec'd workers ----
+
+   Pure and self-contained: the worker process resolves the same value
+   from its own copy of this module, so coordinator and workers agree
+   by construction. *)
+
+let toy_grid = List.map (fun n -> Params.v [ ("n", Params.Int n) ]) [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let toy =
+  {
+    Experiment.id = "dist-toy";
+    title = "Dist toy: cubes";
+    doc = "test fixture";
+    version = 1;
+    tables =
+      [ { Experiment.name = ""; columns = [ Experiment.icol "n"; Experiment.icol "cube" ] } ];
+    notes = [];
+    default_grid = toy_grid;
+    grid_of_ns = None;
+    cell =
+      (fun p ->
+        let n = Params.int p "n" in
+        if n = 0 then failwith "cell zero always fails";
+        [ Experiment.row [ ("n", Params.Int n); ("cube", Params.Int (n * n * n)) ] ]);
+  }
+
+let resolve id = if String.equal id toy.Experiment.id then Some toy else None
+
+(* What the re-exec'd test binary runs instead of alcotest (test_main
+   checks the env var before anything else). *)
+let worker_env = "BCCLB_DIST_TEST_WORKER"
+
+let worker_main address = Dist.Worker.main ~resolve ~address ()
+
+let spawn ~address =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close devnull)
+    (fun () ->
+      Unix.create_process_env Sys.executable_name
+        [| Sys.executable_name |]
+        (Array.append (Unix.environment ()) [| worker_env ^ "=" ^ address |])
+        devnull Unix.stderr Unix.stderr)
+
+(* ---- scratch dirs (as in test_harness) ---- *)
+
+let temp_counter = ref 0
+
+let fresh_dir () =
+  incr temp_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bcclb_dist_test.%d.%d" (Unix.getpid ()) !temp_counter)
+  in
+  (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+  dir
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* ---- wire: deterministic rejection cases ---- *)
+
+let check_decode what expected s =
+  let got =
+    match Wire.decode s with
+    | Ok _ -> "ok"
+    | Error e -> Wire.error_to_string e
+  in
+  Alcotest.(check string) what (Wire.error_to_string expected) got
+
+let test_wire_rejections () =
+  let frame = Wire.encode "hello, broadcast congested clique" in
+  (match Wire.decode frame with
+  | Ok p -> Alcotest.(check string) "round-trip" "hello, broadcast congested clique" p
+  | Error e -> Alcotest.fail (Wire.error_to_string e));
+  (* Truncation at every boundary class: inside the header, inside the
+     payload, and the empty string. *)
+  check_decode "empty string" Wire.Truncated "";
+  check_decode "cut header" Wire.Truncated (String.sub frame 0 (Wire.header_size - 1));
+  check_decode "cut payload" Wire.Truncated (String.sub frame 0 (String.length frame - 1));
+  check_decode "trailing bytes" (Wire.Trailing 3) (frame ^ "xyz");
+  (* One flipped payload bit must flunk the CRC. *)
+  let flipped = Bytes.of_string frame in
+  Bytes.set flipped (Wire.header_size + 2)
+    (Char.chr (Char.code (Bytes.get flipped (Wire.header_size + 2)) lxor 0x10));
+  check_decode "flipped payload bit" Wire.Bad_crc (Bytes.to_string flipped);
+  (* A flipped CRC byte too. *)
+  let badsum = Bytes.of_string frame in
+  Bytes.set badsum 9 (Char.chr (Char.code (Bytes.get badsum 9) lxor 0xff));
+  check_decode "flipped checksum byte" Wire.Bad_crc (Bytes.to_string badsum);
+  (* Version skew is refused outright. *)
+  let skewed = Bytes.of_string frame in
+  Bytes.set skewed 4 (Char.chr (Wire.version + 1));
+  check_decode "version mismatch" (Wire.Bad_version (Wire.version + 1)) (Bytes.to_string skewed);
+  (* Wrong magic. *)
+  let magicless = Bytes.of_string frame in
+  Bytes.set magicless 0 'X';
+  check_decode "bad magic" Wire.Bad_magic (Bytes.to_string magicless);
+  (* Known CRC-32 vector, so the polynomial cannot silently change. *)
+  Alcotest.(check int) "crc32 of \"123456789\"" 0xCBF43926 (Wire.crc32 "123456789")
+
+let test_wire_reader_split_feeds () =
+  (* Frames fed one byte at a time through the incremental reader come
+     out intact and in order — the coordinator's actual read path. *)
+  let payloads = [ ""; "a"; String.make 70000 'q'; "end" ] in
+  let stream = String.concat "" (List.map Wire.encode payloads) in
+  let r = Wire.Reader.create () in
+  let out = ref [] in
+  String.iter
+    (fun ch ->
+      Wire.Reader.feed r (Bytes.make 1 ch) ~pos:0 ~len:1;
+      let rec drain () =
+        match Wire.Reader.next r with
+        | Ok (Some p) ->
+          out := p :: !out;
+          drain ()
+        | Ok None -> ()
+        | Error e -> Alcotest.fail (Wire.error_to_string e)
+      in
+      drain ())
+    stream;
+  Alcotest.(check (list int)) "all frames, in order, intact"
+    (List.map String.length payloads)
+    (List.rev_map String.length !out);
+  Alcotest.(check bool) "contents match" true (List.rev !out = payloads);
+  (* A poisoned stream stays poisoned. *)
+  let r = Wire.Reader.create () in
+  Wire.Reader.feed r (Bytes.of_string "NOPE-not-a-frame!!") ~pos:0 ~len:18;
+  (match Wire.Reader.next r with
+  | Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  match Wire.Reader.next r with
+  | Error Wire.Bad_magic -> ()
+  | _ -> Alcotest.fail "error was not sticky"
+
+let test_msg_direction_tags () =
+  let p = Msg.to_worker_payload Msg.Shutdown in
+  (match Msg.of_payload_to_worker p with
+  | Ok Msg.Shutdown -> ()
+  | _ -> Alcotest.fail "to_worker round-trip");
+  (match Msg.of_payload_from_worker p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "coordinator payload accepted as worker payload");
+  match Msg.of_payload_from_worker (Msg.from_worker_payload Msg.Heartbeat) with
+  | Ok Msg.Heartbeat -> ()
+  | _ -> Alcotest.fail "from_worker round-trip"
+
+let test_faults_spec () =
+  let f = Result.get_ok (Faults.parse "crash:2, stall:5") in
+  Alcotest.(check bool) "crash at 2" true (Faults.action f ~cell:2 ~attempt:0 = Some Faults.Crash);
+  Alcotest.(check bool) "stall at 5" true (Faults.action f ~cell:5 ~attempt:0 = Some Faults.Stall);
+  Alcotest.(check bool) "no fault elsewhere" true (Faults.action f ~cell:3 ~attempt:0 = None);
+  Alcotest.(check bool) "one-shot: attempt 1 is clean" true
+    (Faults.action f ~cell:2 ~attempt:1 = None);
+  Alcotest.(check bool) "empty spec" true (Faults.is_empty (Result.get_ok (Faults.parse "  ")));
+  List.iter
+    (fun bad ->
+      match Faults.parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed spec " ^ bad))
+    [ "crash"; "crash:"; "crash:x"; "explode:3"; "crash:-1"; "crash:1:2" ]
+
+(* ---- end to end ---- *)
+
+let install ?cell_timeout ?heartbeat_timeout () =
+  Dist.Backend.install ?cell_timeout ?heartbeat_timeout ~spawn ()
+
+let set_faults spec = Unix.putenv Faults.env_var spec
+
+let render_run ?backend ?cache ?num_domains exp =
+  let buf = Buffer.create 256 in
+  let report = H.Runner.run ?backend ?cache ?num_domains ~sink:(H.Sink.to_buffer buf) exp in
+  (Buffer.contents buf, report)
+
+let with_faults spec f =
+  set_faults spec;
+  Fun.protect ~finally:(fun () -> set_faults "") f
+
+let domains_reference () =
+  let out, _ = render_run ~num_domains:2 toy in
+  out
+
+let test_procs_matches_domains () =
+  install ();
+  with_faults "" @@ fun () ->
+  with_dir @@ fun dir ->
+  let cache = H.Cache.create ~root:dir in
+  let out_cold, cold = render_run ~backend:(`Procs 3) ~cache toy in
+  Alcotest.(check string) "procs report byte-identical to domains" (domains_reference ())
+    out_cold;
+  Alcotest.(check int) "cold run is all misses" 0 cold.H.Sink.hits;
+  (* Warm rerun over the same cache: pure hits, same bytes. *)
+  let out_warm, warm = render_run ~backend:(`Procs 3) ~cache toy in
+  Alcotest.(check string) "warm procs report byte-identical" out_cold out_warm;
+  Alcotest.(check int) "warm run is all hits" warm.H.Sink.cells warm.H.Sink.hits;
+  (* And the domains backend hits the cache the procs workers wrote:
+     the key contract is backend-independent. *)
+  let _, cross = render_run ~cache toy in
+  Alcotest.(check int) "domains backend hits procs-written entries" cross.H.Sink.cells
+    cross.H.Sink.hits
+
+let test_crash_recovery () =
+  install ();
+  (* Kill the workers that get cells 2 and 5 on first assignment: both
+     are requeued and the sweep must complete bit-for-bit. *)
+  with_faults "crash:2,crash:5" @@ fun () ->
+  with_dir @@ fun dir ->
+  let cache = H.Cache.create ~root:dir in
+  let out, report = render_run ~backend:(`Procs 2) ~cache toy in
+  Alcotest.(check string) "crashed sweep still byte-identical" (domains_reference ()) out;
+  Alcotest.(check int) "every cell resolved" report.H.Sink.cells
+    (report.H.Sink.hits + report.H.Sink.misses)
+
+let test_stall_recovery () =
+  (* A stalled cell is caught by the cell deadline, its worker killed,
+     the cell reassigned. Tight timeout so the test is quick. *)
+  install ~cell_timeout:2.0 ();
+  with_faults "stall:1" @@ fun () ->
+  with_dir @@ fun dir ->
+  let cache = H.Cache.create ~root:dir in
+  let out, _ = render_run ~backend:(`Procs 2) ~cache toy in
+  Alcotest.(check string) "stalled sweep still byte-identical" (domains_reference ()) out
+
+let test_cell_error_names_cell () =
+  (* A deterministically raising cell (n = 0 in the toy) aborts the
+     sweep with Cell_failed naming the experiment and the cell params —
+     same contract, either backend. *)
+  install ();
+  with_faults "" @@ fun () ->
+  let grid = List.map (fun n -> Params.v [ ("n", Params.Int n) ]) [ 1; 0; 2 ] in
+  let check_backend label backend =
+    let buf = Buffer.create 256 in
+    match H.Runner.run ?backend ~grid ~sink:(H.Sink.to_buffer buf) toy with
+    | _ -> Alcotest.fail (label ^ ": failing cell did not propagate")
+    | exception H.Runner.Cell_failed { exp_id; params; message } ->
+      Alcotest.(check string) (label ^ ": experiment id") "dist-toy" exp_id;
+      Alcotest.(check string) (label ^ ": canonical params") "n=i:0" params;
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (label ^ ": original message kept") true
+        (contains message "cell zero always fails")
+  in
+  check_backend "domains" None;
+  check_backend "procs" (Some (`Procs 2))
+
+let suites =
+  [ Alcotest.test_case "wire rejects truncation, corruption, version skew" `Quick
+      test_wire_rejections;
+    Alcotest.test_case "wire reader reassembles split frames" `Quick
+      test_wire_reader_split_feeds;
+    Alcotest.test_case "msg payloads carry direction tags" `Quick test_msg_direction_tags;
+    Alcotest.test_case "fault specs parse and are one-shot" `Quick test_faults_spec;
+    Alcotest.test_case "procs backend byte-identical + shared cache" `Slow
+      test_procs_matches_domains;
+    Alcotest.test_case "crashed workers are replaced, cells reassigned" `Slow
+      test_crash_recovery;
+    Alcotest.test_case "stalled cells hit the deadline and reassign" `Slow
+      test_stall_recovery;
+    Alcotest.test_case "a raising cell names itself in Cell_failed" `Slow
+      test_cell_error_names_cell ]
+
+let qsuites =
+  let open QCheck2 in
+  [ Test.make ~name:"wire frames round-trip any payload (incl. empty and >64KiB)" ~count:60
+      Gen.(
+        oneof
+          [ string_size (0 -- 64);
+            string_size (return 0);
+            string_size (65_536 -- 70_000) ])
+      (fun payload ->
+        match Wire.decode (Wire.encode payload) with
+        | Ok p -> String.equal p payload
+        | Error _ -> false);
+    Test.make ~name:"truncating any frame prefix never decodes" ~count:100
+      Gen.(pair (string_size (0 -- 300)) (0 -- 1_000))
+      (fun (payload, k) ->
+        let frame = Wire.encode payload in
+        let cut = k mod String.length frame in
+        match Wire.decode (String.sub frame 0 cut) with
+        | Error Wire.Truncated -> true
+        | Error _ -> false (* a strict prefix must read as truncation, nothing else *)
+        | Ok _ -> false) ]

@@ -206,7 +206,22 @@ let test_resume_after_failure () =
              has drained and checkpointed (the map_batch_timed contract). *)
           (match render_run ~cache ~num_domains:2 exp with
           | _ -> Alcotest.fail "injected failure did not propagate"
-          | exception Failure _ -> ());
+          | exception Runner.Cell_failed { exp_id; params; message } ->
+            (* The wrapper names the cell that died: experiment id, the
+               canonical parameter point, and the original exception. *)
+            Alcotest.(check string) "failure names its experiment" "toy" exp_id;
+            Alcotest.(check string) "failure names its cell" "n=i:4" params;
+            Alcotest.(check string) "registered printer format"
+              (Printf.sprintf "cell toy[n=i:4] failed: %s" message)
+              (Printexc.to_string (Runner.Cell_failed { exp_id; params; message }));
+            Alcotest.(check bool) "original exception text kept" true
+              (String.length message >= 17
+              &&
+              let rec has i =
+                i + 17 <= String.length message
+                && (String.sub message i 17 = "injected failure\"" || has (i + 1))
+              in
+              has 0));
           let cells = List.length toy_grid in
           Alcotest.(check int) "all healthy cells checkpointed" (cells - 1)
             (List.length (ls_files dir));

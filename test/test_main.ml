@@ -1,5 +1,14 @@
 let q = List.map QCheck_alcotest.to_alcotest
 
+(* The dist end-to-end tests re-exec this very binary as their worker
+   processes (same-executable contract of the Marshal audit in
+   Bcclb_dist.Msg): when the flag variable is set, this process is a
+   worker, not a test run — connect and serve, never touch alcotest. *)
+let () =
+  match Sys.getenv_opt Test_dist.worker_env with
+  | Some address when address <> "" -> Test_dist.worker_main address
+  | _ -> ()
+
 let () =
   Alcotest.run "bcclb"
     [ ("util", Test_util.suites @ q Test_util.qsuites);
@@ -17,4 +26,5 @@ let () =
       ("sketch", Test_sketch.suites @ q Test_sketch.qsuites);
       ("engine", Test_engine.suites @ q Test_engine.qsuites);
       ("harness", Test_harness.suites @ q Test_harness.qsuites);
-      ("obs", Test_obs.suites @ q Test_obs.qsuites) ]
+      ("obs", Test_obs.suites @ q Test_obs.qsuites);
+      ("dist", Test_dist.suites @ q Test_dist.qsuites) ]

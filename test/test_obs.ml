@@ -115,6 +115,50 @@ let test_shard_merge_deterministic () =
   Alcotest.(check (float 1e-9)) "histogram sums identical" s1 s4;
   Alcotest.(check int) "every task observed once" 64 n1
 
+(* ---- absorbing a worker process's snapshot ---- *)
+
+let test_absorb_merges_foreign_snapshot () =
+  Metrics.reset ();
+  let c = Metrics.Counter.v "test.absorb.counter" in
+  Metrics.Counter.add c 5;
+  let g = Metrics.Gauge.v "test.absorb.gauge" in
+  Metrics.Gauge.max g 2.0;
+  let h = Metrics.Histogram.v ~buckets:[| 1.0; 10.0 |] "test.absorb.hist" in
+  Metrics.Histogram.observe h 0.5;
+  (* A snapshot as a worker process would ship it home: known series plus
+     one this process has never registered. *)
+  let foreign =
+    [ ("test.absorb.counter", Metrics.Counter 7);
+      ("test.absorb.gauge", Metrics.Gauge 1.5);
+      ( "test.absorb.hist",
+        Metrics.Histogram
+          { Metrics.le = [| 1.0; 10.0 |]; counts = [| 1; 2; 1 |]; sum = 29.5; count = 4 } );
+      ("test.absorb.fresh", Metrics.Counter 3) ]
+  in
+  Metrics.absorb foreign;
+  Metrics.absorb foreign;
+  (* Counters and histogram buckets add (twice absorbed = twice counted —
+     absorb is a merge, not an idempotent upsert); gauges take the max. *)
+  Alcotest.(check int) "counter totals add" (5 + 7 + 7) (Metrics.Counter.total c);
+  Alcotest.(check (float 0.0)) "gauge keeps the local high-water mark" 2.0
+    (Metrics.Gauge.read g);
+  let s = get_hist "test.absorb.hist" in
+  Alcotest.(check (array int)) "bucket counts add" [| 3; 4; 2 |] s.Metrics.counts;
+  Alcotest.(check int) "observation counts add" 9 s.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sums add" (0.5 +. 29.5 +. 29.5) s.Metrics.sum;
+  (match find_metric "test.absorb.fresh" with
+  | Metrics.Counter 6 -> ()
+  | v ->
+    Alcotest.failf "unseen series registered wrong: %s"
+      (match v with
+      | Metrics.Counter n -> Printf.sprintf "Counter %d" n
+      | Metrics.Gauge x -> Printf.sprintf "Gauge %g" x
+      | Metrics.Histogram _ -> "Histogram"));
+  (* Kind clashes are programming errors, same as at registration. *)
+  Alcotest.check_raises "kind mismatch rejected"
+    (Invalid_argument "Metrics: test.absorb.counter re-registered with a different kind")
+    (fun () -> Metrics.absorb [ ("test.absorb.counter", Metrics.Gauge 1.0) ])
+
 (* ---- span export: JSONL nesting/ordering, Chrome round-trip ---- *)
 
 let read_lines path =
@@ -242,6 +286,8 @@ let suites =
       test_registration_contract;
     Alcotest.test_case "shard merge deterministic across domain counts" `Quick
       test_shard_merge_deterministic;
+    Alcotest.test_case "absorb merges a foreign snapshot by integer sum" `Quick
+      test_absorb_merges_foreign_snapshot;
     Alcotest.test_case "span nesting and ordering in JSONL" `Quick test_span_jsonl;
     Alcotest.test_case "Chrome trace round-trips through the JSON parser" `Quick
       test_chrome_trace_roundtrip;
