@@ -9,10 +9,12 @@ test:
 	dune runtest
 
 # The tier-1 gate: what CI runs. Stray trace files from local --trace /
-# BCCLB_TRACE runs and dist sockets from killed --backend procs runs are
-# cleaned up so they never end up in commits.
+# BCCLB_TRACE runs, dist sockets from killed --backend procs runs, and
+# the arena orbit spill segments (results/cache/arena — content-addressed,
+# always rebuildable) are cleaned up so they never end up in commits.
 check:
 	rm -f *.trace.json *.trace.jsonl *.sock
+	rm -rf results/cache/arena
 	dune build && dune runtest
 
 bench:

@@ -1,20 +1,27 @@
-(* Parity + timing smoke for the packed §3 fast path.
+(* Parity + timing smoke for the packed and orbit-reduced §3 fast paths.
 
-   Runs the indist-build and crossing-check kernels in both modes —
+   Runs the indist-build and crossing-check kernels across modes —
    legacy (reference strings-and-scans implementation, `All crossing
-   verification) and packed (arena handles + 2-bit codes, `Sampled
-   verification) — checks the results are identical, and writes the
+   verification), packed (arena handles + 2-bit codes, `Sampled
+   verification) and orbit (one execution per rotation class, weighted
+   expansion) — checks the results are identical, and writes the
    timings to BENCH_engine.json (bcclb-bench-v1 schema, same file the
    bechamel suite produces). Exits nonzero on any parity mismatch, so CI
    can gate on it.
 
-     dune exec bin/bench_smoke.exe --              # n=8 parity + timing
-     dune exec bin/bench_smoke.exe -- --deep       # + n=9 speedup, n=10 build
+     dune exec bin/bench_smoke.exe --                 # n=8 parity + timing
+     dune exec bin/bench_smoke.exe -- --orbit-parity  # + orbit==packed, n=8..10
+     dune exec bin/bench_smoke.exe -- --deep          # + speedup gates, frontier
+     dune exec bin/bench_smoke.exe -- --deep --n13    # + n=13 frontier row
      dune exec bin/bench_smoke.exe -- --out f.json
 
-   --deep additionally measures the build_full n=9 packed-vs-reference
-   speedup (the acceptance target is >= 5x) and runs the exhaustive
-   n=10 packed build through the sampled Polygamous-Hall check. *)
+   --orbit-parity asserts the orbit-reduced build_full/build match the
+   packed path byte-for-byte at n=8..10 (the CI gate for the quotient
+   machinery). --deep additionally measures the build_full n=9
+   packed-vs-reference speedup, the n=10 orbit-streamed vs non-orbit
+   materialised speedup (both targets >= 5x), records orbit-count vs
+   census-size for every store-supported n, and times the streaming
+   frontier to n=12 (n=13 with --n13; expect ~15 min single-core). *)
 
 module Core = Bcclb_core
 module Instance = Bcclb_bcc.Instance
@@ -23,6 +30,11 @@ module Rng = Bcclb_util.Rng
 let truncated ~rounds =
   Bcclb_algorithms.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
     ~optimist:true
+
+(* The anonymous family: the only algorithms the orbit-reduced paths are
+   sound for at t >= 1 (rotation-equivariant transcripts). *)
+let anonymous ~rounds =
+  Bcclb_algorithms.Adjacency_broadcast.connectivity_truncated ~rounds ~optimist:true
 
 (* Best of [reps] runs: one result, the minimum wall-clock — robust to
    scheduler noise, which matters when a 5x ratio is the gate. *)
@@ -90,6 +102,28 @@ let smoke_crossing ~n ~t =
       && all.indistinguishable = sampled.indistinguishable
       && all.violations = 0 && sampled.violations = 0)
 
+(* Orbit-reduced vs packed parity: identical graphs from one execution
+   per rotation class. t >= 1 with a labelled (x, y) build exercises the
+   orientation-flip correction (reversed members read the rep's (y, x)
+   row), which is where a wrong atlas would show. *)
+let orbit_parity ~n ~t =
+  let algo = anonymous ~rounds:t in
+  let orbit, s_orbit = time ~reps:1 (fun () -> Core.Indist_graph.build_full_orbit algo ~n ()) in
+  let packed, s_packed = time ~reps:1 (fun () -> Core.Indist_graph.build_full_packed algo ~n ()) in
+  record (Printf.sprintf "smoke-orbit-build-full-n%d-t%d-orbit" n t) s_orbit;
+  record (Printf.sprintf "smoke-orbit-build-full-n%d-t%d-packed" n t) s_packed;
+  expect
+    (Printf.sprintf "orbit-build-full n=%d t=%d" n t)
+    (orbit.Core.Indist_graph.adj = packed.Core.Indist_graph.adj
+    && orbit.Core.Indist_graph.radj = packed.Core.Indist_graph.radj);
+  let lorbit = Core.Indist_graph.build_orbit algo ~n () in
+  let lpacked = Core.Indist_graph.build_packed algo ~n () in
+  expect (Printf.sprintf "orbit-build (labelled) n=%d t=%d" n t) (graphs_equal lorbit lpacked)
+
+let orbit_parity_sweep () =
+  Printf.printf "orbit parity: orbit-reduced vs packed at n=8..10\n%!";
+  List.iter (fun n -> List.iter (fun t -> orbit_parity ~n ~t) [ 0; 2; 3 ]) [ 8; 9; 10 ]
+
 let deep_speedup () =
   let n = 9 and t = 2 in
   let algo = truncated ~rounds:t in
@@ -131,18 +165,80 @@ let deep_n10 () =
   in
   record (Printf.sprintf "smoke-hall-sampled-n%d-t%d" n t) s_hall
 
+(* The orbit payoff gate: the same deliverable — exhaustive full-graph
+   statistics at n=10 — via the orbit-reduced streaming quotient
+   (executes one representative per rotation class off the segmented
+   store) vs the non-orbit path (packed build materialising all |V1|
+   rows). Cold-vs-cold: the quotient gets a fresh spill root and the
+   packed side a fresh seed (the seed keys the arena's execution memo),
+   so neither rides a warm cache. *)
+let deep_orbit () =
+  let n = 10 and t = 2 in
+  let algo = anonymous ~rounds:t in
+  ignore (Core.Arena.get ~n);
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "bcclb-bench-orbit" in
+  let stats, s_orbit =
+    time ~reps:1 (fun () -> Core.Quotient.full_stats ~root algo ~n ())
+  in
+  let packed, s_packed =
+    time ~reps:1 (fun () -> Core.Indist_graph.build_full_packed ~seed:17 algo ~n ())
+  in
+  record (Printf.sprintf "smoke-orbit-stats-n%d-t%d-streamed" n t) s_orbit;
+  record (Printf.sprintf "smoke-orbit-stats-n%d-t%d-materialised" n t) s_packed;
+  expect
+    (Printf.sprintf "orbit-streamed stats n=%d t=%d" n t)
+    (stats.Core.Quotient.edges = Core.Indist_graph.num_edges packed);
+  let speedup = s_packed /. s_orbit in
+  rows := (Printf.sprintf "smoke-orbit-stats-n%d-t%d-speedup-x" n t, speedup) :: !rows;
+  Printf.printf
+    "  full-graph stats n=%d t=%d: materialised %.2fs orbit-streamed %.2fs -> %.1fx speedup\n%!" n t
+    s_packed s_orbit speedup;
+  if speedup < 5.0 then begin
+    incr failures;
+    Printf.printf "  orbit speedup target (>= 5x) NOT MET\n%!"
+  end
+
+(* Orbit-count vs census-size rows, plus streaming-frontier timings past
+   the materialisable census. Store builds reuse the bench spill root so
+   a second --deep run reports warm numbers. *)
+let deep_frontier ~n13 () =
+  let root = Filename.concat (Filename.get_temp_dir_name ()) "bcclb-bench-orbit" in
+  let ns = [ 8; 9; 10; 11; 12 ] @ if n13 then [ 13 ] else [] in
+  List.iter
+    (fun n ->
+      let store = Core.Arena.Orbit.get ~root ~n () in
+      let v1 = Core.Census.num_one_cycles ~n in
+      rows := (Printf.sprintf "orbit-census-v1-n%d" n, float_of_int v1) :: !rows;
+      rows :=
+        (Printf.sprintf "orbit-reps-n%d" n, float_of_int (Core.Arena.Orbit.n_reps store)) :: !rows;
+      if n >= 11 then begin
+        let s, secs =
+          time ~reps:1 (fun () -> Core.Quotient.full_stats ~root (anonymous ~rounds:2) ~n ())
+        in
+        record (Printf.sprintf "smoke-orbit-frontier-n%d-t2" n) secs;
+        Printf.printf "  frontier n=%d t=2: %d reps for |V1|=%d, %d edges, %.2fs (warm=%b)\n%!" n
+          s.Core.Quotient.reps s.Core.Quotient.v1 s.Core.Quotient.edges secs s.Core.Quotient.warm
+      end)
+    ns
+
 let () =
   let deep = Array.exists (String.equal "--deep") Sys.argv in
+  let orbit_parity_mode = Array.exists (String.equal "--orbit-parity") Sys.argv in
+  let n13 = Array.exists (String.equal "--n13") Sys.argv in
   let out = ref "BENCH_engine.json" in
   Array.iteri (fun i a -> if String.equal a "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
   Bcclb_obs.Trace.start_from_env ();
   Printf.printf "bench smoke: packed vs legacy parity at n=8\n%!";
   smoke_indist ~n:8 ~t:2;
   smoke_crossing ~n:8 ~t:2;
+  orbit_parity ~n:8 ~t:3;
+  if orbit_parity_mode then orbit_parity_sweep ();
   if deep then begin
-    Printf.printf "deep: n=9 speedup target and exhaustive n=10\n%!";
+    Printf.printf "deep: speedup targets, exhaustive n=10, orbit frontier\n%!";
     deep_speedup ();
-    deep_n10 ()
+    deep_n10 ();
+    deep_orbit ();
+    deep_frontier ~n13 ()
   end;
   (* write_bench appends the merged obs-metric snapshot plus GC words
      and peak RSS, so BENCH_engine.json carries the counters (engine

@@ -121,7 +121,36 @@ let with_trace trace f =
       end)
     f
 
+(* A --n override is validated against each experiment's declared range
+   BEFORE any enumeration starts: an infeasible size is a one-line
+   refusal, not an out-of-memory hours into a census scan. The arena's
+   own range message is appended where it explains the ceiling. *)
+let validate_ns ~ns exps =
+  match ns with
+  | None -> ()
+  | Some ns ->
+    List.iter
+      (fun (exp : H.Experiment.t) ->
+        match exp.n_range with
+        | None -> ()
+        | Some (lo, hi) ->
+          List.iter
+            (fun n ->
+              if n < lo || n > hi then begin
+                let hint =
+                  match Bcclb_core.Arena.supported ~n with
+                  | Error m -> Printf.sprintf " (%s)" m
+                  | Ok () -> ""
+                in
+                Printf.eprintf "experiments: %s supports %d <= n <= %d, got n = %d%s\n" exp.id
+                  lo hi n hint;
+                Stdlib.exit 2
+              end)
+            ns)
+      exps
+
 let run_experiments ~results_dir ~no_cache ~jobs ~backend ~ns exps =
+  validate_ns ~ns exps;
   let cache =
     if no_cache then None
     else Some (H.Cache.create ~root:(Filename.concat results_dir "cache"))

@@ -1,0 +1,26 @@
+(** Anonymous full-graph broadcast on the circulant KT-0 wirings of §3.
+
+    Round r broadcasts a single bit — whether own port r−1 carries an
+    input edge. Because the §3 wirings are circulant (port q of a vertex
+    leads to its (q+1)-st clockwise successor), the bit heard on port p
+    in round r pins down the potential edge at relative offsets
+    (p+1, p+r+1) from the listener, so after n−1 rounds every vertex
+    holds the whole input graph up to rotation and decides connectivity
+    exactly — without ever reading its ID. The transcripts are therefore
+    exactly rotation-equivariant ({!Bcclb_bcc.Algo.anonymous} is set),
+    making this family the subject of the orbit-reduced census paths.
+
+    Θ(n) rounds at any density: the anonymous counterpart of the KT-1
+    {!Adjacency_matrix} baseline, and the contrast to the Θ(log n)
+    ID-broadcasting {!Discovery} family, which is {e not} anonymous. *)
+
+val connectivity : unit -> bool Bcclb_bcc.Algo.packed
+(** Exact in n−1 rounds: YES iff the input graph is connected. *)
+
+val connectivity_truncated : rounds:int -> optimist:bool -> bool Bcclb_bcc.Algo.packed
+(** Run at most [rounds] rounds; the common knowledge is then exactly the
+    edge slice at clockwise offset ≤ t. Certifies NO when the known edges
+    already close a cycle on fewer than n vertices, YES when they already
+    connect everything, and otherwise guesses YES ([optimist]) or NO. All
+    vertices output the same verdict (the decision uses only the common
+    slice). *)

@@ -108,7 +108,7 @@ let make ~name ~finish =
     let st = absorb st ~inbox in
     (st, encode st)
   in
-  { Algo.name; bandwidth; rounds; init; step; finish }
+  { Algo.name; anonymous = false; bandwidth; rounds; init; step; finish }
 
 let components () =
   Algo.pack

@@ -89,7 +89,7 @@ let compile (Algo.Packed a) =
       let inner = a.Algo.init kt1_view in
       a.Algo.finish inner ~inbox:(Array.make (View.num_ports st.view) Msg.silent)
   in
-  Algo.pack { Algo.name; bandwidth; rounds; init; step; finish }
+  Algo.pack { Algo.name; anonymous = false; bandwidth; rounds; init; step; finish }
 
 let learning_rounds ~n ~bandwidth =
   let l = Codec.id_width ~n in

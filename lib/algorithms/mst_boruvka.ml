@@ -139,7 +139,7 @@ let make ~name ~finish =
     let st = absorb st ~inbox in
     (st, encode st)
   in
-  { Algo.name; bandwidth; rounds; init; step; finish }
+  { Algo.name; anonymous = false; bandwidth; rounds; init; step; finish }
 
 let forest () =
   Algo.pack

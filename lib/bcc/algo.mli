@@ -9,6 +9,15 @@
 
 type ('s, 'o) t = {
   name : string;
+  anonymous : bool;
+      (** Declared ID-obliviousness: the algorithm's broadcasts (and hence
+          its transcripts) never depend on [View.id] — only on port
+          structure, received messages and public coins. On the circulant
+          KT-0 instances of §3 this makes transcripts exactly
+          rotation-equivariant, which is what licenses the orbit-reduced
+          census paths: [code_{ρS}(v+c) = code_S(v)] for every rotation
+          ρ : v ↦ v+c. A declaration, not something the type system checks
+          — constructors must only set it for genuinely ID-free code. *)
   bandwidth : n:int -> int;  (** b; the simulator rejects wider messages. *)
   rounds : n:int -> int;  (** Declared round bound T(n). *)
   init : View.t -> 's;
@@ -27,6 +36,11 @@ type 'o packed = Packed : ('s, 'o) t -> 'o packed
 val pack : ('s, 'o) t -> 'o packed
 
 val name : 'o packed -> string
+
+val anonymous : 'o packed -> bool
+(** The declared {!field-anonymous} flag; gates the orbit-reduced census
+    paths. *)
+
 val bandwidth : 'o packed -> n:int -> int
 val rounds : 'o packed -> n:int -> int
 
@@ -37,7 +51,12 @@ val bcc1 :
   step:('s -> round:int -> inbox:Msg.t array -> 's * Msg.t) ->
   finish:('s -> inbox:Msg.t array -> 'o) ->
   ('s, 'o) t
-(** Convenience constructor with bandwidth fixed to 1 bit. *)
+(** Convenience constructor with bandwidth fixed to 1 bit and
+    [anonymous = false] (the safe declaration). *)
+
+val declare_anonymous : ('s, 'o) t -> ('s, 'o) t
+(** Assert ID-obliviousness (see {!field-anonymous}) — the caller's
+    obligation, not something the type system verifies. *)
 
 val map_output : ('o -> 'p) -> ('s, 'o) t -> ('s, 'p) t
 

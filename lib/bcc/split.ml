@@ -88,4 +88,7 @@ let compile (Algo.Packed a) =
     let inner_inbox = decode_block ~b:st.b ~num_ports (List.rev (inbox :: st.acc)) in
     a.Algo.finish st.inner ~inbox:inner_inbox
   in
-  Algo.pack { Algo.name; bandwidth = (fun ~n:_ -> 1); rounds; init; step; finish }
+  (* Splitting re-encodes the inner broadcasts bit-by-bit, so the compiled
+     transcripts are ID-free exactly when the inner ones are. *)
+  Algo.pack
+    { Algo.name; anonymous = a.Algo.anonymous; bandwidth = (fun ~n:_ -> 1); rounds; init; step; finish }

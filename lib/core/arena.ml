@@ -1,20 +1,29 @@
 open Bcclb_graph
 open Bcclb_bcc
 module Obs = Bcclb_obs
+module Bits = Bcclb_util.Bits
 
-(* Arena observability: intern volume, cross-key hash probes, and the
-   execution-memo hit ratio — the numbers that show whether a sweep is
-   actually reusing the census instead of re-enumerating it. *)
+(* Arena observability: intern volume, cross-key hash probes, the
+   execution-memo hit ratio, and the orbit-segment traffic — the numbers
+   that show whether a sweep is actually reusing the census instead of
+   re-enumerating it, and whether the segmented store is serving from RAM
+   or from disk. *)
 let interned_one_metric = Obs.Metrics.Counter.v "arena.interned_one"
 let interned_two_metric = Obs.Metrics.Counter.v "arena.interned_two"
 let cross_probes_metric = Obs.Metrics.Counter.v "arena.cross_key_probes"
 let memo_hits_metric = Obs.Metrics.Counter.v "arena.memo_hits"
 let memo_misses_metric = Obs.Metrics.Counter.v "arena.memo_misses"
+let orbit_reps_metric = Obs.Metrics.Counter.v "arena.orbit.reps"
+let orbit_spill_metric = Obs.Metrics.Counter.v "arena.orbit.spill_bytes"
+let orbit_cold_metric = Obs.Metrics.Counter.v "arena.orbit.cold_loads"
+let orbit_hits_metric = Obs.Metrics.Counter.v "arena.orbit.resident_hits"
+let orbit_rebuilds_metric = Obs.Metrics.Counter.v "arena.orbit.rebuilds"
+let orbit_load_seconds = Obs.Metrics.Histogram.v "arena.orbit.cold_load_seconds"
 
 (* Interned arena of the §3.1 instance sets: V1 and V2 are enumerated
    once (in Census order, so handles line up with every existing census
    consumer), each two-cycle structure is keyed by a packed canonical
-   integer, and crossing successors resolve by hash lookup of that key —
+   key, and crossing successors resolve by hash lookup of that key —
    computed directly from the one-cycle arc decomposition without
    allocating intermediate Cycles.t values. Broadcast codes are memoised
    per (algorithm, seed), so each distinct execution runs once per
@@ -22,39 +31,51 @@ let memo_misses_metric = Obs.Metrics.Counter.v "arena.memo_misses"
 
 type handle = int
 
-type t = {
-  n : int;
-  one : Cycles.t array;
-  one_cyc : int array array;  (* the single canonical cycle of each V1 structure *)
-  two : Cycles.t array;
-  two_smaller : int array;  (* smaller cycle length of each V2 structure *)
-  two_index : (int, handle) Hashtbl.t;  (* packed canonical key -> handle *)
-  codes_memo : (string * int, int array array) Hashtbl.t;
-  memo_lock : Mutex.t;
-}
+(* ---- packed canonical keys ----
 
-(* Packed canonical key of a two-cycle structure, 4 bits per nibble:
-   [len c1][c1 minus its leading 0][all of c2], LSB-first. The first
-   cycle is the one containing vertex 0 (canonically it leads with it),
-   so its leading nibble is implied; the length nibble disambiguates the
-   split. n <= 15 keeps the key inside 4n <= 60 bits of one word. *)
+   A two-cycle structure packs as [len c1][c1 minus its leading 0][all of
+   c2], one coordinate per field, LSB-first. The first cycle is the one
+   containing vertex 0 (canonically it leads with it), so its leading
+   coordinate is implied; the length coordinate disambiguates the split.
+   Coordinates are 4 bits wherever 4 bits suffice — which keeps every
+   n <= 15 key the exact integer it has always been — and widen to
+   ceil(log2 n) beyond, at which point the n coordinates no longer fit a
+   word and the key becomes the packed byte string of the same bit
+   layout ({!Bits.Seq.to_packed_string}). *)
+
+let coord_width ~n =
+  if n <= 16 then 4
+  else begin
+    let w = ref 5 and cap = ref 32 in
+    while n > !cap do
+      incr w;
+      cap := !cap * 2
+    done;
+    !w
+  end
 
 let max_n = 15
+let min_n = 6
+let orbit_max_n = 13
 
-let key_two s =
+let emit_two s push =
   match Cycles.cycles s with
   | [ c1; c2 ] ->
-    let key = ref (Array.length c1) and shift = ref 4 in
-    let push v =
-      key := !key lor (v lsl !shift);
-      shift := !shift + 4
-    in
+    push (Array.length c1);
     for i = 1 to Array.length c1 - 1 do
       push c1.(i)
     done;
-    Array.iter push c2;
-    !key
+    Array.iter push c2
   | _ -> invalid_arg "Arena.key_two: not a two-cycle structure"
+
+let key_two s =
+  if Cycles.num_vertices s > max_n then
+    invalid_arg (Printf.sprintf "Arena.key_two: integer keys need n <= %d" max_n);
+  let key = ref 0 and shift = ref 0 in
+  emit_two s (fun v ->
+      key := !key lor (v lsl !shift);
+      shift := !shift + 4);
+  !key
 
 (* Canonical traversal of a cycle presented as an accessor: position of
    the minimum vertex and direction toward its smaller neighbour —
@@ -68,7 +89,7 @@ let canon_start get len =
   let dir = if get ((p + 1) mod len) <= get ((p + len - 1) mod len) then 1 else -1 in
   (p, dir)
 
-let cross_key cyc i j =
+let emit_cross cyc i j push =
   let k = Array.length cyc in
   let i, j = if i < j then (i, j) else (j, i) in
   if i < 0 || j >= k then invalid_arg "Arena.cross_key: edge index out of range";
@@ -88,22 +109,69 @@ let cross_key cyc i j =
     if a_first then (get_a, len1, pa, da, get_b, len2, pb, db)
     else (get_b, len2, pb, db, get_a, len1, pa, da)
   in
-  let key = ref l1 and shift = ref 4 in
-  let push v =
-    key := !key lor (v lsl !shift);
-    shift := !shift + 4
-  in
+  push l1;
   for step = 1 to l1 - 1 do
     push (at g1 l1 p1 d1 step)
   done;
   for step = 0 to l2 - 1 do
     push (at g2 l2 p2 d2 step)
-  done;
+  done
+
+let cross_key cyc i j =
+  let key = ref 0 and shift = ref 0 in
+  emit_cross cyc i j (fun v ->
+      key := !key lor (v lsl !shift);
+      shift := !shift + 4);
   !key
 
+let packed_of_emit ~n emit =
+  let w = coord_width ~n in
+  let seq = Bits.Seq.create ~capacity:(w * n) () in
+  emit (fun v -> Bits.Seq.append_word seq ~width:w ~value:v);
+  Bits.Seq.to_packed_string seq
+
+let key_two_packed ~n s = packed_of_emit ~n (emit_two s)
+let cross_key_packed ~n cyc i j = packed_of_emit ~n (emit_cross cyc i j)
+
+let supported ~n =
+  if n < min_n || n > max_n then
+    Error
+      (Printf.sprintf
+         "the exhaustive census arena supports %d <= n <= %d (got n = %d); larger n runs only \
+          through the orbit-reduced quotient paths (Arena.Orbit, n <= %d)"
+         min_n max_n n orbit_max_n)
+  else Ok ()
+
+(* ---- the interned census arena ---- *)
+
+(* V₁ rotation-orbit atlas (see Census): representatives carry the
+   weighted computations, every other handle points back at its
+   representative together with the rotation that reproduces it. *)
+type orbit_one = {
+  reps : handle array;
+  weights : int array;
+  rep_of : int array;  (* V1 handle -> index into [reps] *)
+  shift_of : int array;  (* V1 handle -> c with rotate c (rep) = handle *)
+  flip_of : bool array;  (* does re-canonicalising reverse the traversal? *)
+}
+
+type t = {
+  n : int;
+  one : Cycles.t array;
+  one_cyc : int array array;  (* the single canonical cycle of each V1 structure *)
+  two : Cycles.t array;
+  two_smaller : int array;  (* smaller cycle length of each V2 structure *)
+  two_index : (int, handle) Hashtbl.t;  (* packed canonical key -> handle *)
+  codes_memo : (string * int, int array array) Hashtbl.t;
+  reps_memo : (string * int, int array array) Hashtbl.t;  (* rep-only twin *)
+  memo_lock : Mutex.t;
+  mutable orbit1 : orbit_one option;
+  rot2_memo : (int, int array) Hashtbl.t;  (* rotation c -> V2 handle map *)
+  aux_lock : Mutex.t;
+}
+
 let create ~n =
-  if n > max_n then
-    invalid_arg (Printf.sprintf "Arena.create: packed canonical keys need n <= %d" max_n);
+  (match supported ~n with Error m -> invalid_arg ("Arena.create: " ^ m) | Ok () -> ());
   Obs.span "arena.build" ~attrs:[ ("n", string_of_int n) ] (fun () ->
       let one = Census.one_cycles ~n in
       let two = Census.two_cycles ~n in
@@ -120,7 +188,11 @@ let create ~n =
         two_smaller;
         two_index;
         codes_memo = Hashtbl.create 4;
-        memo_lock = Mutex.create () })
+        reps_memo = Hashtbl.create 4;
+        memo_lock = Mutex.create ();
+        orbit1 = None;
+        rot2_memo = Hashtbl.create 4;
+        aux_lock = Mutex.create () })
 
 (* Process-level interning: census enumeration and the execution memo
    are per-n facts, so sharing one arena per n across all builds in the
@@ -164,15 +236,100 @@ let two_handle t ~key =
 
 let cross_handle t cyc i j = two_handle t ~key:(cross_key cyc i j)
 
-(* Per-(algorithm, seed) broadcast codes over all of V1, one lightweight
-   engine execution per instance, fanned over the pool. Keyed by the
-   algorithm's name — truncations rename themselves per round bound, so
-   distinct truncations never share a memo entry. *)
-let codes arena ?(seed = 0) algo =
+(* Census enumeration order is lexicographic on the canonical sequence,
+   which is exactly Cycles.compare_t order on one-cycle structures — so
+   within a rotation orbit the representative (the minimal rotation) is
+   the smallest handle, and one ascending scan that expands each
+   yet-unclaimed handle's orbit visits representatives first. *)
+let compute_orbit_one t =
+  let n = t.n in
+  let m = Array.length t.one in
+  let index = Hashtbl.create (2 * m) in
+  Array.iteri (fun h s -> Hashtbl.replace index (Cycles.cycles s) h) t.one;
+  let rep_of = Array.make m (-1) in
+  let shift_of = Array.make m 0 in
+  let flip_of = Array.make m false in
+  let reps = ref [] and weights = ref [] and nreps = ref 0 in
+  let inv_r = Array.make n 0 in
+  for h = 0 to m - 1 do
+    if rep_of.(h) = -1 then begin
+      let rep_idx = !nreps in
+      incr nreps;
+      let weight = ref 0 in
+      let cyc_r = t.one_cyc.(h) in
+      Array.iteri (fun pos v -> inv_r.(v) <- pos) cyc_r;
+      for c = 0 to n - 1 do
+        let h' = Hashtbl.find index (Cycles.cycles (Census.rotate ~n c t.one.(h))) in
+        if rep_of.(h') = -1 then begin
+          rep_of.(h') <- rep_idx;
+          shift_of.(h') <- c;
+          (* Does the member's canonical traversal follow the shifted
+             representative's, or its reversal? Vertex 0 of the member is
+             rep vertex −c; compare the member's second vertex with the
+             shifted image of that vertex's successor in the rep. *)
+          let succ = cyc_r.((inv_r.((n - c) mod n) + 1) mod n) in
+          flip_of.(h') <- t.one_cyc.(h').(1) <> (succ + c) mod n;
+          incr weight
+        end
+      done;
+      reps := h :: !reps;
+      weights := !weight :: !weights
+    end
+  done;
+  Obs.Metrics.Counter.add orbit_reps_metric !nreps;
+  { reps = Array.of_list (List.rev !reps);
+    weights = Array.of_list (List.rev !weights);
+    rep_of;
+    shift_of;
+    flip_of }
+
+let orbit_one t =
+  Mutex.lock t.aux_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.aux_lock)
+    (fun () ->
+      match t.orbit1 with
+      | Some o -> o
+      | None ->
+        let o =
+          Obs.span "arena.orbit_one" ~attrs:[ ("n", string_of_int t.n) ] (fun () ->
+              compute_orbit_one t)
+        in
+        t.orbit1 <- Some o;
+        o)
+
+(* V₂ handle map of the rotation ρ_c — the bridge that turns a
+   representative's adjacency row into any orbit member's row. *)
+let rotation_map_two t c =
+  let c = ((c mod t.n) + t.n) mod t.n in
+  Mutex.lock t.aux_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.aux_lock)
+    (fun () ->
+      match Hashtbl.find_opt t.rot2_memo c with
+      | Some m -> m
+      | None ->
+        let m =
+          Array.map (fun s -> Hashtbl.find t.two_index (key_two (Census.rotate ~n:t.n c s))) t.two
+        in
+        Hashtbl.replace t.rot2_memo c m;
+        m)
+
+(* One lightweight engine execution of a one-cycle instance given as its
+   canonical cycle, over the shared circulant sweep stamp. *)
+let run_codes ~seed ~n algo stamp cyc =
+  let k = Array.length cyc in
+  let neighbors = Array.make n (0, 0) in
+  for i = 0 to k - 1 do
+    neighbors.(cyc.(i)) <- (cyc.((i + k - 1) mod k), cyc.((i + 1) mod k))
+  done;
+  Simulator.run_sent_codes ~seed algo (stamp neighbors)
+
+let memoised ~span_name arena ~seed algo table compute =
   let key = (Algo.name algo, seed) in
   let cached =
     Mutex.lock arena.memo_lock;
-    let c = Hashtbl.find_opt arena.codes_memo key in
+    let c = Hashtbl.find_opt table key in
     Mutex.unlock arena.memo_lock;
     c
   in
@@ -182,29 +339,383 @@ let codes arena ?(seed = 0) algo =
     c
   | None ->
     Obs.Metrics.Counter.incr memo_misses_metric;
-    let n = arena.n in
-    (* Shared circulant wiring: the clique tables are built once, each
-       instance only needs its per-vertex cycle-neighbour pairs. *)
-    let stamp = Instance.kt0_circulant_sweep n in
     let computed =
-      Obs.span "arena.codes"
-        ~attrs:[ ("algo", fst key); ("seed", string_of_int seed); ("n", string_of_int n) ]
-        (fun () ->
-          Bcclb_engine.Pool.tabulate (Array.length arena.one) (fun h ->
-              let cyc = arena.one_cyc.(h) in
-              let k = Array.length cyc in
-              let neighbors = Array.make n (0, 0) in
-              for i = 0 to k - 1 do
-                neighbors.(cyc.(i)) <- (cyc.((i + k - 1) mod k), cyc.((i + 1) mod k))
-              done;
-              Simulator.run_sent_codes ~seed algo (stamp neighbors)))
+      Obs.span span_name
+        ~attrs:
+          [ ("algo", fst key); ("seed", string_of_int seed); ("n", string_of_int arena.n) ]
+        compute
     in
     Mutex.lock arena.memo_lock;
     (* A racing recompute stores the identical deterministic result. *)
-    if not (Hashtbl.mem arena.codes_memo key) then Hashtbl.replace arena.codes_memo key computed;
-    let result = Hashtbl.find arena.codes_memo key in
+    if not (Hashtbl.mem table key) then Hashtbl.replace table key computed;
+    let result = Hashtbl.find table key in
     Mutex.unlock arena.memo_lock;
     result
 
+(* Per-(algorithm, seed) broadcast codes over all of V1, one lightweight
+   engine execution per instance, fanned over the pool. Keyed by the
+   algorithm's name — truncations rename themselves per round bound, so
+   distinct truncations never share a memo entry. *)
+let codes arena ?(seed = 0) algo =
+  memoised ~span_name:"arena.codes" arena ~seed algo arena.codes_memo (fun () ->
+      let n = arena.n in
+      (* Shared circulant wiring: the clique tables are built once, each
+         instance only needs its per-vertex cycle-neighbour pairs. *)
+      let stamp = Instance.kt0_circulant_sweep n in
+      Bcclb_engine.Pool.tabulate (Array.length arena.one) (fun h ->
+          run_codes ~seed ~n algo stamp arena.one_cyc.(h)))
+
+(* Rep-only twin of [codes], indexed by position in [orbit_one.reps]:
+   the orbit-reduced paths execute one representative per rotation class
+   and reconstruct member rows through [rotation_map_two] — the
+   factor-≈n saving the atlas licenses — so the full per-instance memo
+   is never populated on those paths. *)
+let codes_reps arena ?(seed = 0) algo =
+  let o = orbit_one arena in
+  memoised ~span_name:"arena.codes_reps" arena ~seed algo arena.reps_memo (fun () ->
+      let n = arena.n in
+      let stamp = Instance.kt0_circulant_sweep n in
+      Bcclb_engine.Pool.tabulate (Array.length o.reps) (fun ri ->
+          run_codes ~seed ~n algo stamp arena.one_cyc.(o.reps.(ri))))
+
 let codable algo ~n =
-  Algo.bandwidth algo ~n <= 1 && 2 * Algo.rounds algo ~n <= Bcclb_util.Bits.max_width
+  Algo.bandwidth algo ~n <= 1 && 2 * Algo.rounds algo ~n <= Bits.max_width
+
+(* ---- the segmented, spillable orbit store ----
+
+   One fixed-width record per V₁ rotation-class representative: the
+   canonical cycle minus its leading 0, coord_width bits per vertex,
+   zero-padded to whole bytes, then one weight byte. Records are packed
+   into segments of [seg_records]; segments live as CRC-32-checksummed
+   files under a content-addressed directory of results/cache/arena (the
+   spec string — format version, n, widths — is the address, in the
+   style of the harness result cache), with recently used segments kept
+   resident in RAM up to a budget. A warm process therefore reopens the
+   manifest and streams records off disk: re-runs never pay the
+   enumeration scan, which is the dominant cold cost at n >= 12. *)
+module Orbit = struct
+  let max_n = orbit_max_n
+  let min_n = 3
+  let format_version = 1
+  let seg_records = 1 lsl 18
+  let resident_budget = 64 * 1024 * 1024
+  let default_root = Filename.concat (Filename.concat "results" "cache") "arena"
+
+  type seg = {
+    path : string;
+    records : int;
+    crc : int;
+    mutable resident : Bytes.t option;
+  }
+
+  type store = {
+    n : int;
+    width : int;  (* bits per vertex coordinate *)
+    record_bytes : int;
+    segs : seg array;
+    n_reps : int;
+    total_weight : int;
+    warm : bool;
+    lock : Mutex.t;
+    mutable resident_bytes : int;
+  }
+
+  let n t = t.n
+  let n_reps t = t.n_reps
+  let total_weight t = t.total_weight
+  let num_segments t = Array.length t.segs
+  let warm t = t.warm
+
+  let record_bytes_for ~n ~width = (((n - 1) * width) + 7) / 8 + 1
+
+  let spec ~n ~width =
+    Printf.sprintf "arena-orbit-segments|v%d|n=%d|width=%d|seg=%d" format_version n width
+      seg_records
+
+  let dir_of ~root ~n ~width =
+    let hash = String.sub (Digest.to_hex (Digest.string (spec ~n ~width))) 0 12 in
+    Filename.concat root (Printf.sprintf "n%02d-%s" n hash)
+
+  (* Stdlib-only fs helpers (core does not link unix). *)
+  let rec mkdir_p path =
+    if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path) then begin
+      mkdir_p (Filename.dirname path);
+      try Sys.mkdir path 0o755 with Sys_error _ -> ()
+    end
+
+  (* The tmp name must be unique per writer: concurrent processes (procs
+     backend) may build the same store simultaneously, and since builds
+     are deterministic whichever rename lands last wins harmlessly. *)
+  let write_file_atomic path content =
+    let tmp =
+      Filename.temp_file ~temp_dir:(Filename.dirname path) (Filename.basename path ^ ".") ".tmp"
+    in
+    let oc = open_out_bin tmp in
+    output_bytes oc content;
+    close_out oc;
+    Sys.rename tmp path
+
+  let read_file path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+  let remove_store_dir dir =
+    if Sys.file_exists dir && Sys.is_directory dir then begin
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ()) (Sys.readdir dir);
+      try Sys.rmdir dir with Sys_error _ -> ()
+    end
+
+  (* LSB-first bit packing, the Bits.Seq layout flattened to an absolute
+     bit offset inside a record scratch buffer. *)
+  let set_bits buf ~bitpos ~width ~value =
+    let pos = ref bitpos and remaining = ref width and v = ref value in
+    while !remaining > 0 do
+      let byte = !pos lsr 3 and off = !pos land 7 in
+      let take = min !remaining (8 - off) in
+      let chunk = !v land ((1 lsl take) - 1) in
+      let b = Char.code (Bytes.unsafe_get buf byte) in
+      Bytes.unsafe_set buf byte (Char.unsafe_chr (b lor (chunk lsl off)));
+      v := !v lsr take;
+      pos := !pos + take;
+      remaining := !remaining - take
+    done
+
+  let get_bits buf ~bitpos ~width =
+    let v = ref 0 and got = ref 0 and p = ref bitpos in
+    while !got < width do
+      let byte = !p lsr 3 and off = !p land 7 in
+      let take = min (width - !got) (8 - off) in
+      let chunk = Char.code (Bytes.unsafe_get buf byte) lsr off land ((1 lsl take) - 1) in
+      v := !v lor (chunk lsl !got);
+      got := !got + take;
+      p := !p + take
+    done;
+    !v
+
+  let encode_rep scratch ~n ~width ~record_bytes cyc weight =
+    Bytes.fill scratch 0 record_bytes '\000';
+    for idx = 1 to n - 1 do
+      set_bits scratch ~bitpos:((idx - 1) * width) ~width ~value:cyc.(idx)
+    done;
+    Bytes.set scratch (record_bytes - 1) (Char.chr weight)
+
+  (* Decodes record [r] of a segment into [cyc] (length n, cyc.(0) stays
+     0); returns the weight. *)
+  let decode_rep seg_bytes ~n ~width ~record_bytes ~r cyc =
+    let base = r * record_bytes in
+    for idx = 1 to n - 1 do
+      cyc.(idx) <- get_bits seg_bytes ~bitpos:((base * 8) + ((idx - 1) * width)) ~width
+    done;
+    Char.code (Bytes.get seg_bytes (base + record_bytes - 1))
+
+  let manifest_magic = "BCCLB-ARENA-SEG-1"
+  let manifest_path dir = Filename.concat dir "MANIFEST"
+  let seg_path dir i = Filename.concat dir (Printf.sprintf "seg-%04d.bin" i)
+
+  let write_manifest ~dir ~n ~width ~n_reps ~total_weight segs =
+    let b = Buffer.create 256 in
+    Buffer.add_string b (manifest_magic ^ "\n");
+    Buffer.add_string b (spec ~n ~width ^ "\n");
+    Buffer.add_string b
+      (Printf.sprintf "reps=%d weight=%d segments=%d\n" n_reps total_weight (Array.length segs));
+    Array.iter (fun s -> Buffer.add_string b (Printf.sprintf "%d %08x\n" s.records s.crc)) segs;
+    write_file_atomic (manifest_path dir) (Buffer.to_bytes b)
+
+  (* A warm open trusts the manifest for layout but cross-checks the one
+     invariant it can get for free — Σ weight must be the closed-form
+     |V1| — and the on-disk byte counts; segment payloads are CRC-checked
+     lazily, when first loaded. Any discrepancy means "not warm": the
+     caller wipes and rebuilds. *)
+  let try_open_warm ~dir ~nn ~width ~record_bytes =
+    let mp = manifest_path dir in
+    if not (Sys.file_exists mp) then None
+    else
+      match String.split_on_char '\n' (read_file mp) with
+      | magic :: sp :: counts :: rest when magic = manifest_magic && sp = spec ~n:nn ~width -> (
+        try
+          let n_reps, total_weight, n_segs =
+            Scanf.sscanf counts "reps=%d weight=%d segments=%d" (fun a b c -> (a, b, c))
+          in
+          if total_weight <> Census.num_one_cycles ~n:nn then None
+          else begin
+            let segs =
+              Array.init n_segs (fun i ->
+                  let records, crc = Scanf.sscanf (List.nth rest i) "%d %x" (fun a b -> (a, b)) in
+                  { path = seg_path dir i; records; crc; resident = None })
+            in
+            let sizes_ok =
+              Array.for_all
+                (fun s ->
+                  Sys.file_exists s.path
+                  && (let ic = open_in_bin s.path in
+                      let len = in_channel_length ic in
+                      close_in_noerr ic;
+                      len = s.records * record_bytes))
+                segs
+            in
+            if sizes_ok && Array.fold_left (fun acc s -> acc + s.records) 0 segs = n_reps then
+              Some (segs, n_reps, total_weight)
+            else None
+          end
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None)
+      | _ -> None
+
+  let build ~dir ~nn ~width ~record_bytes =
+    Obs.span "arena.orbit.build" ~attrs:[ ("n", string_of_int nn) ] (fun () ->
+        mkdir_p dir;
+        (* Branch-parallel enumeration: the slices over the second vertex
+           partition V1, and concatenating them in branch order keeps the
+           store order deterministic for any domain count. *)
+        let branches = Array.init (nn - 1) (fun i -> i + 1) in
+        let chunks =
+          Bcclb_engine.Pool.map_batch
+            (fun second ->
+              let buf = Buffer.create (1 lsl 16) in
+              let scratch = Bytes.create record_bytes in
+              let count = ref 0 and wsum = ref 0 in
+              Census.iter_one_cycle_orbits ~second ~n:nn (fun s ~weight ->
+                  encode_rep scratch ~n:nn ~width ~record_bytes (List.hd (Cycles.cycles s)) weight;
+                  Buffer.add_bytes buf scratch;
+                  incr count;
+                  wsum := !wsum + weight);
+              (Buffer.contents buf, !count, !wsum))
+            branches
+        in
+        let n_reps = Array.fold_left (fun acc (_, c, _) -> acc + c) 0 chunks in
+        let total_weight = Array.fold_left (fun acc (_, _, w) -> acc + w) 0 chunks in
+        assert (total_weight = Census.num_one_cycles ~n:nn);
+        let all = Bytes.create (n_reps * record_bytes) in
+        let off = ref 0 in
+        Array.iter
+          (fun (s, _, _) ->
+            Bytes.blit_string s 0 all !off (String.length s);
+            off := !off + String.length s)
+          chunks;
+        let n_segs = max 1 ((n_reps + seg_records - 1) / seg_records) in
+        let segs =
+          Array.init n_segs (fun i ->
+              let lo = i * seg_records in
+              let records = min seg_records (n_reps - lo) in
+              let bytes = Bytes.sub all (lo * record_bytes) (records * record_bytes) in
+              let crc = Bcclb_util.Crc32.bytes bytes in
+              let path = seg_path dir i in
+              write_file_atomic path bytes;
+              Obs.Metrics.Counter.add orbit_spill_metric (Bytes.length bytes);
+              { path; records; crc; resident = Some bytes })
+        in
+        write_manifest ~dir ~n:nn ~width ~n_reps ~total_weight segs;
+        Obs.Metrics.Counter.add orbit_reps_metric n_reps;
+        (segs, n_reps, total_weight))
+
+  let create ?(root = default_root) ~n:nn () =
+    if nn < min_n || nn > max_n then
+      invalid_arg
+        (Printf.sprintf
+           "Arena.Orbit.create: the segmented orbit store supports %d <= n <= %d (got n = %d)"
+           min_n max_n nn);
+    let width = coord_width ~n:nn in
+    let record_bytes = record_bytes_for ~n:nn ~width in
+    let dir = dir_of ~root ~n:nn ~width in
+    mkdir_p root;
+    let segs, n_reps, total_weight, warm =
+      match try_open_warm ~dir ~nn ~width ~record_bytes with
+      | Some (segs, n_reps, total_weight) -> (segs, n_reps, total_weight, true)
+      | None ->
+        remove_store_dir dir;
+        let segs, n_reps, total_weight = build ~dir ~nn ~width ~record_bytes in
+        (segs, n_reps, total_weight, false)
+    in
+    let resident_bytes =
+      Array.fold_left
+        (fun acc s -> match s.resident with Some b -> acc + Bytes.length b | None -> acc)
+        0 segs
+    in
+    (* Over-budget builds drop their tail segments back to disk-only. *)
+    let resident_bytes = ref resident_bytes in
+    Array.iter
+      (fun s ->
+        match s.resident with
+        | Some b when !resident_bytes > resident_budget ->
+          s.resident <- None;
+          resident_bytes := !resident_bytes - Bytes.length b
+        | _ -> ())
+      (Array.of_list (List.rev (Array.to_list segs)));
+    { n = nn;
+      width;
+      record_bytes;
+      segs;
+      n_reps;
+      total_weight;
+      warm;
+      lock = Mutex.create ();
+      resident_bytes = !resident_bytes }
+
+  let segment_bytes t i =
+    let s = t.segs.(i) in
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        match s.resident with
+        | Some b ->
+          Obs.Metrics.Counter.incr orbit_hits_metric;
+          b
+        | None ->
+          let stop = Obs.Mclock.counter () in
+          let content = Bytes.of_string (read_file s.path) in
+          Obs.Metrics.Counter.incr orbit_cold_metric;
+          Obs.Metrics.Histogram.observe orbit_load_seconds (stop ());
+          if Bcclb_util.Crc32.bytes content <> s.crc then begin
+            (* A corrupt cold segment cannot be healed mid-iteration;
+               drop the whole store so the next open rebuilds it. *)
+            Obs.Metrics.Counter.incr orbit_rebuilds_metric;
+            remove_store_dir (Filename.dirname s.path);
+            failwith
+              (Printf.sprintf
+                 "Arena.Orbit: segment %s failed its checksum; the store was removed — re-run to \
+                  rebuild it"
+                 s.path)
+          end;
+          if t.resident_bytes + Bytes.length content <= resident_budget then begin
+            s.resident <- Some content;
+            t.resident_bytes <- t.resident_bytes + Bytes.length content
+          end;
+          content)
+
+  let segment_records t i = t.segs.(i).records
+
+  let iter_segment ?(lo = 0) ?hi t i f =
+    let b = segment_bytes t i in
+    let s = t.segs.(i) in
+    let hi = Option.value ~default:s.records hi in
+    let cyc = Array.make t.n 0 in
+    for r = lo to hi - 1 do
+      let weight = decode_rep b ~n:t.n ~width:t.width ~record_bytes:t.record_bytes ~r cyc in
+      f cyc ~weight
+    done
+
+  let iter t f =
+    for i = 0 to Array.length t.segs - 1 do
+      iter_segment t i f
+    done
+
+  (* Shared per-(n, root) stores, mirroring the arena registry: the warm
+     manifest makes reopening cheap, but in-process sharing also shares
+     the resident segments. *)
+  let registry : (int * string, store) Hashtbl.t = Hashtbl.create 4
+  let orbit_registry_lock = Mutex.create ()
+
+  let get ?(root = default_root) ~n () =
+    Mutex.lock orbit_registry_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock orbit_registry_lock)
+      (fun () ->
+        match Hashtbl.find_opt registry (n, root) with
+        | Some s -> s
+        | None ->
+          let s = create ~root ~n () in
+          Hashtbl.replace registry (n, root) s;
+          s)
+end

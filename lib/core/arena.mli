@@ -1,28 +1,53 @@
-(** Interned arena of the §3.1 instance sets V₁/V₂ with integer handles.
+(** Interned arena of the §3.1 instance sets V₁/V₂ with integer handles,
+    plus the segmented on-disk store of V₁'s rotation-orbit
+    representatives.
 
     The census is enumerated once per arena (in {!Census} order, so
     handles agree with every array-indexed census consumer), two-cycle
-    structures are deduplicated behind packed canonical integer keys
-    (4 bits per vertex, hence n ≤ 15), and crossing successors of a
-    one-cycle instance resolve by hash lookup of the crossed key —
-    computed arithmetically from the arc decomposition, no intermediate
-    {!Bcclb_graph.Cycles.t} allocation. Broadcast codes (2 bits per
-    round, {!Bcclb_bcc.Simulator.run_sent_codes}) are memoised per
-    (algorithm name, seed): each distinct execution runs once per
-    arena, which is what makes the packed {!Indist_graph} and
-    {!Crossing_check} paths cheap. *)
+    structures are deduplicated behind packed canonical keys
+    ({!coord_width} bits per coordinate — one machine word up to n = 15,
+    a packed byte string of the same bit layout beyond), and crossing
+    successors of a one-cycle instance resolve by hash lookup of the
+    crossed key — computed arithmetically from the arc decomposition, no
+    intermediate {!Bcclb_graph.Cycles.t} allocation. Broadcast codes
+    (2 bits per round, {!Bcclb_bcc.Simulator.run_sent_codes}) are
+    memoised per (algorithm name, seed): each distinct execution runs
+    once per arena, which is what makes the packed {!Indist_graph} and
+    {!Crossing_check} paths cheap.
+
+    On top of the full census, {!orbit_one} tabulates the rotation-orbit
+    atlas of V₁ (representatives, weights, and the rotation taking each
+    handle back to its representative) and {!rotation_map_two} the
+    induced V₂ handle permutations — the tables the orbit-reduced
+    {!Indist_graph} paths compute on. The {!Orbit} submodule is the
+    arena's past-the-census form: a segmented, spillable, checksummed
+    store of just the representatives and weights, reaching n = 13 where
+    materialising the census is impossible. *)
 
 type handle = int
 (** Index into the arena's V₁ or V₂ array (context disambiguates). *)
 
 type t
 
+val min_n : int
+(** 6 — below this V₂ is empty and §3 is vacuous. *)
+
 val max_n : int
-(** Largest n whose packed canonical keys fit one word (15). *)
+(** 15: the largest n whose packed canonical keys fit one word. *)
+
+val supported : n:int -> (unit, string) result
+(** Range check with a human-readable refusal — what the CLI surfaces
+    before any enumeration starts. *)
+
+val coord_width : n:int -> int
+(** Bits per key coordinate: 4 wherever 4 bits suffice (n ≤ 16, keeping
+    every n ≤ 15 integer key bit-identical to the historical nibble
+    encoding), ⌈log₂ n⌉ beyond. *)
 
 val create : n:int -> t
 (** Enumerate and intern both censuses.
-    @raise Invalid_argument for n < 6 or n > {!max_n}. *)
+    @raise Invalid_argument outside [min_n..max_n] (the {!supported}
+    message). *)
 
 val get : n:int -> t
 (** The process-wide shared arena for [n], created on first use —
@@ -51,13 +76,24 @@ val two_smaller_len : t -> handle -> int
 
 val key_two : Bcclb_graph.Cycles.t -> int
 (** Packed canonical key of a two-cycle structure:
-    [len c₁ | c₁ minus leading 0 | c₂], 4 bits per nibble, LSB-first.
-    @raise Invalid_argument if not a two-cycle structure. *)
+    [len c₁ | c₁ minus leading 0 | c₂], 4 bits per coordinate, LSB-first.
+    @raise Invalid_argument if not a two-cycle structure or n > 15. *)
 
 val cross_key : int array -> int -> int -> int
 (** [cross_key cyc i j] = [key_two (Census.cross_one_cycle cyc i j)]
     without allocating the crossed structure.
     @raise Invalid_argument under the same conditions. *)
+
+val key_two_packed : n:int -> Bcclb_graph.Cycles.t -> string
+(** The same key as a packed byte string ({!coord_width} bits per
+    coordinate, LSB-first — {!Bcclb_util.Bits.Seq.to_packed_string}
+    layout), defined for every n: for n ≤ 15 its bytes are exactly the
+    little-endian bytes of {!key_two}. *)
+
+val cross_key_packed : n:int -> int array -> int -> int -> string
+(** [cross_key_packed ~n cyc i j] =
+    [key_two_packed ~n (Census.cross_one_cycle cyc i j)], allocation-free
+    on the structure side. *)
 
 val two_handle : t -> key:int -> handle
 (** Resolve a packed key to its V₂ handle.
@@ -66,12 +102,105 @@ val two_handle : t -> key:int -> handle
 val cross_handle : t -> int array -> int -> int -> handle
 (** [two_handle ~key:(cross_key cyc i j)]. *)
 
+type orbit_one = {
+  reps : handle array;  (** V₁ handles of the representatives, ascending. *)
+  weights : int array;  (** Orbit sizes; Σ = (n−1)!/2. *)
+  rep_of : int array;  (** V₁ handle → index into [reps]. *)
+  shift_of : int array;  (** V₁ handle → c with rotate c (rep) = handle. *)
+  flip_of : bool array;
+      (** V₁ handle → did re-canonicalising the rotated cycle reverse its
+          traversal? Orientation-sensitive consumers (the labelled
+          G^t_{x,y} with x ≠ y) must swap (x, y) for flipped members;
+          orientation-free ones (the full graph) can ignore it. *)
+}
+(** The V₁ rotation-orbit atlas. Census order is lexicographic, so each
+    orbit's representative is its smallest handle. *)
+
+val orbit_one : t -> orbit_one
+(** Tabulated on first use, then shared (thread-safe). *)
+
+val rotation_map_two : t -> int -> int array
+(** [rotation_map_two t c].(h) is the V₂ handle of the rotation by [c]
+    of structure [h] — the handle permutation that maps a
+    representative's adjacency row to any orbit member's. Memoised
+    per [c]. *)
+
 val codes : t -> ?seed:int -> 'o Bcclb_bcc.Algo.packed -> int array array
 (** Per-V₁-instance, per-vertex packed broadcast codes under the
     algorithm — memoised, pool-parallel on a miss. Requires a codable
     algorithm ({!codable}); raises as {!Bcclb_bcc.Simulator.run_sent_codes}
     otherwise. *)
 
+val codes_reps : t -> ?seed:int -> 'o Bcclb_bcc.Algo.packed -> int array array
+(** Rep-only twin of {!codes}, indexed by position in
+    {!orbit_one}[.reps]: one execution per rotation class — what the
+    orbit-reduced {!Indist_graph} paths run instead of the full sweep.
+    Separately memoised. *)
+
 val codable : 'o Bcclb_bcc.Algo.packed -> n:int -> bool
 (** Bandwidth ≤ 1 and ≤ 31 declared rounds: the algorithm's broadcast
     sequences pack into one machine word per vertex. *)
+
+(** Segmented, spillable store of V₁'s rotation-orbit representatives.
+
+    One fixed-width record per representative — the canonical cycle minus
+    its leading 0 at {!coord_width} bits per vertex, then a weight byte —
+    packed into segments that live as CRC-32-checksummed files under a
+    content-addressed directory of [results/cache/arena]. A warm process
+    reopens the manifest and streams records off disk, so re-runs never
+    pay the enumeration scan (the dominant cold cost at n ≥ 12); segments
+    are kept resident in RAM up to a budget once touched. Segment traffic
+    lands in the [arena.orbit.*] metrics: resident hits vs cold loads
+    (the orbit hit rate), spilled bytes, cold-load latency. *)
+module Orbit : sig
+  type store
+
+  val min_n : int
+  (** 3. *)
+
+  val max_n : int
+  (** 13 — the exhaustive frontier: ~18.4M representatives standing for
+      the 239.5M instances of V₁. *)
+
+  val default_root : string
+  (** ["results/cache/arena"]. *)
+
+  val create : ?root:string -> n:int -> unit -> store
+  (** Open warm from a valid manifest, else enumerate (branch-parallel
+      over the pool), spill and manifest. A corrupt or stale store
+      directory is wiped and rebuilt.
+      @raise Invalid_argument outside [min_n..max_n]. *)
+
+  val get : ?root:string -> n:int -> unit -> store
+  (** Shared per-(n, root) store, created on first use. Thread-safe. *)
+
+  val n : store -> int
+
+  val n_reps : store -> int
+  (** Number of representatives (records). *)
+
+  val total_weight : store -> int
+  (** Σ weights = |V₁| = (n−1)!/2 — validated on open against the closed
+      form. *)
+
+  val num_segments : store -> int
+
+  val warm : store -> bool
+  (** True when the store was reopened from disk without enumeration. *)
+
+  val iter : store -> (int array -> weight:int -> unit) -> unit
+  (** Stream every representative in store order: the callback receives
+      the canonical cycle (a scratch buffer valid only for the duration
+      of the call — copy to retain) and the orbit size.
+      @raise Failure if a segment fails its checksum (the store is
+      removed so the next open rebuilds it). *)
+
+  val segment_records : store -> int -> int
+  (** Number of records in segment [i]. *)
+
+  val iter_segment : ?lo:int -> ?hi:int -> store -> int -> (int array -> weight:int -> unit) -> unit
+  (** One segment's worth of {!iter} (restricted to records
+      [lo..hi-1] when given) — the unit of parallel consumption:
+      workers map over segments, or over record ranges within them when
+      a segment is larger than the useful grain. *)
+end

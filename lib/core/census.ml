@@ -8,8 +8,11 @@ open Bcclb_graph
    (see DESIGN.md). *)
 
 (* All distinct cycles on a given vertex set: fix the smallest vertex
-   first and quotient reflections by requiring second < last. *)
-let iter_cycles_on vertices f =
+   first and quotient reflections by requiring second < last. [second]
+   restricts the vertex placed right after the minimum — the slices over
+   all second choices partition the enumeration, which is how the orbit
+   enumerator fans out across Pool workers. *)
+let iter_cycles_on_restricted ?second vertices f =
   let k = Array.length vertices in
   if k < 3 then invalid_arg "Census.iter_cycles_on: need at least 3 vertices";
   let vs = Array.copy vertices in
@@ -20,11 +23,12 @@ let iter_cycles_on vertices f =
   let seq = Array.make k first in
   let rec go depth =
     if depth = k then begin
-      if seq.(1) < seq.(k - 1) then f (Array.copy seq)
+      if seq.(1) < seq.(k - 1) then f seq
     end
     else
       for i = 0 to k - 2 do
-        if not used.(i) then begin
+        if (not used.(i)) && (depth > 1 || match second with None -> true | Some s -> rest.(i) = s)
+        then begin
           used.(i) <- true;
           seq.(depth) <- rest.(i);
           go (depth + 1);
@@ -33,6 +37,8 @@ let iter_cycles_on vertices f =
       done
   in
   go 1
+
+let iter_cycles_on vertices f = iter_cycles_on_restricted vertices (fun seq -> f (Array.copy seq))
 
 let iter_one_cycles ~n f =
   if n < 3 then invalid_arg "Census.iter_one_cycles: need n >= 3";
@@ -71,6 +77,93 @@ let two_cycles ~n =
   Array.of_list (List.rev !acc)
 
 let to_instance ?ids s ~n = Bcclb_bcc.Instance.kt0_circulant ?ids (Cycles.to_graph ~n s)
+
+(* ---- rotation orbits ----
+
+   The circulant background wiring is invariant under the label rotations
+   ρ_c : v ↦ v+c (mod n): port p of v leads to v+p+1 wherever v is. For
+   an anonymous algorithm (Algo.anonymous) transcripts are therefore
+   equivariant — code_{ρS}(v+c) = code_S(v) — so every census-level
+   quantity that is a sum over instances can instead be summed over one
+   representative per rotation class, weighted by the class size. The
+   enumerators below produce exactly those representatives. *)
+
+let rotate ~n c s =
+  let c = ((c mod n) + n) mod n in
+  Cycles.make (List.map (Array.map (fun v -> (v + c) mod n)) (Cycles.cycles s))
+
+(* Orbit test for a full-support cycle given as its canonical sequence
+   [seq] (seq.(0) = 0, seq.(1) < seq.(n-1)) and the inverse position
+   table [inv]. Compares, lazily and without allocating, the canonical
+   sequence of every rotation against [seq]: rotation by [sh] sends label
+   n-sh to 0, so its canonical sequence starts at position inv.(n-sh) and
+   walks whichever direction meets the smaller shifted neighbour first.
+   Returns 0 when some rotation is strictly smaller (not a
+   representative), the orbit size n/|stabilizer| otherwise. *)
+let one_cycle_orbit ~n seq inv =
+  let stab = ref 1 in
+  let exception Smaller in
+  try
+    for sh = 1 to n - 1 do
+      let p = inv.(n - sh) in
+      let nxt = (seq.((p + 1) mod n) + sh) mod n and prv = (seq.((p + n - 1) mod n) + sh) mod n in
+      let dir = if nxt < prv then 1 else n - 1 in
+      (* Element i of the rotated canonical sequence vs seq.(i); i = 0 is
+         0 on both sides. *)
+      let cmp = ref 0 and i = ref 1 in
+      while !cmp = 0 && !i < n do
+        let v = (seq.((p + (dir * !i)) mod n) + sh) mod n in
+        cmp := Int.compare v seq.(!i);
+        incr i
+      done;
+      if !cmp < 0 then raise Smaller else if !cmp = 0 then incr stab
+    done;
+    n / !stab
+  with Smaller -> 0
+
+let iter_one_cycle_orbits ?second ~n f =
+  if n < 3 then invalid_arg "Census.iter_one_cycle_orbits: need n >= 3";
+  let inv = Array.make n 0 in
+  iter_cycles_on_restricted ?second (Array.init n Fun.id) (fun seq ->
+      Array.iteri (fun pos v -> inv.(v) <- pos) seq;
+      let w = one_cycle_orbit ~n seq inv in
+      if w > 0 then f (Cycles.make [ seq ]) ~weight:w)
+
+(* Generic orbit test through Cycles.compare_t — used for the two-cycle
+   set, whose representatives are only materialised at small n where the
+   per-rotation allocation is affordable. *)
+let structure_orbit ~n s =
+  let stab = ref 1 in
+  let exception Smaller in
+  try
+    for c = 1 to n - 1 do
+      let cmp = Cycles.compare_t (rotate ~n c s) s in
+      if cmp < 0 then raise Smaller else if cmp = 0 then incr stab
+    done;
+    n / !stab
+  with Smaller -> 0
+
+let is_orbit_rep ~n s = structure_orbit ~n s > 0
+
+let orbit_size ~n s =
+  let stab = ref 1 in
+  for c = 1 to n - 1 do
+    if Cycles.compare_t (rotate ~n c s) s = 0 then incr stab
+  done;
+  n / !stab
+
+let orbit_rep ~n s =
+  let best = ref s in
+  for c = 1 to n - 1 do
+    let r = rotate ~n c s in
+    if Cycles.compare_t r !best < 0 then best := r
+  done;
+  !best
+
+let iter_two_cycle_orbits ~n f =
+  iter_two_cycles ~n (fun s ->
+      let w = structure_orbit ~n s in
+      if w > 0 then f s ~weight:w)
 
 (* Structure-level crossing: cross directed edges (c_i, c_{i+1}) and
    (c_j, c_{j+1}) of a one-cycle instance, replacing them by
@@ -121,3 +214,33 @@ let t_i_counts ~n =
       let smaller = List.fold_left min n (Cycles.lengths s) in
       Hashtbl.replace counts smaller (1 + Option.value ~default:0 (Hashtbl.find_opt counts smaller)));
   List.sort compare (Hashtbl.fold (fun i c acc -> (i, c) :: acc) counts [])
+
+(* Closed forms, for the streaming quotient path where enumerating V₂ is
+   out of reach: there are (k−1)!/2 distinct cycles on k ≥ 3 labelled
+   vertices, so |V1| = (n−1)!/2 and
+   |T_i| = C(n,i) · (i−1)!/2 · (n−i−1)!/2, halved when i = n−i because
+   the two cycles are then interchangeable. *)
+let num_cycles_on k =
+  let rec fact i acc = if i <= 1 then acc else fact (i - 1) (acc * i) in
+  if k < 3 then invalid_arg "Census.num_cycles_on: need k >= 3";
+  fact (k - 1) 1 / 2
+
+let num_one_cycles ~n = num_cycles_on n
+
+let binomial n k =
+  let k = min k (n - k) in
+  let num = ref 1 in
+  for i = 1 to k do
+    num := !num * (n - k + i) / i
+  done;
+  !num
+
+let t_i_closed_form ~n =
+  if n < 6 then invalid_arg "Census.t_i_closed_form: need n >= 6";
+  List.map
+    (fun i ->
+      let pairs = binomial n i * num_cycles_on i * num_cycles_on (n - i) in
+      (i, if 2 * i = n then pairs / 2 else pairs))
+    (Bcclb_util.Arrayx.range 3 ((n / 2) + 1))
+
+let num_two_cycles ~n = List.fold_left (fun acc (_, c) -> acc + c) 0 (t_i_closed_form ~n)

@@ -47,6 +47,76 @@ let directed_edges structure =
       List.init k (fun i -> (cyc.(i), cyc.((i + 1) mod k))))
     (Cycles.cycles structure)
 
+(* Exhaustive weighted sweep over V₁'s rotation-class representatives
+   (instead of [instances] random draws): every independent pair of
+   every census instance is accounted for — an orbit member's pairs are
+   counted through its representative with the orbit weight — while
+   genuine rewired executions run only on representatives. Sound under
+   the same condition as the orbit-reduced Indist_graph paths:
+   rotation-equivariant transcripts. In the report, pair counts are
+   census-weighted and [instances] is |V₁|; [executed]/[verified] stay
+   actual execution counts, so the reduction factor is visible as
+   verified ≪ same_label_pairs even under [`All]. *)
+let check_reps ?(seed = 0) ?(verify = `Sampled 16) algo ~n =
+  if not (Algo.anonymous algo || Algo.rounds algo ~n = 0) then
+    invalid_arg
+      (Printf.sprintf
+         "Crossing_check.check_reps: weighted-representative counting is sound only for \
+          anonymous algorithms (or at rounds = 0); %S reads vertex IDs"
+         (Algo.name algo));
+  Obs.span "crossing.check_reps" ~attrs:[ ("n", string_of_int n) ]
+  @@ fun () ->
+  let crossable = ref 0 and same_label = ref 0 and indist = ref 0 in
+  let violations = ref 0 and diff_dist = ref 0 in
+  let executed = ref 0 and verified = ref 0 in
+  Census.iter_one_cycle_orbits ~n (fun s ~weight ->
+      let inst = Instance.kt0_circulant (Cycles.to_graph ~n s) in
+      let base = Simulator.run ~seed algo inst in
+      let indist_from_base = Simulator.indistinguishable_from base in
+      let sent v = Transcript.sent_string base.Simulator.transcripts.(v) in
+      let same_budget = ref (match verify with `All -> max_int | `Sampled k -> k | `Off -> 0) in
+      let diff_budget = ref (match verify with `All -> max_int | `Sampled k -> k | `Off -> 0) in
+      let edges = Array.of_list (directed_edges s) in
+      let m = Array.length edges in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let (v1, u1) = edges.(i) and (v2, u2) = edges.(j) in
+          if Instance.independent inst (v1, u1) (v2, u2) then begin
+            crossable := !crossable + weight;
+            let run_crossed () =
+              incr executed;
+              let crossed = Instance.cross inst (v1, u1) (v2, u2) in
+              indist_from_base crossed (Simulator.run ~seed algo crossed)
+            in
+            if sent v1 = sent v2 && sent u1 = sent u2 then begin
+              same_label := !same_label + weight;
+              if !same_budget > 0 then begin
+                decr same_budget;
+                incr verified;
+                if run_crossed () then indist := !indist + weight
+                else violations := !violations + weight
+              end
+              else indist := !indist + weight
+            end
+            else if !diff_budget > 0 then begin
+              decr diff_budget;
+              if not (run_crossed ()) then diff_dist := !diff_dist + weight
+            end
+          end
+        done
+      done);
+  Obs.Metrics.Counter.add pairs_metric !crossable;
+  Obs.Metrics.Counter.add executed_metric !executed;
+  Obs.Metrics.Counter.add verified_metric !verified;
+  { instances = Census.num_one_cycles ~n;
+    crossable_pairs = !crossable;
+    same_label_pairs = !same_label;
+    indistinguishable = !indist;
+    violations = !violations;
+    distinguishable_diff_label = !diff_dist;
+    executed = !executed;
+    verified = !verified }
+
 let check ?(seed = 0) ?(verify = `Sampled 16) algo ~n ~instances ~wiring rng =
   Obs.span "crossing.check"
     ~attrs:[ ("n", string_of_int n); ("instances", string_of_int instances) ]

@@ -38,3 +38,15 @@ val check :
 (** Examine every independent directed-edge pair of [instances] random
     one-cycle instances under the given algorithm. [verify] defaults to
     [`Sampled 16]. *)
+
+val check_reps :
+  ?seed:int -> ?verify:verify -> 'o Bcclb_bcc.Algo.packed -> n:int -> report
+(** Exhaustive census-weighted sweep: every independent pair of every
+    V₁ instance is accounted for, but enumeration and execution touch
+    only one representative per rotation class — orbit members are
+    counted through their representative with the orbit weight. In the
+    report, pair counts are weighted, [instances] = |V₁|, and
+    [executed]/[verified] remain actual execution counts (the visible
+    reduction factor). Sound under the same condition as
+    {!Indist_graph.build_orbit}.
+    @raise Invalid_argument for an ID-reading algorithm with rounds ≥ 1. *)

@@ -7,12 +7,19 @@ open Bcclb_graph
    (active = head broadcasts x, tail broadcasts y during the t rounds of
    the algorithm).
 
-   Two construction paths exist. The packed path (default) works over an
-   interned Arena: labels are machine-word codes, and each crossing
-   successor is a hash lookup of a packed canonical key — no Cycles.t
-   allocation, no string comparison in the inner loops. The reference
-   path ([build_reference]/[build_full_reference]) is the original
-   string-label implementation, kept verbatim as the parity oracle. *)
+   Three construction paths exist. The orbit path (default wherever
+   sound) computes adjacency rows only on V₁'s rotation-class
+   representatives and reconstructs every other row through the arena's
+   V₂ handle permutations — a factor-≈n execution and crossing saving,
+   licensed exactly when transcripts are rotation-equivariant: anonymous
+   algorithms ({!Bcclb_bcc.Algo.anonymous}) and any algorithm at t = 0.
+   The packed path works over the interned Arena instance by instance:
+   labels are machine-word codes, and each crossing successor is a hash
+   lookup of a packed canonical key — no Cycles.t allocation, no string
+   comparison in the inner loops. The reference path
+   ([build_reference]/[build_full_reference]) is the original
+   string-label implementation, kept verbatim as the parity oracle. All
+   three produce byte-identical graphs where their domains overlap. *)
 
 type t = {
   n : int;
@@ -44,15 +51,16 @@ let finish ~n ~x ~y ~v1 ~v2 adj_sets =
    Ties break on the DECODED string pair — int code order differs from
    lexicographic string order ('_' sorts after '1' in ASCII but codes as
    0), and the reference implementation fixed string order. *)
-let most_frequent_code ~rounds codes1 one_cyc =
+let most_frequent_code ~rounds ?(weight = fun _ -> 1) codes1 one_cyc =
   let tbl = Hashtbl.create 256 in
   Array.iteri
     (fun i1 sent ->
       let cyc = one_cyc i1 in
       let k = Array.length cyc in
+      let w = weight i1 in
       for i = 0 to k - 1 do
         let lbl = (sent.(cyc.(i)), sent.(cyc.((i + 1) mod k))) in
-        Hashtbl.replace tbl lbl (1 + Option.value ~default:0 (Hashtbl.find_opt tbl lbl))
+        Hashtbl.replace tbl lbl (w + Option.value ~default:0 (Hashtbl.find_opt tbl lbl))
       done)
     codes1;
   let decode (cx, cy) = (Labels.string_of_code ~rounds cx, Labels.string_of_code ~rounds cy) in
@@ -132,6 +140,121 @@ let build_full_packed ?(seed = 0) algo ~n () =
         !row)
   in
   finish ~n ~x:"*" ~y:"*" ~v1:(Arena.one_structures arena) ~v2:(Arena.two_structures arena) adj_sets
+
+(* ------------------------------------------------------------------ *)
+(* Orbit-reduced path. Rotations are automorphisms of the circulant
+   wiring, so when transcripts are rotation-equivariant the active pairs
+   of an orbit member are the rotation image of its representative's and
+   crossing commutes with rotation: the member's adjacency row is the
+   representative's row pushed through the V₂ handle permutation of its
+   shift. Rows are therefore computed once per representative — one
+   execution and one crossing sweep per rotation class — and every other
+   row reconstructed by table lookup. [finish] dedup-sorts all rows, so
+   the result is byte-identical to the per-instance packed path. *)
+
+let orbit_applicable algo ~n =
+  Bcclb_bcc.Algo.anonymous algo || Bcclb_bcc.Algo.rounds algo ~n = 0
+
+(* Rep-index rows -> per-handle rows, through the rotation maps. *)
+let expand_orbit arena (o : Arena.orbit_one) rep_rows =
+  let rot =
+    Array.init (Arena.n arena) (fun c -> if c = 0 then [||] else Arena.rotation_map_two arena c)
+  in
+  Array.init (Arena.n_one arena) (fun h ->
+      let row = rep_rows.(o.Arena.rep_of.(h)) in
+      let c = o.Arena.shift_of.(h) in
+      if c = 0 then row else List.map (fun h2 -> rot.(c).(h2)) row)
+
+let build_orbit ?(seed = 0) algo ~n ?xy () =
+  let arena = Arena.get ~n in
+  let o = Arena.orbit_one arena in
+  let rounds = Bcclb_bcc.Algo.rounds algo ~n in
+  let codes_r = Arena.codes_reps arena ~seed algo in
+  let x, y =
+    match xy with
+    | Some (xs, ys) -> (Labels.code_of_string xs, Labels.code_of_string ys)
+    | None ->
+      (* Weighted counts equal the full-census counts: an orbit member's
+         edge-label multiset is its representative's, and ties still
+         break on decoded strings. *)
+      most_frequent_code ~rounds
+        ~weight:(fun ri -> o.Arena.weights.(ri))
+        codes_r
+        (fun ri -> Arena.one_cycle arena o.Arena.reps.(ri))
+  in
+  (* Crossing is orientation-free but the (x, y) label condition is not:
+     a member whose canonical traversal reverses the representative's has
+     the representative's (y, x)-active pairs. Compute both orientations
+     per representative (they coincide when x = y) and pick by the
+     atlas's flip bit during expansion. *)
+  let row_for cyc sent ~x ~y =
+    let k = Array.length cyc in
+    let actives = ref [] in
+    for i = k - 1 downto 0 do
+      if sent.(cyc.(i)) = x && sent.(cyc.((i + 1) mod k)) = y then actives := i :: !actives
+    done;
+    let actives = !actives in
+    let row = ref [] in
+    List.iter
+      (fun i ->
+        List.iter
+          (fun j ->
+            if i < j then begin
+              let len1 = j - i and len2 = k - (j - i) in
+              if len1 >= 3 && len2 >= 3 then row := Arena.cross_handle arena cyc i j :: !row
+            end)
+          actives)
+      actives;
+    !row
+  in
+  let rep_rows =
+    Bcclb_engine.Pool.tabulate (Array.length o.Arena.reps) (fun ri ->
+        let cyc = Arena.one_cycle arena o.Arena.reps.(ri) in
+        let sent = codes_r.(ri) in
+        let fwd = row_for cyc sent ~x ~y in
+        let rev = if x = y then fwd else row_for cyc sent ~x:y ~y:x in
+        (fwd, rev))
+  in
+  let rot =
+    Array.init (Arena.n arena) (fun c -> if c = 0 then [||] else Arena.rotation_map_two arena c)
+  in
+  let adj_sets =
+    Array.init (Arena.n_one arena) (fun h ->
+        let fwd, rev = rep_rows.(o.Arena.rep_of.(h)) in
+        let row = if o.Arena.flip_of.(h) then rev else fwd in
+        let c = o.Arena.shift_of.(h) in
+        if c = 0 then row else List.map (fun h2 -> rot.(c).(h2)) row)
+  in
+  finish ~n
+    ~x:(Labels.string_of_code ~rounds x)
+    ~y:(Labels.string_of_code ~rounds y)
+    ~v1:(Arena.one_structures arena) ~v2:(Arena.two_structures arena) adj_sets
+
+let build_full_orbit ?(seed = 0) algo ~n () =
+  let arena = Arena.get ~n in
+  let o = Arena.orbit_one arena in
+  let codes_r = Arena.codes_reps arena ~seed algo in
+  let rep_rows =
+    Bcclb_engine.Pool.tabulate (Array.length o.Arena.reps) (fun ri ->
+        let cyc = Arena.one_cycle arena o.Arena.reps.(ri) in
+        let sent = codes_r.(ri) in
+        let k = Array.length cyc in
+        let row = ref [] in
+        for i = 0 to k - 1 do
+          for j = i + 1 to k - 1 do
+            let len1 = j - i and len2 = k - (j - i) in
+            if len1 >= 3 && len2 >= 3 then begin
+              let vi = cyc.(i) and ui = cyc.((i + 1) mod k) in
+              let vj = cyc.(j) and uj = cyc.((j + 1) mod k) in
+              if sent.(vi) = sent.(vj) && sent.(ui) = sent.(uj) then
+                row := Arena.cross_handle arena cyc i j :: !row
+            end
+          done
+        done;
+        !row)
+  in
+  finish ~n ~x:"*" ~y:"*" ~v1:(Arena.one_structures arena) ~v2:(Arena.two_structures arena)
+    (expand_orbit arena o rep_rows)
 
 (* ------------------------------------------------------------------ *)
 (* Reference (legacy) path: string labels, Cycles.t-keyed successor
@@ -218,12 +341,16 @@ let build_full_reference ?(seed = 0) algo ~n () =
 
 let build ?(seed = 0) algo ~n ?xy () =
   Bcclb_obs.span "indist.build" ~attrs:[ ("n", string_of_int n) ] (fun () ->
-      if n <= Arena.max_n && Arena.codable algo ~n then build_packed ~seed algo ~n ?xy ()
+      if n <= Arena.max_n && Arena.codable algo ~n then
+        if orbit_applicable algo ~n then build_orbit ~seed algo ~n ?xy ()
+        else build_packed ~seed algo ~n ?xy ()
       else build_reference ~seed algo ~n ?xy ())
 
 let build_full ?(seed = 0) algo ~n () =
   Bcclb_obs.span "indist.build_full" ~attrs:[ ("n", string_of_int n) ] (fun () ->
-      if n <= Arena.max_n && Arena.codable algo ~n then build_full_packed ~seed algo ~n ()
+      if n <= Arena.max_n && Arena.codable algo ~n then
+        if orbit_applicable algo ~n then build_full_orbit ~seed algo ~n ()
+        else build_full_packed ~seed algo ~n ()
       else build_full_reference ~seed algo ~n ())
 
 (* ------------------------------------------------------------------ *)

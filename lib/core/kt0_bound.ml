@@ -75,6 +75,40 @@ let indist_stats ?(seed = 0) ?(samples = 200) algo ~n ~rounds ~k rng =
     k;
     k_matching_found = matching }
 
+(* ---- The orbit frontier: exhaustive full-graph statistics past the
+   materialisable census, via the streaming quotient (E2's frontier
+   table). ---- *)
+
+type orbit_row = {
+  n : int;
+  rounds : int;
+  v1 : int;
+  v2 : int;
+  reps : int;
+  reduction : float;  (* |V1| / reps, ~n for free orbits *)
+  edges : int;
+  isolated_v1 : int;
+  live_v1 : int;
+  min_live_degree : int;
+  max_degree_v1 : int;
+  warm : bool;
+}
+
+let orbit_row ?(seed = 0) ?root algo ~n () =
+  let s = Quotient.full_stats ~seed ?root algo ~n () in
+  { n;
+    rounds = s.Quotient.rounds;
+    v1 = s.Quotient.v1;
+    v2 = s.Quotient.v2;
+    reps = s.Quotient.reps;
+    reduction = float_of_int s.Quotient.v1 /. float_of_int s.Quotient.reps;
+    edges = s.Quotient.edges;
+    isolated_v1 = s.Quotient.isolated_v1;
+    live_v1 = s.Quotient.live_v1;
+    min_live_degree = s.Quotient.min_live_degree;
+    max_degree_v1 = s.Quotient.max_degree_v1;
+    warm = s.Quotient.warm }
+
 (* ---- Theorem 3.1/3.5: error of t-round algorithms under mu. ---- *)
 
 type error_row = {

@@ -39,6 +39,27 @@ val indist_stats :
 (** Build G^t for the given (pre-truncated to [rounds]) algorithm; check
     the sampled Hall condition and construct a k-matching. *)
 
+type orbit_row = {
+  n : int;
+  rounds : int;
+  v1 : int;
+  v2 : int;
+  reps : int;
+  reduction : float;  (** |V₁| / reps — ≈ n when orbits are free. *)
+  edges : int;
+  isolated_v1 : int;
+  live_v1 : int;
+  min_live_degree : int;
+  max_degree_v1 : int;
+  warm : bool;
+}
+
+val orbit_row : ?seed:int -> ?root:string -> 'o Bcclb_bcc.Algo.packed -> n:int -> unit -> orbit_row
+(** Exhaustive full-graph statistics through the streaming
+    {!Quotient} — E2's frontier table past the materialisable census
+    (n ≤ {!Arena.Orbit.max_n}). Same soundness condition and exceptions
+    as {!Quotient.full_stats}. *)
+
 type error_row = {
   n : int;
   t : int;

@@ -1,0 +1,41 @@
+(** Streaming orbit-quotient statistics of the full indistinguishability
+    graph ({!Indist_graph.build_full}'s union over label pairs) at n
+    beyond the materialisable census.
+
+    The left side streams off the segmented orbit store
+    ({!Arena.Orbit}); the right side is never materialised — crossing
+    successors are identified by packed canonical keys and |V₂|, |Tᵢ|
+    come from {!Census}'s closed forms. Sound under the same condition
+    as {!Indist_graph.build_orbit}: rotation-equivariant transcripts
+    (anonymous algorithms, or rounds = 0). Peak memory is one segment
+    plus one adjacency row, which is what carries the exhaustive §3
+    pipeline to n = 13. *)
+
+type stats = {
+  n : int;
+  rounds : int;  (** The algorithm's round bound at this n. *)
+  v1 : int;  (** |V₁| = (n−1)!/2 (closed form). *)
+  v2 : int;  (** |V₂| = Σ|Tᵢ| (closed form). *)
+  reps : int;  (** Rotation-class representatives streamed. *)
+  edges : int;  (** Total edges of the full graph (weighted over reps). *)
+  isolated_v1 : int;  (** V₁ instances with no same-label crossing. *)
+  live_v1 : int;  (** v1 − isolated_v1. *)
+  min_live_degree : int;  (** Minimum positive degree (0 if none live). *)
+  max_degree_v1 : int;
+  edges_by_smaller : (int * int) list;
+      (** Edge count by the smaller cycle length of the right endpoint —
+          the per-Tᵢ structure behind Lemma 3.9's double counting. *)
+  t_i : (int * int) list;  (** Closed-form |Tᵢ| for comparison. *)
+  warm : bool;  (** Did the orbit store reopen from disk? *)
+}
+
+val full_stats :
+  ?seed:int -> ?root:string -> 'o Bcclb_bcc.Algo.packed -> n:int -> unit -> stats
+(** Aggregate the full graph's left-side degree statistics by streaming
+    every representative (pool-parallel over segment record ranges).
+    Every quantity agrees exactly with the materialised
+    {!Indist_graph.build_full} wherever both are feasible (n ≤ 10 is
+    tested).
+    @raise Invalid_argument if n < 6, n > {!Arena.Orbit.max_n}, the
+    algorithm is neither anonymous nor at rounds 0, or its codes do not
+    pack ({!Arena.codable}). *)

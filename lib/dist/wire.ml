@@ -1,6 +1,7 @@
-(* Framing, CRC and the incremental reader. The CRC table is the
-   standard reflected IEEE-802.3 one (zlib, PNG); 32-bit values live in
-   native ints, masked where they could carry into bit 32. *)
+(* Framing, CRC and the incremental reader. The CRC is the shared
+   {!Bcclb_util.Crc32} (reflected IEEE-802.3, as in zlib/PNG); 32-bit
+   values live in native ints, masked where they could carry into
+   bit 32. *)
 
 type error =
   | Closed
@@ -25,24 +26,8 @@ let version = 1
 let header_size = 13
 let max_payload = 1 lsl 30
 
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32_sub s pos len =
-  let t = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  for i = pos to pos + len - 1 do
-    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
-  done;
-  !c lxor 0xFFFFFFFF
-
-let crc32 s = crc32_sub s 0 (String.length s)
+let crc32_sub = Bcclb_util.Crc32.string_sub
+let crc32 = Bcclb_util.Crc32.string
 
 let encode payload =
   let n = String.length payload in

@@ -15,6 +15,7 @@ type t = {
   notes : string list;
   default_grid : Params.t list;
   grid_of_ns : (int list -> Params.t list) option;
+  n_range : (int * int) option;
   cell : Params.t -> row list;
 }
 

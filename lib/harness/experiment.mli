@@ -39,6 +39,11 @@ type t = {
   grid_of_ns : (int list -> Params.t list) option;
       (** Rebuild the grid from a [--n] size-list override; [None] when
           sizes are not the experiment's axis. *)
+  n_range : (int * int) option;
+      (** Inclusive bounds a [--n] override must respect — validated up
+          front by the CLI, before any enumeration starts, so an
+          infeasible size is a one-line refusal rather than an
+          out-of-memory hours in. [None] = any size the grid accepts. *)
   cell : Params.t -> row list;
 }
 

@@ -1,6 +1,8 @@
 (* E3: error of t-round KT-0 algorithms under mu, plus E3b, its
-   randomized Monte Carlo twin. Version 2 of E3: the certified part runs
-   the packed build_full path (identical rows) over one more n. *)
+   randomized Monte Carlo twin. Version 3 of E3: cache epoch bumped with
+   the orbit-reduced Arena refactor (the certified part's build_full
+   dispatch changed; rows are unchanged — the bump keeps the census-
+   backed experiment set on one epoch for cross-run comparisons). *)
 
 open Exp_common
 
@@ -41,7 +43,7 @@ let kt0_error_grid ns =
   errors @ thresholds @ certified @ star
 
 let kt0_error =
-  experiment ~id:"kt0-error" ~version:2
+  experiment ~id:"kt0-error" ~version:3
     ~title:"E3  Theorems 3.1/3.5: distributional error of t-round KT-0 algorithms"
     ~doc:"E3: error of t-round KT-0 algorithms under mu"
     ~tables:
@@ -71,6 +73,7 @@ let kt0_error =
       [ "shape check: error stays >= const for t << log n, collapses to 0 at the O(log n) UB." ]
     ~grid:(kt0_error_grid [ 6; 7; 8 ])
     ~grid_of_ns:kt0_error_grid
+    ~n_range:(6, 10)
     (fun p ->
       let n = P.int p "n" in
       match P.str p "part" with

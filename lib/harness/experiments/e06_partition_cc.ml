@@ -1,5 +1,5 @@
-(* E6: communication sandwich. Version 2: cache epoch bumped with the
-   packed-transcript refactor (rows are unchanged; the bump keeps the
+(* E6: communication sandwich. Version 3: cache epoch bumped with the
+   orbit-reduced Arena refactor (rows are unchanged; the bump keeps the
    §3-adjacent experiment set on one epoch for cross-run comparisons). *)
 
 open Exp_common
@@ -10,7 +10,7 @@ let partition_cc_grid ns =
 
 let partition_cc =
   let scale n = float_of_int n *. Mathx.log2 (float_of_int (max 2 n)) in
-  experiment ~id:"partition-cc" ~version:2
+  experiment ~id:"partition-cc" ~version:3
     ~title:"E6  Corollaries 2.4/4.2: D(Partition) sandwiched between log2 B_n and n log n"
     ~doc:"E6: communication sandwich"
     ~tables:

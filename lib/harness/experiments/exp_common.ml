@@ -30,8 +30,8 @@ let pb k v = (k, P.Bool v)
 let ps k v = (k, P.Str v)
 let grid1 key xs = List.map (fun x -> P.v [ pi key x ]) xs
 
-let experiment ~id ~title ~doc ?(version = 1) ~tables ?(notes = []) ~grid ?grid_of_ns cell =
-  { E.id; title; doc; version; tables; notes; default_grid = grid; grid_of_ns; cell }
+let experiment ~id ~title ~doc ?(version = 1) ~tables ?(notes = []) ~grid ?grid_of_ns ?n_range cell =
+  { E.id; title; doc; version; tables; notes; default_grid = grid; grid_of_ns; n_range; cell }
 
 let truncated_optimist ~rounds =
   Algos.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
@@ -44,3 +44,10 @@ let truncated_pessimist ~rounds =
 let partial_optimist ~rounds =
   Algos.Discovery.connectivity_partial ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
     ~optimist:true
+
+(* The anonymous (ID-oblivious) family: transcripts are rotation-
+   equivariant, so these are the algorithms the orbit-reduced census
+   paths (Indist_graph orbit builds, Quotient, Crossing_check.check_reps)
+   quantify over. *)
+let anonymous_optimist ~rounds =
+  Algos.Adjacency_broadcast.connectivity_truncated ~rounds ~optimist:true

@@ -175,6 +175,29 @@ module Seq = struct
     done;
     !h
 
+  (* The used bytes, verbatim. Because every bit at position >= len is 0,
+     two sequences of equal length are equal iff their packed strings are
+     — which is what lets variable-width census keys live in string-keyed
+     hash tables without a per-bit decode. The bit length is NOT part of
+     the string; callers that mix lengths under one key space must carry
+     it separately (fixed-record key schemes need not). *)
+  let to_packed_string s = Bytes.sub_string s.data 0 (used_bytes s.len)
+
+  let of_packed_string ~len str =
+    if len < 0 then invalid_arg "Bits.Seq.of_packed_string: negative length";
+    let nb = used_bytes len in
+    if String.length str <> nb then invalid_arg "Bits.Seq.of_packed_string: length/byte-count mismatch";
+    let s = { len; data = Bytes.make (max 1 nb) '\000' } in
+    Bytes.blit_string str 0 s.data 0 nb;
+    (* Stray bits above [len] in the last byte would break the bytewise
+       equal/compare/hash contract; reject rather than silently mask. *)
+    if len land 7 <> 0 && nb > 0 then begin
+      let last = Char.code (Bytes.get s.data (nb - 1)) in
+      if last lsr (len land 7) <> 0 then
+        invalid_arg "Bits.Seq.of_packed_string: nonzero bits beyond the declared length"
+    end;
+    s
+
   let to_string s = String.init s.len (fun i -> if get s (s.len - 1 - i) then '1' else '0')
 
   let of_string str =

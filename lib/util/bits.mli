@@ -87,6 +87,17 @@ module Seq : sig
   val hash : seq -> int
   (** FNV-1a over the packed bytes; equal sequences hash equally. *)
 
+  val to_packed_string : seq -> string
+  (** The used bytes verbatim (LSB-first packing, zero-padded tail bit).
+      Equal-length sequences are equal iff their packed strings are, so
+      fixed-layout packed keys (e.g. variable-width census keys) can use
+      the result directly as a hash-table key. *)
+
+  val of_packed_string : len:int -> string -> seq
+  (** Inverse of {!to_packed_string} given the bit length.
+      @raise Invalid_argument if the byte count does not match [len] or
+      bits beyond [len] are set. *)
+
   val to_string : seq -> string
   (** Most significant (last appended) bit first, matching {!Bits.to_string}. *)
 

@@ -318,6 +318,7 @@ let test_split_preserves_silence_patterns () =
   let inner =
     Algo.pack
       { Algo.name = "alternator";
+        anonymous = false;
         bandwidth = (fun ~n:_ -> 5);
         rounds = (fun ~n:_ -> 4);
         init = (fun view -> (View.id view, []));
@@ -366,6 +367,7 @@ let suites =
 let fuzz_inner ~b ~rounds_n seed =
   Algo.pack
     { Algo.name = Printf.sprintf "fuzz-%d" seed;
+      anonymous = false;
       bandwidth = (fun ~n:_ -> b);
       rounds = (fun ~n:_ -> rounds_n);
       init = (fun view -> (View.id view, 0));

@@ -39,6 +39,7 @@ let toy =
     notes = [];
     default_grid = toy_grid;
     grid_of_ns = None;
+    n_range = None;
     cell =
       (fun p ->
         let n = Params.int p "n" in

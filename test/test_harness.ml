@@ -69,6 +69,7 @@ let toy ?(fail_on = fun _ -> false) ~computed () =
     notes = [];
     default_grid = toy_grid;
     grid_of_ns = None;
+    n_range = None;
     cell =
       (fun p ->
         let n = Params.int p "n" in

@@ -27,4 +27,5 @@ let () =
       ("engine", Test_engine.suites @ q Test_engine.qsuites);
       ("harness", Test_harness.suites @ q Test_harness.qsuites);
       ("obs", Test_obs.suites @ q Test_obs.qsuites);
-      ("dist", Test_dist.suites @ q Test_dist.qsuites) ]
+      ("dist", Test_dist.suites @ q Test_dist.qsuites);
+      ("orbit", Test_orbit.suites @ q Test_orbit.qsuites) ]

@@ -1,0 +1,469 @@
+(* Tests for the rotation-orbit machinery of this PR: the census orbit
+   enumerator, the arena atlas (rep_of/shift_of/flip_of), the segmented
+   spillable store, the orbit-reduced Indist_graph / Quotient /
+   Crossing_check paths, the anonymous adjacency-broadcast family they
+   are sound for, and the Bits.Seq packed encoding under the store. *)
+
+open Bcclb_core
+module Cycles = Bcclb_graph.Cycles
+module Rng = Bcclb_util.Rng
+module Bits = Bcclb_util.Bits
+module Crc32 = Bcclb_util.Crc32
+module Instance = Bcclb_bcc.Instance
+module Simulator = Bcclb_bcc.Simulator
+module Algo = Bcclb_bcc.Algo
+
+let anonymous ~rounds =
+  Bcclb_algorithms.Adjacency_broadcast.connectivity_truncated ~rounds ~optimist:true
+
+let id_reading ~rounds =
+  Bcclb_algorithms.Discovery.connectivity_truncated ~knowledge:Instance.KT0 ~max_degree:2 ~rounds
+    ~optimist:true
+
+(* A scratch spill root per test run, so store tests never touch the
+   repo's results/ directory and never see a previous run's segments. *)
+let fresh_root =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "bcclb-test-orbit-%d-%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+(* ---- census orbit enumerator ---- *)
+
+let test_census_orbit_weights () =
+  List.iter
+    (fun n ->
+      let total = ref 0 and reps = ref 0 in
+      Census.iter_one_cycle_orbits ~n (fun s ~weight ->
+          incr reps;
+          total := !total + weight;
+          Alcotest.(check bool) "rep flag" true (Census.is_orbit_rep ~n s);
+          Alcotest.(check int) "weight = orbit size" weight (Census.orbit_size ~n s);
+          Alcotest.(check bool) "rep is its own rep" true (Cycles.equal s (Census.orbit_rep ~n s)));
+      Alcotest.(check int)
+        (Printf.sprintf "weights sum to |V1| n=%d" n)
+        (Census.num_one_cycles ~n) !total;
+      Alcotest.(check bool) "fewer reps than instances" true (!reps < Census.num_one_cycles ~n))
+    [ 6; 7; 8 ]
+
+let test_census_orbit_partition () =
+  (* Every census instance maps to exactly one representative, and the
+     per-rep member counts reproduce the weights. *)
+  let n = 7 in
+  let members = Hashtbl.create 64 in
+  Census.iter_one_cycles ~n (fun s ->
+      let r = Census.orbit_rep ~n s in
+      Hashtbl.replace members r (1 + Option.value ~default:0 (Hashtbl.find_opt members r)));
+  Census.iter_one_cycle_orbits ~n (fun s ~weight ->
+      Alcotest.(check (option int))
+        "members = weight" (Some weight) (Hashtbl.find_opt members s);
+      Hashtbl.remove members s);
+  Alcotest.(check int) "no orphan classes" 0 (Hashtbl.length members)
+
+(* ---- arena atlas ---- *)
+
+let rotate_structure ~n c s =
+  Cycles.make (List.map (Array.map (fun v -> (v + c) mod n)) (Cycles.cycles s))
+
+let test_arena_orbit_atlas () =
+  let n = 8 in
+  let arena = Arena.create ~n in
+  let o = Arena.orbit_one arena in
+  Alcotest.(check int) "weights sum" (Arena.n_one arena)
+    (Array.fold_left ( + ) 0 o.Arena.weights);
+  (* Representatives are ascending handles, the smallest of their class. *)
+  Array.iteri
+    (fun i r ->
+      if i > 0 then Alcotest.(check bool) "reps ascending" true (o.Arena.reps.(i - 1) < r);
+      Alcotest.(check int) "rep maps to itself" i o.Arena.rep_of.(r);
+      Alcotest.(check int) "rep shift 0" 0 o.Arena.shift_of.(r);
+      Alcotest.(check bool) "rep unflipped" false o.Arena.flip_of.(r))
+    o.Arena.reps;
+  (* Every member is the rotation of its representative by its shift. *)
+  Array.iteri
+    (fun h s ->
+      let rep = Arena.one_structure arena o.Arena.reps.(o.Arena.rep_of.(h)) in
+      let c = o.Arena.shift_of.(h) in
+      Alcotest.(check bool)
+        (Printf.sprintf "member %d = rotate %d rep" h c)
+        true
+        (Cycles.equal s (rotate_structure ~n c rep)))
+    (Arena.one_structures arena)
+
+let test_arena_flip_of_orientation () =
+  (* flip_of must mark exactly the members whose canonical traversal
+     reverses the representative's: the member's canonical successor of
+     vertex (0 - c) differs from the shifted image of the rep's
+     successor of 0. Recompute independently and compare. *)
+  let n = 8 in
+  let arena = Arena.create ~n in
+  let o = Arena.orbit_one arena in
+  let flips = ref 0 in
+  Array.iteri
+    (fun h cyc ->
+      let rep_cyc = Arena.one_cycle arena o.Arena.reps.(o.Arena.rep_of.(h)) in
+      let c = o.Arena.shift_of.(h) in
+      let k = Array.length rep_cyc in
+      let pos = ref 0 in
+      Array.iteri (fun i v -> if v = (n - c) mod n then pos := i) rep_cyc;
+      let succ_in_rep = rep_cyc.((!pos + 1) mod k) in
+      let expected_flip = cyc.(1) <> (succ_in_rep + c) mod n in
+      Alcotest.(check bool) (Printf.sprintf "flip h=%d" h) expected_flip o.Arena.flip_of.(h);
+      if o.Arena.flip_of.(h) then incr flips)
+    (Array.init (Arena.n_one arena) (Arena.one_cycle arena));
+  Alcotest.(check bool) "some members flip at n=8" true (!flips > 0)
+
+(* ---- satellite 1: cross_key = key_two . cross_one_cycle, every n ---- *)
+
+let qtest_cross_key_property =
+  let open QCheck2 in
+  Test.make ~name:"cross_key agrees with key_two of cross_one_cycle (all supported n)" ~count:300
+    Gen.(pair (Arena.min_n -- Arena.max_n) (0 -- 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      (* A random cycle through all n vertices, not necessarily canonical:
+         the key functions must agree on raw traversals too. *)
+      let cyc = Rng.permutation rng n in
+      let i = Rng.int rng n and j = Rng.int rng n in
+      let i, j = (min i j, max i j) in
+      if j - i < 3 || n - (j - i) < 3 then QCheck2.assume_fail ()
+      else
+        let expect = Arena.key_two (Census.cross_one_cycle cyc i j) in
+        Arena.cross_key cyc i j = expect)
+
+let qtest_cross_key_packed_property =
+  let open QCheck2 in
+  Test.make ~name:"cross_key_packed agrees beyond the word-key range" ~count:150
+    Gen.(pair (14 -- 18) (0 -- 1_000_000))
+    (fun (n, seed) ->
+      let rng = Rng.create ~seed in
+      let cyc = Rng.permutation rng n in
+      let i = Rng.int rng n and j = Rng.int rng n in
+      let i, j = (min i j, max i j) in
+      if j - i < 3 || n - (j - i) < 3 then QCheck2.assume_fail ()
+      else
+        let expect = Arena.key_two_packed ~n (Census.cross_one_cycle cyc i j) in
+        String.equal (Arena.cross_key_packed ~n cyc i j) expect)
+
+(* ---- satellite 2: Hall witness on a constructed violation ---- *)
+
+let test_hall_witness () =
+  (* Three live left vertices funneling into one right vertex: any
+     sampled S with |S| >= 2 violates |N(S)| >= |S| at k = 1. The
+     witness must be a genuine violation, not just nonempty. *)
+  let dummy = Cycles.make [ [| 0; 1; 2 |] ] in
+  let g =
+    { Indist_graph.n = 3; x = "x"; y = "y";
+      v1 = Array.make 3 dummy; v2 = Array.make 1 dummy;
+      adj = [| [| 0 |]; [| 0 |]; [| 0 |] |]; radj = [| [| 0; 1; 2 |] |] }
+  in
+  match Indist_graph.hall_condition_sampled ~samples:100 (Rng.create ~seed:3) g ~k:1 with
+  | Ok () -> Alcotest.fail "constructed violation not found"
+  | Error s ->
+    Alcotest.(check bool) "witness nonempty" true (s <> []);
+    List.iter
+      (fun i -> Alcotest.(check bool) "witness indexes live v1" true (i >= 0 && i < 3))
+      s;
+    let neighbours = List.sort_uniq Int.compare (List.concat_map (fun i -> Array.to_list g.Indist_graph.adj.(i)) s) in
+    Alcotest.(check bool) "witness violates |N(S)| >= k|S|" true
+      (List.length neighbours < 1 * List.length s)
+
+let test_hall_passes_when_satisfied () =
+  (* A perfect matching satisfies Hall for k = 1: no witness exists. *)
+  let dummy = Cycles.make [ [| 0; 1; 2 |] ] in
+  let g =
+    { Indist_graph.n = 3; x = "x"; y = "y";
+      v1 = Array.make 3 dummy; v2 = Array.make 3 dummy;
+      adj = [| [| 0 |]; [| 1 |]; [| 2 |] |]; radj = [| [| 0 |]; [| 1 |]; [| 2 |] |] }
+  in
+  match Indist_graph.hall_condition_sampled ~samples:100 (Rng.create ~seed:3) g ~k:1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "no violation exists in a perfect matching"
+
+(* ---- the segmented store: cold build, warm reopen, corruption ---- *)
+
+let test_orbit_store_cold_warm () =
+  let root = fresh_root () in
+  let n = 8 in
+  let cold = Arena.Orbit.create ~root ~n () in
+  Alcotest.(check bool) "cold build" false (Arena.Orbit.warm cold);
+  Alcotest.(check int) "total weight = |V1|" (Census.num_one_cycles ~n)
+    (Arena.Orbit.total_weight cold);
+  let arena = Arena.create ~n in
+  let atlas = Arena.orbit_one arena in
+  Alcotest.(check int) "n_reps matches atlas" (Array.length atlas.Arena.reps)
+    (Arena.Orbit.n_reps cold);
+  (* Streamed records are the representatives' cycles, census order. *)
+  let i = ref 0 in
+  Arena.Orbit.iter cold (fun cyc ~weight ->
+      let r = !i in
+      incr i;
+      Alcotest.(check bool)
+        (Printf.sprintf "rep %d cycle" r)
+        true
+        (cyc = Arena.one_cycle arena atlas.Arena.reps.(r));
+      Alcotest.(check int) (Printf.sprintf "rep %d weight" r) atlas.Arena.weights.(r) weight);
+  Alcotest.(check int) "streamed all reps" (Arena.Orbit.n_reps cold) !i;
+  (* A second open of the same root must come back warm with identical
+     content (byte-for-byte segments, so just recheck the stream). *)
+  let warm = Arena.Orbit.create ~root ~n () in
+  Alcotest.(check bool) "warm reopen" true (Arena.Orbit.warm warm);
+  Alcotest.(check int) "warm n_reps" (Arena.Orbit.n_reps cold) (Arena.Orbit.n_reps warm);
+  let j = ref 0 in
+  Arena.Orbit.iter warm (fun cyc ~weight ->
+      let r = !j in
+      incr j;
+      Alcotest.(check bool) "warm cycle" true (cyc = Arena.one_cycle arena atlas.Arena.reps.(r));
+      Alcotest.(check int) "warm weight" atlas.Arena.weights.(r) weight);
+  Alcotest.(check int) "warm streamed all" !i !j
+
+let test_orbit_store_corruption () =
+  (* Flipping a byte in a segment must not produce silently wrong
+     records: the CRC check forces a rebuild (cold, correct content). *)
+  let root = fresh_root () in
+  let n = 7 in
+  let s0 = Arena.Orbit.create ~root ~n () in
+  let reps = Arena.Orbit.n_reps s0 in
+  let seg =
+    let rec find dir =
+      Array.fold_left
+        (fun acc name ->
+          let p = Filename.concat dir name in
+          if Sys.is_directory p then (match acc with None -> find p | some -> some)
+          else if Filename.check_suffix name ".bin" then Some p
+          else acc)
+        None (Sys.readdir dir)
+    in
+    match find root with
+    | Some p -> p
+    | None -> Alcotest.fail "no segment file under the spill root"
+  in
+  let ic = open_in_bin seg in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  let corrupted = Bytes.of_string body in
+  Bytes.set corrupted (len / 2) (Char.chr (Char.code (Bytes.get corrupted (len / 2)) lxor 0xff));
+  let oc = open_out_bin seg in
+  output_bytes oc corrupted;
+  close_out oc;
+  (* A byte flip preserves the sizes the warm open checks, so the reopen
+     succeeds — but the lazy CRC at first load must refuse to stream
+     corrupt records and wipe the store for the next open to rebuild. *)
+  let reopened = Arena.Orbit.create ~root ~n () in
+  Alcotest.(check bool) "size-preserving corruption opens warm" true (Arena.Orbit.warm reopened);
+  Alcotest.(check bool) "iteration detects the bad checksum" true
+    (try
+       Arena.Orbit.iter reopened (fun _ ~weight:_ -> ());
+       false
+     with Failure _ -> true);
+  let rebuilt = Arena.Orbit.create ~root ~n () in
+  Alcotest.(check bool) "rebuild is cold" false (Arena.Orbit.warm rebuilt);
+  Alcotest.(check int) "rebuilt rep count" reps (Arena.Orbit.n_reps rebuilt);
+  Alcotest.(check int) "rebuilt weight" (Census.num_one_cycles ~n)
+    (Arena.Orbit.total_weight rebuilt)
+
+(* ---- Bits.Seq packed round-trip + CRC vector (the segment codec) ---- *)
+
+let qtest_seq_packed_roundtrip =
+  let open QCheck2 in
+  Test.make ~name:"Bits.Seq packed string round-trips" ~count:300
+    Gen.(pair (0 -- 130) (0 -- 1_000_000))
+    (fun (len, seed) ->
+      let rng = Rng.create ~seed in
+      let s = Bits.Seq.create () in
+      for _ = 1 to len do
+        Bits.Seq.append_bit s (Rng.bool rng)
+      done;
+      let packed = Bits.Seq.to_packed_string s in
+      String.length packed = ((len + 7) / 8)
+      && Bits.Seq.equal s (Bits.Seq.of_packed_string ~len packed))
+
+let test_crc32_vector () =
+  (* The standard CRC-32 check value. *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "sub agrees" (Crc32.string "456") (Crc32.string_sub "123456789" 3 3)
+
+(* ---- the anonymous family: correctness + rotation equivariance ---- *)
+
+let test_adjacency_broadcast_exact () =
+  let n = 7 in
+  let algo = Bcclb_algorithms.Adjacency_broadcast.connectivity () in
+  Alcotest.(check bool) "declared anonymous" true (Algo.anonymous algo);
+  let r = Hard_distribution.exact_error algo ~n in
+  Alcotest.(check bool) "exact on the hard distribution" true
+    (Bcclb_bignum.Ratio.is_zero r.Hard_distribution.error)
+
+let test_adjacency_broadcast_rotation_equivariant () =
+  (* sent_{rho_c(G)}(v + c) = sent_G(v) on the circulant wiring: the
+     property every orbit-reduced path rests on, checked by execution
+     over random cycles, shifts and depths. *)
+  let n = 8 in
+  let rng = Rng.create ~seed:91 in
+  List.iter
+    (fun t ->
+      let algo = anonymous ~rounds:t in
+      for _ = 1 to 10 do
+        let perm = Rng.permutation rng n in
+        let c = 1 + Rng.int rng (n - 1) in
+        let rotated = Array.map (fun v -> (v + c) mod n) perm in
+        let sent g = Simulator.run_sent_codes algo (Instance.kt0_circulant (Cycles.to_graph ~n (Cycles.make [ g ]))) in
+        let base = sent perm and rot = sent rotated in
+        for v = 0 to n - 1 do
+          Alcotest.(check int)
+            (Printf.sprintf "t=%d c=%d v=%d" t c v)
+            base.(v)
+            rot.((v + c) mod n)
+        done
+      done)
+    [ 0; 1; 2; 3 ]
+
+let test_id_reading_not_equivariant_gate () =
+  (* The soundness gate: the ID-reading family must NOT be routed
+     through the orbit paths at t >= 1, while t = 0 and the anonymous
+     family are. *)
+  let n = 8 in
+  Alcotest.(check bool) "anonymous t=3 applicable" true
+    (Indist_graph.orbit_applicable (anonymous ~rounds:3) ~n);
+  Alcotest.(check bool) "id-reading t=0 applicable" true
+    (Indist_graph.orbit_applicable (id_reading ~rounds:0) ~n);
+  Alcotest.(check bool) "id-reading t=1 NOT applicable" false
+    (Indist_graph.orbit_applicable (id_reading ~rounds:1) ~n)
+
+(* ---- orbit-reduced builds: parity with the packed path ---- *)
+
+let test_build_orbit_parity () =
+  let n = 8 in
+  List.iter
+    (fun t ->
+      let algo = anonymous ~rounds:t in
+      let o = Indist_graph.build_orbit algo ~n () in
+      let p = Indist_graph.build_packed algo ~n () in
+      Alcotest.(check string) (Printf.sprintf "x t=%d" t) p.Indist_graph.x o.Indist_graph.x;
+      Alcotest.(check string) (Printf.sprintf "y t=%d" t) p.Indist_graph.y o.Indist_graph.y;
+      Alcotest.(check bool) (Printf.sprintf "adj t=%d" t) true (o.Indist_graph.adj = p.Indist_graph.adj);
+      Alcotest.(check bool) (Printf.sprintf "radj t=%d" t) true (o.Indist_graph.radj = p.Indist_graph.radj))
+    (* t=3 has x <> y at n=8, exercising the orientation-flip row swap. *)
+    [ 0; 1; 3 ]
+
+let test_build_full_orbit_parity () =
+  let n = 8 in
+  List.iter
+    (fun t ->
+      let algo = anonymous ~rounds:t in
+      let o = Indist_graph.build_full_orbit algo ~n () in
+      let p = Indist_graph.build_full_packed algo ~n () in
+      Alcotest.(check bool) (Printf.sprintf "adj t=%d" t) true (o.Indist_graph.adj = p.Indist_graph.adj);
+      Alcotest.(check bool) (Printf.sprintf "radj t=%d" t) true (o.Indist_graph.radj = p.Indist_graph.radj))
+    [ 0; 2; 3 ]
+
+let test_build_dispatch_through_orbit () =
+  (* The public build/build_full must route the anonymous family through
+     the orbit path and still agree with the reference implementation. *)
+  let n = 7 in
+  let algo = anonymous ~rounds:2 in
+  let g = Indist_graph.build_full algo ~n () in
+  let r = Indist_graph.build_full_reference algo ~n () in
+  Alcotest.(check bool) "dispatch parity" true (g.Indist_graph.adj = r.Indist_graph.adj)
+
+(* ---- quotient streaming parity ---- *)
+
+let test_quotient_parity () =
+  let root = fresh_root () in
+  let n = 8 in
+  List.iter
+    (fun t ->
+      let algo = anonymous ~rounds:t in
+      let s = Quotient.full_stats ~root algo ~n () in
+      let g = Indist_graph.build_full_packed algo ~n () in
+      let degrees = Array.map Array.length g.Indist_graph.adj in
+      Alcotest.(check int) (Printf.sprintf "v1 t=%d" t) (Census.num_one_cycles ~n) s.Quotient.v1;
+      Alcotest.(check int) (Printf.sprintf "v2 t=%d" t) (Array.length g.Indist_graph.v2) s.Quotient.v2;
+      Alcotest.(check int) (Printf.sprintf "edges t=%d" t) (Indist_graph.num_edges g) s.Quotient.edges;
+      Alcotest.(check int)
+        (Printf.sprintf "isolated t=%d" t)
+        (Array.fold_left (fun acc d -> if d = 0 then acc + 1 else acc) 0 degrees)
+        s.Quotient.isolated_v1;
+      Alcotest.(check int)
+        (Printf.sprintf "max degree t=%d" t)
+        (Array.fold_left max 0 degrees) s.Quotient.max_degree_v1;
+      Alcotest.(check int)
+        (Printf.sprintf "min live degree t=%d" t)
+        (Array.fold_left (fun acc d -> if d > 0 && (acc = 0 || d < acc) then d else acc) 0 degrees)
+        s.Quotient.min_live_degree;
+      (* Closed-form |T_i| agrees with the census-level counts. *)
+      List.iter
+        (fun (i, c) ->
+          Alcotest.(check (option int)) (Printf.sprintf "T_%d" i) (Some c)
+            (List.assoc_opt i s.Quotient.t_i))
+        (Census.t_i_counts ~n))
+    [ 0; 2 ]
+
+let test_quotient_rejects_unsound () =
+  let root = fresh_root () in
+  Alcotest.(check bool) "raises on id-reading t>=1" true
+    (try
+       ignore (Quotient.full_stats ~root (id_reading ~rounds:2) ~n:7 ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- check_reps: weighted census sweep ---- *)
+
+let test_check_reps_weighted () =
+  let n = 7 in
+  List.iter
+    (fun t ->
+      let algo = anonymous ~rounds:t in
+      let r = Crossing_check.check_reps ~verify:`Off algo ~n in
+      Alcotest.(check int) (Printf.sprintf "instances t=%d" t) (Census.num_one_cycles ~n)
+        r.Crossing_check.instances;
+      Alcotest.(check int) (Printf.sprintf "violations t=%d" t) 0 r.Crossing_check.violations;
+      (* Weighted crossable count = |V1| * n(n-5)/2 per the t=0 degree
+         census (independent same-orientation pairs, both arcs >= 3). *)
+      Alcotest.(check int)
+        (Printf.sprintf "crossable weighted t=%d" t)
+        (Census.num_one_cycles ~n * (n * (n - 5) / 2))
+        r.Crossing_check.crossable_pairs;
+      let sampled = Crossing_check.check_reps ~verify:(`Sampled 4) algo ~n in
+      Alcotest.(check int) "sampled agrees on crossable" r.Crossing_check.crossable_pairs
+        sampled.Crossing_check.crossable_pairs;
+      Alcotest.(check int) "sampled agrees on same-label" r.Crossing_check.same_label_pairs
+        sampled.Crossing_check.same_label_pairs;
+      Alcotest.(check int) "sampled sees no violations" 0 sampled.Crossing_check.violations;
+      Alcotest.(check bool) "execution is per-rep" true
+        (sampled.Crossing_check.executed < Census.num_one_cycles ~n))
+    [ 0; 2 ]
+
+let test_check_reps_rejects_unsound () =
+  Alcotest.(check bool) "raises on id-reading t>=1" true
+    (try
+       ignore (Crossing_check.check_reps (id_reading ~rounds:1) ~n:7);
+       false
+     with Invalid_argument _ -> true)
+
+let suites =
+  [ Alcotest.test_case "census orbit weights" `Quick test_census_orbit_weights;
+    Alcotest.test_case "census orbit partition" `Quick test_census_orbit_partition;
+    Alcotest.test_case "arena orbit atlas" `Quick test_arena_orbit_atlas;
+    Alcotest.test_case "arena flip_of orientation" `Quick test_arena_flip_of_orientation;
+    Alcotest.test_case "Hall witness violates" `Quick test_hall_witness;
+    Alcotest.test_case "Hall holds on matching" `Quick test_hall_passes_when_satisfied;
+    Alcotest.test_case "orbit store cold/warm" `Quick test_orbit_store_cold_warm;
+    Alcotest.test_case "orbit store corruption" `Quick test_orbit_store_corruption;
+    Alcotest.test_case "crc32 vector" `Quick test_crc32_vector;
+    Alcotest.test_case "adjacency broadcast exact" `Slow test_adjacency_broadcast_exact;
+    Alcotest.test_case "rotation equivariance" `Slow test_adjacency_broadcast_rotation_equivariant;
+    Alcotest.test_case "orbit applicability gate" `Quick test_id_reading_not_equivariant_gate;
+    Alcotest.test_case "build_orbit = build_packed" `Slow test_build_orbit_parity;
+    Alcotest.test_case "build_full_orbit = build_full_packed" `Slow test_build_full_orbit_parity;
+    Alcotest.test_case "dispatch routes orbit" `Slow test_build_dispatch_through_orbit;
+    Alcotest.test_case "quotient streaming parity" `Slow test_quotient_parity;
+    Alcotest.test_case "quotient soundness gate" `Quick test_quotient_rejects_unsound;
+    Alcotest.test_case "check_reps weighted sweep" `Slow test_check_reps_weighted;
+    Alcotest.test_case "check_reps soundness gate" `Quick test_check_reps_rejects_unsound ]
+
+let qsuites = [ qtest_cross_key_property; qtest_cross_key_packed_property; qtest_seq_packed_roundtrip ]
