@@ -59,13 +59,13 @@ let relative_edges st ~known_ports =
    promise, a NO instance. A known subgraph that already connects all n
    relative positions certifies YES. Otherwise guess. *)
 let infer ~n ~optimist edges =
-  let uf = Union_find.create n in
+  let uf = Conn.create n in
   let known = List.length edges in
   let short_cycle = ref false in
   List.iter
-    (fun (u, v) -> if (not (Union_find.union uf u v)) && known < n then short_cycle := true)
+    (fun (u, v) -> if (not (Conn.union uf u v)) && known < n then short_cycle := true)
     edges;
-  if !short_cycle then false else if Union_find.components uf = 1 then true else optimist
+  if !short_cycle then false else if Conn.components uf = 1 then true else optimist
 
 let make ~name ~optimist =
   let rounds ~n = n - 1 in

@@ -70,12 +70,12 @@ let total_rounds ~n params = params.phases * params.copies * sampler_bits ~n ~ch
 (* The local Boruvka every vertex runs identically once it has all n
    sketch families. samplers.(v).(k): vertex v's k-th sampler. *)
 let local_components ~n params samplers =
-  let uf = Union_find.create n in
+  let uf = Conn.create n in
   for phase = 0 to params.phases - 1 do
     (* Component roots and their member lists. *)
     let members = Hashtbl.create 16 in
     for v = 0 to n - 1 do
-      let root = Union_find.find uf v in
+      let root = Conn.find uf v in
       Hashtbl.replace members root (v :: Option.value ~default:[] (Hashtbl.find_opt members root))
     done;
     if Hashtbl.length members > 1 then
@@ -96,8 +96,8 @@ let local_components ~n params samplers =
                   let u, v = Edge_coding.decode ~n e in
                   (* Sanity: a genuine boundary edge has exactly one
                      endpoint inside this component. *)
-                  let inside w = Union_find.same uf w (List.hd vs) in
-                  if inside u <> inside v then ignore (Union_find.union uf u v) else attempt (c + 1)
+                  let inside w = Conn.same uf w (List.hd vs) in
+                  if inside u <> inside v then ignore (Conn.union uf u v) else attempt (c + 1)
                 | None -> attempt (c + 1))
             end
           in
@@ -167,12 +167,12 @@ let make ~name ~finish_of_uf =
 let connectivity () =
   Algo.pack
     (make ~name:"agm-sketch-connectivity" ~finish_of_uf:(fun _st ~me:_ uf ->
-         Union_find.components uf = 1))
+         Conn.components uf = 1))
 
 let components () =
   Algo.pack
     (make ~name:"agm-sketch-components" ~finish_of_uf:(fun st ~me uf ->
          (* Label: the smallest member ID of our component. *)
          let all = View.all_ids st.view in
-         let labels = Union_find.labels uf in
+         let labels = Conn.labels uf in
          all.(labels.(me))))

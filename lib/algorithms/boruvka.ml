@@ -53,25 +53,20 @@ let merge st pairs =
   let index = Array.of_seq (Seq.map fst (Sp.to_seq all_labels)) in
   let pos = Hashtbl.create 16 in
   Array.iteri (fun i lbl -> Hashtbl.add pos lbl i) index;
-  let uf = Union_find.create (Array.length index) in
+  let links = ref [] in
   List.iter
     (fun (lbl, mf) ->
       if mf <> 0 then begin
         match (Hashtbl.find_opt pos lbl, Hashtbl.find_opt pos mf) with
-        | Some a, Some b -> ignore (Union_find.union uf a b)
+        | Some a, Some b when a <> b -> links := (a, b) :: !links
         | _ -> ()
       end)
     pairs;
-  (* New label of a class: the minimum old label in it. *)
-  let class_min = Hashtbl.create 16 in
-  Array.iteri
-    (fun i lbl ->
-      let root = Union_find.find uf i in
-      match Hashtbl.find_opt class_min root with
-      | None -> Hashtbl.add class_min root lbl
-      | Some m -> if lbl < m then Hashtbl.replace class_min root lbl)
-    index;
-  let relabel lbl = Hashtbl.find class_min (Union_find.find uf (Hashtbl.find pos lbl)) in
+  (* Bulk component labels over label indices. [index] is sorted, so the
+     canonical smallest-index label of a class is also its minimum old
+     label — the new label of every class member. *)
+  let cls = Graph.components_of_edges ~n:(Array.length index) (Array.of_list !links) in
+  let relabel lbl = index.(cls.(Hashtbl.find pos lbl)) in
   let updated = Hashtbl.create (Hashtbl.length st.labels) in
   Hashtbl.iter (fun id lbl -> Hashtbl.add updated id (relabel lbl)) st.labels;
   { st with labels = updated }

@@ -221,12 +221,12 @@ let connectivity_partial ~knowledge ~max_degree ~rounds ~optimist =
       edges;
     (* Closing a cycle with fewer than n known edges certifies that some
        cycle shorter than n exists: a NO-certificate for TwoCycle. *)
-    let uf = Bcclb_graph.Union_find.create (n + 1) in
+    let uf = Bcclb_graph.Conn.create (n + 1) in
     let short_cycle = ref false in
     let known = List.length !distinct in
     List.iter
       (fun (u, v) ->
-        if (not (Bcclb_graph.Union_find.union uf u v)) && known < n then short_cycle := true)
+        if (not (Bcclb_graph.Conn.union uf u v)) && known < n then short_cycle := true)
       !distinct;
     if !short_cycle then { connected = false; component = View.id st.view }
     else { connected = optimist; component = View.id st.view }

@@ -68,12 +68,12 @@ let make ~k () =
     (* Union hashed endpoints: every sender's hash with both of its
        neighbour hashes, plus our own. *)
     let buckets = 1 lsl st.k in
-    let uf = Union_find.create buckets in
+    let uf = Conn.create buckets in
     let touched = Array.make buckets false in
     let link h1 h2 =
       touched.(h1) <- true;
       touched.(h2) <- true;
-      ignore (Union_find.union uf h1 h2)
+      ignore (Conn.union uf h1 h2)
     in
     List.iter (fun h -> link st.hash h) (neighbor_hashes st);
     for p = 0 to View.num_ports st.view - 1 do
@@ -88,7 +88,7 @@ let make ~k () =
     let connected = ref true in
     for h = 0 to buckets - 1 do
       if touched.(h) then begin
-        let r = Union_find.find uf h in
+        let r = Conn.find uf h in
         if !root = -1 then root := r else if r <> !root then connected := false
       end
     done;

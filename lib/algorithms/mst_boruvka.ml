@@ -77,25 +77,20 @@ let merge st pairs =
     Hashtbl.iter (fun lbl () -> order := lbl :: !order) all_labels;
     let order = Array.of_list (List.sort Int.compare !order) in
     Array.iteri (fun i lbl -> Hashtbl.add index lbl i) order;
-    let uf = Union_find.create (Array.length order) in
+    let links = ref [] in
     let new_edges = ref [] in
     Hashtbl.iter
       (fun lbl (_w, sender, out) ->
         let other = Hashtbl.find st.labels out in
         (match (Hashtbl.find_opt index lbl, Hashtbl.find_opt index other) with
-        | Some a, Some b -> ignore (Union_find.union uf a b)
+        | Some a, Some b when a <> b -> links := (a, b) :: !links
         | _ -> ());
         new_edges := (min sender out, max sender out) :: !new_edges)
       best_of_label;
-    let class_min = Hashtbl.create 16 in
-    Array.iteri
-      (fun i lbl ->
-        let root = Union_find.find uf i in
-        match Hashtbl.find_opt class_min root with
-        | None -> Hashtbl.add class_min root lbl
-        | Some m -> if lbl < m then Hashtbl.replace class_min root lbl)
-      order;
-    let relabel lbl = Hashtbl.find class_min (Union_find.find uf (Hashtbl.find index lbl)) in
+    (* Bulk component labels over label indices. [order] is sorted, so a
+       class's canonical smallest-index label is its minimum old label. *)
+    let cls = Graph.components_of_edges ~n:(Array.length order) (Array.of_list !links) in
+    let relabel lbl = order.(cls.(Hashtbl.find index lbl)) in
     let updated = Hashtbl.create (Hashtbl.length st.labels) in
     Hashtbl.iter (fun id lbl -> Hashtbl.add updated id (relabel lbl)) st.labels;
     (* Two components may choose the same edge (from both sides):

@@ -74,16 +74,16 @@ let connectivity2_protocol ~n =
         match (round, received) with
         | 2, [ msg ] ->
           let labels = Array.of_list (Protocol.decode_ints ~width:w msg) in
-          let uf = Bcclb_graph.Union_find.create n in
-          Array.iteri (fun v l -> ignore (Bcclb_graph.Union_find.union uf v l)) labels;
-          List.iter (fun (u, v) -> ignore (Bcclb_graph.Union_find.union uf u v)) edges_b;
-          if Bcclb_graph.Union_find.components uf = 1 then "1" else "0"
+          let uf = Bcclb_graph.Conn.create n in
+          Array.iteri (fun v l -> ignore (Bcclb_graph.Conn.union uf v l)) labels;
+          List.iter (fun (u, v) -> ignore (Bcclb_graph.Conn.union uf u v)) edges_b;
+          if Bcclb_graph.Conn.components uf = 1 then "1" else "0"
         | _ -> "");
     output_a = (fun _ ~received -> List.nth received 1 = "1");
     output_b =
       (fun edges_b ~received ->
         let labels = Array.of_list (Protocol.decode_ints ~width:w (List.hd received)) in
-        let uf = Bcclb_graph.Union_find.create n in
-        Array.iteri (fun v l -> ignore (Bcclb_graph.Union_find.union uf v l)) labels;
-        List.iter (fun (u, v) -> ignore (Bcclb_graph.Union_find.union uf u v)) edges_b;
-        Bcclb_graph.Union_find.components uf = 1) }
+        let uf = Bcclb_graph.Conn.create n in
+        Array.iteri (fun v l -> ignore (Bcclb_graph.Conn.union uf v l)) labels;
+        List.iter (fun (u, v) -> ignore (Bcclb_graph.Conn.union uf u v)) edges_b;
+        Bcclb_graph.Conn.components uf = 1) }

@@ -1,0 +1,271 @@
+module Rng = Bcclb_util.Rng
+module Metrics = Bcclb_obs.Metrics
+module Mclock = Bcclb_obs.Mclock
+module Json = Bcclb_harness.Json
+
+type config = {
+  connect : Addr.t;
+  clients : int;
+  queries : int;
+  batch : int;
+  gen_n : int;
+  gen_edges : int;
+  seed : int;
+}
+
+let config ~connect ~clients ~queries ~batch ~gen_n ~gen_edges ~seed =
+  let check flag v =
+    if v < 1 then Error (Printf.sprintf "%s must be >= 1 (got %d)" flag v) else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = check "--clients" clients in
+  let* () = check "--queries" queries in
+  let* () = check "--batch" batch in
+  let* () = check "--gen" gen_n in
+  let* () = check "--gen-edges" gen_edges in
+  Ok { connect; clients; queries; batch; gen_n; gen_edges; seed }
+
+(* {2 Client plumbing} *)
+
+let connect_to addr =
+  match Unix.socket ~cloexec:true (Addr.domain addr) Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "load: socket: %s" (Unix.error_message err))
+  | fd -> (
+    try
+      Unix.connect fd (Addr.sockaddr addr);
+      Ok fd
+    with Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "load: cannot connect to %s: %s" (Addr.to_string addr)
+           (Unix.error_message err)))
+
+(* One round trip: request frame out, response frame back. *)
+let rpc fd req =
+  match Wire.write_frame fd (Qmsg.request_payload req) with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error (Printf.sprintf "load: write: %s" (Unix.error_message err))
+  | () -> (
+    match Wire.read_frame fd with
+    | Error e -> Error ("load: " ^ Wire.error_to_string e)
+    | Ok payload -> Qmsg.response_of_payload payload)
+
+(* {2 Trace replay} *)
+
+let request_of_trace_line line =
+  let bad () = Error (Printf.sprintf "bad trace line %S" (String.trim line)) in
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Ok None
+  else begin
+    let toks = List.filter (fun s -> s <> "") (String.split_on_char ' ' line) in
+    let int s k = match int_of_string_opt s with Some v -> k v | None -> bad () in
+    match toks with
+    | "load" :: n :: rest ->
+      int n (fun n ->
+          let parse_edge tok =
+            match String.index_opt tok '-' with
+            | None -> None
+            | Some i -> (
+              let u = String.sub tok 0 i in
+              let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+              match (int_of_string_opt u, int_of_string_opt v) with
+              | Some u, Some v -> Some (u, v)
+              | _ -> None)
+          in
+          let edges = List.map parse_edge rest in
+          if List.exists Option.is_none edges then bad ()
+          else
+            Ok (Some (Qmsg.Load { n; edges = Array.of_list (List.filter_map Fun.id edges) })))
+    | [ "union"; u; v ] -> int u (fun u -> int v (fun v -> Ok (Some (Qmsg.Union (u, v)))))
+    | [ "connected"; u; v ] -> int u (fun u -> int v (fun v -> Ok (Some (Qmsg.Connected (u, v)))))
+    | [ "component"; v ] -> int v (fun v -> Ok (Some (Qmsg.Component v)))
+    | [ "stats" ] -> Ok (Some Qmsg.Stats)
+    | _ -> bad ()
+  end
+
+let replay ~connect ~file ~dump =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error e -> Error ("load: " ^ e)
+  | contents -> (
+    match connect_to connect with
+    | Error e -> Error e
+    | Ok fd ->
+      let finish r =
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        r
+      in
+      let rec go sent = function
+        | [] -> finish (Ok sent)
+        | line :: rest -> (
+          match request_of_trace_line line with
+          | Error e -> finish (Error e)
+          | Ok None -> go sent rest
+          | Ok (Some req) -> (
+            match rpc fd req with
+            | Error e -> finish (Error e)
+            | Ok resp ->
+              (match dump with Some f -> f (Qmsg.response_text resp) | None -> ());
+              go (sent + 1) rest))
+      in
+      go 0 (String.split_on_char '\n' contents))
+
+(* {2 Load generation} *)
+
+type client_result = { sent : int; connected_true : int; failure : string option }
+
+(* Each client draws from its own deterministic stream; request [idx]
+   is a [Union] every 1024th query (so the mutation path stays hot) and
+   a [Connected] probe otherwise. *)
+let client_worker (c : config) i count =
+  match connect_to c.connect with
+  | Error e -> { sent = 0; connected_true = 0; failure = Some e }
+  | Ok fd ->
+    let rng = Rng.create ~seed:(c.seed + (7919 * (i + 1))) in
+    let hist = Metrics.Histogram.v "load.batch_seconds" in
+    let sent = ref 0 and ctrue = ref 0 and failure = ref None in
+    (try
+       while !sent < count && !failure = None do
+         let k = min c.batch (count - !sent) in
+         let reqs = Array.make k Qmsg.Stats in
+         for j = 0 to k - 1 do
+           let u = Rng.int rng c.gen_n in
+           let v = Rng.int rng c.gen_n in
+           reqs.(j) <-
+             (if (!sent + j) mod 1024 = 0 then Qmsg.Union (u, v) else Qmsg.Connected (u, v))
+         done;
+         let elapsed = Mclock.counter () in
+         match rpc fd (Qmsg.Batch reqs) with
+         | Error e -> failure := Some e
+         | Ok (Qmsg.Ok_batch resps) ->
+           Metrics.Histogram.observe hist (elapsed ());
+           Array.iter
+             (fun (r : Qmsg.response) ->
+               match r with
+               | Qmsg.Ok_connected true -> incr ctrue
+               | Qmsg.Ok_connected false | Qmsg.Ok_union _ -> ()
+               | Qmsg.Err e -> if !failure = None then failure := Some ("load: server: " ^ e)
+               | r ->
+                 if !failure = None then
+                   failure := Some ("load: unexpected batch element: " ^ Qmsg.response_text r))
+             resps;
+           sent := !sent + k
+         | Ok r -> failure := Some ("load: unexpected response: " ^ Qmsg.response_text r)
+       done
+     with e -> failure := Some ("load: " ^ Printexc.to_string e));
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    { sent = !sent; connected_true = !ctrue; failure = !failure }
+
+let hist_json (h : Metrics.hist) =
+  Json.Obj
+    [ ("count", Json.Int h.count);
+      ("sum", Json.Float h.sum);
+      ("mean", Json.Float (Metrics.hist_mean h));
+      ("p50", Json.Float (Metrics.quantile h 0.5));
+      ("p90", Json.Float (Metrics.quantile h 0.9));
+      ("p99", Json.Float (Metrics.quantile h 0.99)) ]
+
+let find_hist name =
+  List.find_map
+    (fun (n, v) ->
+      match v with Metrics.Histogram h when n = name -> Some h | _ -> None)
+    (Metrics.snapshot ())
+
+let run (c : config) =
+  let rng = Rng.create ~seed:c.seed in
+  let edges = Array.make c.gen_edges (0, 0) in
+  for i = 0 to c.gen_edges - 1 do
+    let u = Rng.int rng c.gen_n in
+    let v = Rng.int rng c.gen_n in
+    edges.(i) <- (u, v)
+  done;
+  match connect_to c.connect with
+  | Error e -> Error e
+  | Ok fd ->
+    let finish r =
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      r
+    in
+    (match rpc fd (Qmsg.Load { n = c.gen_n; edges }) with
+    | Error e -> finish (Error e)
+    | Ok (Qmsg.Err e) -> finish (Error ("load: server: " ^ e))
+    | Ok (Qmsg.Loaded _) -> (
+      let counts =
+        Array.init c.clients (fun i ->
+            (c.queries / c.clients) + if i < c.queries mod c.clients then 1 else 0)
+      in
+      let elapsed = Mclock.counter () in
+      let doms = Array.mapi (fun i cnt -> Domain.spawn (fun () -> client_worker c i cnt)) counts in
+      let results = Array.map Domain.join doms in
+      let wall = elapsed () in
+      match Array.to_list results |> List.find_map (fun r -> r.failure) with
+      | Some e -> finish (Error e)
+      | None -> (
+        let sent = Array.fold_left (fun a r -> a + r.sent) 0 results in
+        let ctrue = Array.fold_left (fun a r -> a + r.connected_true) 0 results in
+        match rpc fd Qmsg.Stats with
+        | Error e -> finish (Error e)
+        | Ok (Qmsg.Ok_stats s) ->
+          let opt_hist = function Some h -> hist_json h | None -> Json.Null in
+          finish
+            (Ok
+               (Json.Obj
+                  [ ("schema", Json.Str "bcclb-serve-bench-v1");
+                    ("connect", Json.Str (Addr.to_string c.connect));
+                    ("clients", Json.Int c.clients);
+                    ("batch", Json.Int c.batch);
+                    ("gen_n", Json.Int c.gen_n);
+                    ("gen_edges", Json.Int c.gen_edges);
+                    ("seed", Json.Int c.seed);
+                    ("queries", Json.Int sent);
+                    ("connected_true", Json.Int ctrue);
+                    ("elapsed_seconds", Json.Float wall);
+                    ("qps", Json.Float (if wall > 0. then float_of_int sent /. wall else 0.));
+                    ( "client",
+                      Json.Obj [ ("batch_seconds", opt_hist (find_hist "load.batch_seconds")) ] );
+                    ( "server",
+                      Json.Obj
+                        [ ("n", Json.Int s.n);
+                          ("edges", Json.Int s.edges);
+                          ("components", Json.Int s.components);
+                          ("loads", Json.Int s.loads);
+                          ("unions", Json.Int s.unions);
+                          ("queries", Json.Int s.queries);
+                          ("latency_seconds", opt_hist s.latency) ]) ]))
+        | Ok r -> finish (Error ("load: unexpected stats response: " ^ Qmsg.response_text r))))
+    | Ok r -> finish (Error ("load: unexpected load response: " ^ Qmsg.response_text r)))
+
+(* {2 Prometheus-style summary for --qps-report} *)
+
+let qps_report report =
+  let buf = Buffer.create 512 in
+  let fnum f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.9g" f
+  in
+  let summary name node =
+    match node with
+    | Some (Json.Obj _ as h) ->
+      let field k = Option.bind (Json.member k h) Json.to_float_opt in
+      List.iter
+        (fun (q, k) ->
+          match field k with
+          | Some v -> Buffer.add_string buf (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name q (fnum v))
+          | None -> ())
+        [ ("0.5", "p50"); ("0.9", "p90"); ("0.99", "p99") ];
+      (match field "sum" with
+      | Some v -> Buffer.add_string buf (Printf.sprintf "%s_sum %s\n" name (fnum v))
+      | None -> ());
+      (match Option.bind (Json.member "count" h) Json.to_int_opt with
+      | Some v -> Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name v)
+      | None -> ())
+    | _ -> ()
+  in
+  summary "bcclb_serve_query_seconds"
+    (Option.bind (Json.member "server" report) (Json.member "latency_seconds"));
+  summary "bcclb_load_batch_seconds"
+    (Option.bind (Json.member "client" report) (Json.member "batch_seconds"));
+  (match Option.bind (Json.member "qps" report) Json.to_float_opt with
+  | Some v -> Buffer.add_string buf (Printf.sprintf "bcclb_load_qps %s\n" (fnum v))
+  | None -> ());
+  Buffer.contents buf

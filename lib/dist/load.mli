@@ -1,0 +1,57 @@
+(** Replay and load-generation client for {!Serve} ([experiments load]).
+
+    Two modes share the {!Qmsg}-over-{!Wire} client plumbing:
+
+    - {!replay} — read a textual query trace, fire each request on one
+      connection in order, and render each response with
+      {!Qmsg.response_text}: the deterministic surface the CI serve
+      smoke diffs against a golden file.
+    - {!run} — generate a random graph, [Load] it, then hammer the
+      server from [clients] client domains, each on its own connection
+      and deterministic {!Bcclb_util.Rng} stream, batching [batch]
+      requests per round trip. Returns the [BENCH_serve.json] report
+      (schema [bcclb-serve-bench-v1]): throughput, client batch
+      round-trip quantiles, and the server's own stats and per-query
+      latency histogram. *)
+
+type config = {
+  connect : Addr.t;
+  clients : int;
+  queries : int;  (** Total across all clients. *)
+  batch : int;  (** Requests per round trip. *)
+  gen_n : int;  (** Vertices of the generated graph. *)
+  gen_edges : int;  (** Random edges unioned into it by [Load]. *)
+  seed : int;
+}
+
+val config :
+  connect:Addr.t ->
+  clients:int ->
+  queries:int ->
+  batch:int ->
+  gen_n:int ->
+  gen_edges:int ->
+  seed:int ->
+  (config, string) result
+(** Validate: [clients], [queries], [batch], [gen_n] and [gen_edges]
+    must each be [>= 1]; the [Error] names the offending [--flag] in
+    the CLI's own words ([--clients must be >= 1 (got 0)]). *)
+
+val request_of_trace_line : string -> (Qmsg.request option, string) result
+(** Parse one trace line. [Ok None] for blank lines and [#] comments.
+    Forms: [load <n> <u>-<v> ...], [union <u> <v>],
+    [connected <u> <v>], [component <v>], [stats]. *)
+
+val replay :
+  connect:Addr.t -> file:string -> dump:(string -> unit) option -> (int, string) result
+(** Fire the trace at the server; [dump] receives one
+    {!Qmsg.response_text} line per request. Returns the number of
+    requests replayed. *)
+
+val run : config -> (Bcclb_harness.Json.t, string) result
+(** Execute the load phase and return the report. *)
+
+val qps_report : Bcclb_harness.Json.t -> string
+(** Prometheus-style rendering of the report's latency summaries
+    ([serve_query_seconds{quantile="0.5"} ...] lines plus [_sum] and
+    [_count]), for [--qps-report]. *)

@@ -1,0 +1,64 @@
+(* See the .mli for the Marshal audit; the framing CRC has already
+   vetted every payload byte, the tag vets the direction. *)
+
+type request =
+  | Load of { n : int; edges : (int * int) array }
+  | Union of int * int
+  | Connected of int * int
+  | Component of int
+  | Stats
+  | Batch of request array
+
+type stats = {
+  n : int;
+  edges : int;
+  components : int;
+  loads : int;
+  unions : int;
+  queries : int;
+  latency : Bcclb_obs.Metrics.hist option;
+}
+
+type response =
+  | Loaded of { n : int; edges : int }
+  | Ok_union of bool
+  | Ok_connected of bool
+  | Ok_component of int
+  | Ok_stats of stats
+  | Ok_batch of response array
+  | Err of string
+
+let tag_request = 'Q'
+let tag_response = 'R'
+
+let with_tag tag marshalled = String.make 1 tag ^ marshalled
+
+let request_payload (r : request) = with_tag tag_request (Marshal.to_string r [])
+let response_payload (r : response) = with_tag tag_response (Marshal.to_string r [])
+
+let decode ~expect ~what payload =
+  if String.length payload < 1 then Error (what ^ ": empty payload")
+  else if payload.[0] <> expect then
+    Error (Printf.sprintf "%s: wrong direction tag %C" what payload.[0])
+  else
+    match Marshal.from_string payload 1 with
+    | m -> Ok m
+    | exception _ -> Error (what ^ ": undecodable payload")
+
+let request_of_payload payload : (request, string) result =
+  decode ~expect:tag_request ~what:"request" payload
+
+let response_of_payload payload : (response, string) result =
+  decode ~expect:tag_response ~what:"response" payload
+
+let rec response_text = function
+  | Loaded { n; edges } -> Printf.sprintf "loaded n=%d edges=%d" n edges
+  | Ok_union merged -> Printf.sprintf "union %b" merged
+  | Ok_connected c -> Printf.sprintf "connected %b" c
+  | Ok_component l -> Printf.sprintf "component %d" l
+  | Ok_stats s ->
+    Printf.sprintf "stats n=%d edges=%d components=%d loads=%d unions=%d queries=%d" s.n s.edges
+      s.components s.loads s.unions s.queries
+  | Ok_batch rs ->
+    String.concat "; " (Array.to_list (Array.map response_text rs))
+  | Err m -> "error " ^ m

@@ -1,0 +1,57 @@
+(** Connectivity-query protocol spoken by [experiments serve].
+
+    Same transport discipline as {!Msg}: payloads are [Marshal] output
+    prefixed with a one-byte direction tag (['Q'] client->server, ['R']
+    server->client) and travel only inside {!Wire} frames, so the CRC
+    has vouched for every byte before [Marshal.from_string] sees it and
+    the tag catches a peer speaking the wrong direction (or the worker
+    protocol) on the socket.
+
+    [Batch] is the throughput workhorse: the server answers a batch with
+    one [Ok_batch] carrying the per-request responses in order, so a
+    load driver amortises a round trip over thousands of queries.
+    Batches do not nest. *)
+
+type request =
+  | Load of { n : int; edges : (int * int) array }
+      (** Replace the served graph with a fresh one on [n] vertices. *)
+  | Union of int * int  (** Merge two components in place. *)
+  | Connected of int * int
+  | Component of int
+      (** Canonical label of the vertex's component: its smallest
+          member. *)
+  | Stats
+  | Batch of request array
+
+type stats = {
+  n : int;  (** Vertices of the served graph (0 before any [Load]). *)
+  edges : int;  (** Edges supplied by the last [Load]. *)
+  components : int;
+  loads : int;  (** Requests served by this server, by kind... *)
+  unions : int;
+  queries : int;  (** ... where [Connected]/[Component] are queries. *)
+  latency : Bcclb_obs.Metrics.hist option;
+      (** Per-query service-time histogram ([serve.query_seconds]),
+          when the server's metrics registry has one. Process-wide, so
+          excluded from {!response_text}. *)
+}
+
+type response =
+  | Loaded of { n : int; edges : int }
+  | Ok_union of bool  (** [true] iff the union merged two components. *)
+  | Ok_connected of bool
+  | Ok_component of int
+  | Ok_stats of stats
+  | Ok_batch of response array
+  | Err of string
+
+val request_payload : request -> string
+val response_payload : response -> string
+
+val request_of_payload : string -> (request, string) result
+val response_of_payload : string -> (response, string) result
+
+val response_text : response -> string
+(** Deterministic one-line rendering for replay dumps and golden files
+    ([loaded n=4 edges=3], [connected true], [stats n=4 ...]); batch
+    elements are joined with ["; "]. Excludes the latency histogram. *)

@@ -1,0 +1,214 @@
+module Ufind = Bcclb_ufind.Ufind
+module Metrics = Bcclb_obs.Metrics
+module Mclock = Bcclb_obs.Mclock
+
+(* The served graph. [Load] swaps the whole record atomically; handler
+   domains read the slot once per request, so a swap never tears. *)
+type gstate = { gn : int; gedges : int; uf : Ufind.t }
+
+type t = {
+  addr : Addr.t;
+  listen_fd : Unix.file_descr;
+  state : gstate option Atomic.t;
+  loads : int Atomic.t;
+  unions : int Atomic.t;
+  queries : int Atomic.t;
+  stopping : bool Atomic.t;
+  stopped : bool Atomic.t;
+  mutable acceptors : unit Domain.t array;
+}
+
+let address t = t.addr
+
+let m_queries = lazy (Metrics.Counter.v "serve.queries")
+let m_unions = lazy (Metrics.Counter.v "serve.unions")
+let m_loads = lazy (Metrics.Counter.v "serve.loads")
+let m_latency = lazy (Metrics.Histogram.v "serve.query_seconds")
+
+let incr_atomic a = ignore (Atomic.fetch_and_add a 1)
+
+(* Canonical component label of [v]: the smallest vertex in its
+   component — the first one [same_set] accepts, scanning upward. *)
+let component_label uf v =
+  let n = Ufind.size uf in
+  let rec go i = if i >= n then v else if Ufind.same_set uf i v then i else go (i + 1) in
+  go 0
+
+let latency_hist () =
+  (* Force registration so an idle server still reports an (empty)
+     histogram rather than none. *)
+  ignore (Lazy.force m_latency);
+  List.find_map
+    (fun (name, v) ->
+      match v with
+      | Metrics.Histogram h when name = "serve.query_seconds" -> Some h
+      | _ -> None)
+    (Metrics.snapshot ())
+
+let check_vertex st v what =
+  if v < 0 || v >= st.gn then Error (Printf.sprintf "%s: vertex %d out of range [0, %d)" what v st.gn)
+  else Ok ()
+
+let with_state t f =
+  match Atomic.get t.state with
+  | None -> Qmsg.Err "no graph loaded"
+  | Some st -> f st
+
+let timed_query t f =
+  let elapsed = Mclock.counter () in
+  let r = f () in
+  Metrics.Histogram.observe (Lazy.force m_latency) (elapsed ());
+  incr_atomic t.queries;
+  Metrics.Counter.incr (Lazy.force m_queries);
+  r
+
+let rec eval t (req : Qmsg.request) : Qmsg.response =
+  match req with
+  | Load { n; edges } ->
+    if n < 1 then Qmsg.Err (Printf.sprintf "load: n must be >= 1 (got %d)" n)
+    else begin
+      let bad = ref None in
+      Array.iter
+        (fun (u, v) ->
+          if u < 0 || u >= n || v < 0 || v >= n then
+            if !bad = None then bad := Some (u, v))
+        edges;
+      match !bad with
+      | Some (u, v) -> Qmsg.Err (Printf.sprintf "load: edge (%d, %d) out of range [0, %d)" u v n)
+      | None ->
+        let uf = Ufind.of_edges ~n edges in
+        Atomic.set t.state (Some { gn = n; gedges = Array.length edges; uf });
+        incr_atomic t.loads;
+        Metrics.Counter.incr (Lazy.force m_loads);
+        Qmsg.Loaded { n; edges = Array.length edges }
+    end
+  | Union (u, v) ->
+    with_state t (fun st ->
+        match (check_vertex st u "union", check_vertex st v "union") with
+        | Error e, _ | _, Error e -> Qmsg.Err e
+        | Ok (), Ok () ->
+          let merged = Ufind.union st.uf u v in
+          incr_atomic t.unions;
+          Metrics.Counter.incr (Lazy.force m_unions);
+          Qmsg.Ok_union merged)
+  | Connected (u, v) ->
+    with_state t (fun st ->
+        match (check_vertex st u "connected", check_vertex st v "connected") with
+        | Error e, _ | _, Error e -> Qmsg.Err e
+        | Ok (), Ok () -> timed_query t (fun () -> Qmsg.Ok_connected (Ufind.same_set st.uf u v)))
+  | Component v ->
+    with_state t (fun st ->
+        match check_vertex st v "component" with
+        | Error e -> Qmsg.Err e
+        | Ok () -> timed_query t (fun () -> Qmsg.Ok_component (component_label st.uf v)))
+  | Stats ->
+    let n, edges, components =
+      match Atomic.get t.state with
+      | None -> (0, 0, 0)
+      | Some st -> (st.gn, st.gedges, Ufind.components st.uf)
+    in
+    Qmsg.Ok_stats
+      { n;
+        edges;
+        components;
+        loads = Atomic.get t.loads;
+        unions = Atomic.get t.unions;
+        queries = Atomic.get t.queries;
+        latency = latency_hist () }
+  | Batch reqs ->
+    Qmsg.Ok_batch
+      (Array.map
+         (fun r ->
+           match (r : Qmsg.request) with
+           | Batch _ -> Qmsg.Err "nested batch"
+           | r -> eval t r)
+         reqs)
+
+(* One connection: request frame in, response frame out, until the peer
+   closes (or the stream is poisoned — framing errors are sticky). *)
+let handle_connection t fd =
+  let rec loop () =
+    match Wire.read_frame fd with
+    | Error _ -> ()
+    | Ok payload ->
+      let resp =
+        match Qmsg.request_of_payload payload with
+        | Error e -> Qmsg.Err e
+        | Ok req -> eval t req
+      in
+      Wire.write_frame fd (Qmsg.response_payload resp);
+      loop ()
+  in
+  (try loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let acceptor_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      match Unix.accept ~cloexec:true t.listen_fd with
+      | fd, _ ->
+        handle_connection t fd;
+        loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()  (* listen socket closed under us *)
+    end
+  in
+  loop ()
+
+let start ~address ~domains () =
+  if domains < 1 then Error (Printf.sprintf "serve: domains must be >= 1 (got %d)" domains)
+  else begin
+    match
+      let fd = Unix.socket ~cloexec:true (Addr.domain address) Unix.SOCK_STREAM 0 in
+      (try
+         (match address with
+         | Addr.Unix_socket _ -> ()
+         | Addr.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+         Unix.bind fd (Addr.sockaddr address);
+         Unix.listen fd 128
+       with e ->
+         (try Unix.close fd with Unix.Unix_error _ -> ());
+         raise e);
+      fd
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "serve: cannot listen on %s: %s" (Addr.to_string address)
+           (Unix.error_message err))
+    | listen_fd ->
+      let t =
+        { addr = address;
+          listen_fd;
+          state = Atomic.make None;
+          loads = Atomic.make 0;
+          unions = Atomic.make 0;
+          queries = Atomic.make 0;
+          stopping = Atomic.make false;
+          stopped = Atomic.make false;
+          acceptors = [||] }
+      in
+      t.acceptors <- Array.init domains (fun _ -> Domain.spawn (fun () -> acceptor_loop t));
+      Ok t
+  end
+
+let stop t =
+  if not (Atomic.exchange t.stopped true) then begin
+    Atomic.set t.stopping true;
+    (* A blocked [accept] is not interrupted by closing the fd from
+       another domain; wake each acceptor with a throwaway connection
+       instead. An acceptor mid-connection drains it, then sees the
+       flag. *)
+    Array.iter
+      (fun _ ->
+        match Unix.socket ~cloexec:true (Addr.domain t.addr) Unix.SOCK_STREAM 0 with
+        | exception Unix.Unix_error _ -> ()
+        | fd ->
+          (try Unix.connect fd (Addr.sockaddr t.addr) with Unix.Unix_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ()))
+      t.acceptors;
+    Array.iter Domain.join t.acceptors;
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.addr with
+    | Addr.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Addr.Tcp _ -> ()
+  end

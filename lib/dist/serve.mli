@@ -1,0 +1,33 @@
+(** The connectivity-query daemon behind [experiments serve].
+
+    A {!start}ed server owns a listening socket and a pool of handler
+    domains, each looping [accept] -> serve-one-connection; connections
+    speak {!Qmsg} requests inside {!Wire} frames, one response frame per
+    request frame, in order. The served graph is a lock-free
+    {!Bcclb_ufind.Ufind} behind one atomic slot, so any number of
+    handler domains run [Union]/[Connected]/[Component] concurrently
+    without locks — the whole point of the structure — and a [Load]
+    atomically swaps in a fresh graph (requests already in flight finish
+    against the old one).
+
+    Observability: per-server request counters feed [Stats] replies
+    (deterministic for golden tests — they never mix with other servers
+    in the process), while the process-wide {!Bcclb_obs.Metrics}
+    registry gets [serve.queries], [serve.unions], [serve.loads] and the
+    [serve.query_seconds] latency histogram that [Stats] and
+    [BENCH_serve.json] report. *)
+
+type t
+
+val start : address:Addr.t -> domains:int -> unit -> (t, string) result
+(** Bind, listen and spawn [domains] handler domains. [Error] on a bad
+    configuration ([domains < 1]) or a bind/listen failure (e.g. the
+    socket path already exists — a previous server is either alive or
+    died without cleanup). *)
+
+val address : t -> Addr.t
+
+val stop : t -> unit
+(** Graceful shutdown: wake every acceptor, wait for in-flight
+    connections to drain, close the listening socket and unlink a
+    unix-domain socket path. Idempotent. *)

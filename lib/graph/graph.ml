@@ -91,9 +91,27 @@ let union_find t =
   iter_edges (fun u v -> ignore (Union_find.union uf u v)) t;
   uf
 
-let components t = Union_find.labels (union_find t)
+(* Component views run on the Conn oracle seam: lock-free Ufind by
+   default, sequential DSU under BCCLB_CONN_ORACLE=dsu, byte-identical
+   labels either way (CI diffs the two). *)
+let conn t =
+  let c = Conn.create t.n in
+  iter_edges (fun u v -> ignore (Conn.union c u v)) t;
+  c
 
-let num_components t = Union_find.components (union_find t)
+let ufind t =
+  let uf = Bcclb_ufind.Ufind.create t.n in
+  iter_edges (fun u v -> ignore (Bcclb_ufind.Ufind.union uf u v)) t;
+  uf
+
+let components_of_edges ~n edges =
+  let c = Conn.create n in
+  Array.iter (fun (u, v) -> ignore (Conn.union c u v)) edges;
+  Conn.labels c
+
+let components t = Conn.labels (conn t)
+
+let num_components t = Conn.components (conn t)
 
 let is_connected t = t.n <= 1 || num_components t = 1
 

@@ -115,17 +115,23 @@ let of_string s =
     end
     else parse_error !pos ("expected " ^ word)
   in
-  (* Encode a Unicode scalar value as UTF-8 (enough for \uXXXX escapes;
-     surrogate pairs outside the BMP are not combined — the printer
-     never emits them). *)
+  (* Encode a Unicode scalar value as UTF-8. Covers the whole scalar
+     range: \uXXXX escapes reach beyond the BMP via surrogate pairs,
+     which [parse_string] combines before calling this. *)
   let add_utf8 buf u =
     if u < 0x80 then Buffer.add_char buf (Char.chr u)
     else if u < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xc0 lor (u lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
     end
-    else begin
+    else if u < 0x10000 then begin
       Buffer.add_char buf (Char.chr (0xe0 lor (u lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (u lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3f)));
       Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3f)))
     end
@@ -154,15 +160,30 @@ let of_string s =
           | 'r' -> Buffer.add_char buf '\r'
           | 't' -> Buffer.add_char buf '\t'
           | 'u' ->
-            if !pos + 4 > n then parse_error !pos "truncated \\u escape";
-            let hex = String.sub s !pos 4 in
-            pos := !pos + 4;
-            let u =
+            let read_hex4 () =
+              if !pos + 4 > n then parse_error !pos "truncated \\u escape";
+              let hex = String.sub s !pos 4 in
+              pos := !pos + 4;
               match int_of_string_opt ("0x" ^ hex) with
               | Some u -> u
               | None -> parse_error !pos ("bad \\u escape " ^ hex)
             in
-            add_utf8 buf u
+            let u = read_hex4 () in
+            (* A high surrogate must be followed by \uDC00-\uDFFF; the
+               pair combines into one scalar beyond the BMP (RFC 8259
+               §7). Unpaired surrogates are malformed. *)
+            if u >= 0xd800 && u <= 0xdbff then begin
+              if not (!pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u') then
+                parse_error !pos "unpaired high surrogate";
+              pos := !pos + 2;
+              let lo = read_hex4 () in
+              if lo < 0xdc00 || lo > 0xdfff then
+                parse_error !pos "bad low surrogate in \\u pair";
+              add_utf8 buf (0x10000 + ((u - 0xd800) lsl 10) + (lo - 0xdc00))
+            end
+            else if u >= 0xdc00 && u <= 0xdfff then
+              parse_error !pos "unpaired low surrogate"
+            else add_utf8 buf u
           | _ -> parse_error !pos (Printf.sprintf "bad escape \\%c" e));
           go ())
         | c when Char.code c < 0x20 -> parse_error !pos "raw control character in string"

@@ -91,18 +91,18 @@ let hash (t : t) = Hashtbl.hash t
 let join a b =
   let n = Array.length a in
   if Array.length b <> n then invalid_arg "Set_partition.join: ground sets differ";
-  let uf = Bcclb_graph.Union_find.create n in
+  let uf = Bcclb_graph.Conn.create n in
   let link part =
     let first = Hashtbl.create 16 in
     for i = 0 to n - 1 do
       match Hashtbl.find_opt first (part i) with
       | None -> Hashtbl.add first (part i) i
-      | Some j -> ignore (Bcclb_graph.Union_find.union uf i j)
+      | Some j -> ignore (Bcclb_graph.Conn.union uf i j)
     done
   in
   link (fun i -> a.(i));
   link (fun i -> b.(i));
-  canonicalize (Bcclb_graph.Union_find.labels uf)
+  canonicalize (Bcclb_graph.Conn.labels uf)
 
 (* P ∧ Q: intersect parts pairwise. *)
 let meet a b =

@@ -1,0 +1,139 @@
+(* Lock-free union-find, one Atomic cell per element. The packed word
+   (see the .mli): value >= 0 is a parent pointer, value < 0 is a root
+   holding rank = -value - 1. Every state transition — link a root under
+   a parent, bump a rank, halve a path — is a single CAS on one cell, so
+   a failed CAS always means some concurrent operation moved the same
+   cell first and a retry observes the winner. *)
+
+type t = { cells : int Atomic.t array }
+
+let rank_repr rank = -rank - 1
+let repr_rank v = -v - 1
+
+let create n =
+  if n < 0 then invalid_arg "Ufind.create: negative size";
+  { cells = Array.init n (fun _ -> Atomic.make (rank_repr 0)) }
+
+let size t = Array.length t.cells
+
+(* Path halving: swing x past its parent to its grandparent. A failing
+   CAS is benign — the path already changed under us (either another
+   halving improved it or a union rewrote the parent) — so we simply
+   continue from the grandparent we read. *)
+let rec find t x =
+  let px = Atomic.get t.cells.(x) in
+  if px < 0 then x
+  else begin
+    let gx = Atomic.get t.cells.(px) in
+    if gx < 0 then px
+    else begin
+      ignore (Atomic.compare_and_set t.cells.(x) px gx);
+      find t gx
+    end
+  end
+
+(* Union by rank. The CAS that turns a root's rank word into a parent
+   pointer is the linearization point of the merge; the rank bump after
+   an equal-rank link is best-effort (a lost bump only costs balance,
+   never correctness). Equal ranks tie-break toward the smaller index so
+   single-domain behaviour is deterministic. *)
+let rec union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then false
+  else begin
+    let vx = Atomic.get t.cells.(rx) and vy = Atomic.get t.cells.(ry) in
+    if vx >= 0 || vy >= 0 then
+      (* One of them stopped being a root since its find: retry. *)
+      union t x y
+    else begin
+      let kx = repr_rank vx and ky = repr_rank vy in
+      if kx < ky then
+        if Atomic.compare_and_set t.cells.(rx) vx ry then true else union t x y
+      else if ky < kx then
+        if Atomic.compare_and_set t.cells.(ry) vy rx then true else union t x y
+      else begin
+        (* Equal ranks: attach the larger index under the smaller. *)
+        let winner = min rx ry and loser = max rx ry in
+        let vloser = if loser = rx then vx else vy in
+        if Atomic.compare_and_set t.cells.(loser) vloser winner then begin
+          ignore (Atomic.compare_and_set t.cells.(winner) vloser (rank_repr (kx + 1)));
+          true
+        end
+        else union t x y
+      end
+    end
+  end
+
+(* Two finds plus a root re-check. If ru is still a root after both
+   finds returned distinct representatives, the sets were disjoint at
+   that instant (a union merging them must first de-root one of the two
+   representatives). If ru was overtaken, a union raced us: retry. *)
+let rec same_set t x y =
+  let rx = find t x in
+  let ry = find t y in
+  if rx = ry then true
+  else if Atomic.get t.cells.(rx) < 0 then false
+  else same_set t x y
+
+let components t =
+  let c = ref 0 in
+  Array.iter (fun cell -> if Atomic.get cell < 0 then incr c) t.cells;
+  !c
+
+let labels t =
+  let n = size t in
+  let min_of_root = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    Hashtbl.replace min_of_root (find t v) v
+  done;
+  Array.init n (fun v -> Hashtbl.find min_of_root (find t v))
+
+let add_edges t edges = Array.iter (fun (u, v) -> ignore (union t u v)) edges
+
+let of_edges ~n edges =
+  let t = create n in
+  add_edges t edges;
+  t
+
+let check_invariants t =
+  let n = size t in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rank_of v = repr_rank (Atomic.get t.cells.(v)) in
+  let max_rank =
+    (* Union by rank: a rank-k root heads a set of >= 2^k elements. *)
+    let rec log2 acc m = if m <= 1 then acc else log2 (acc + 1) (m / 2) in
+    log2 0 (max 1 n)
+  in
+  let rec check v = function
+    | 0 -> err "element %d: parent chain longer than the element count (cycle?)" v
+    | fuel -> (
+      let p = Atomic.get t.cells.(v) in
+      if p < 0 then
+        if repr_rank p > max_rank then
+          err "root %d: rank %d exceeds log2(%d) = %d" v (repr_rank p) n max_rank
+        else Ok ()
+      else if p >= n then err "element %d: parent %d out of range" v p
+      else
+        (* Along a path, ranks strictly increase from child root-bounds:
+           a non-root's eventual root must outrank any rank it ever had;
+           the checkable quiescent form is: following parents terminates
+           and the final root's rank is >= the rank of every root-valued
+           cell en route (all of which are the root itself). *)
+        match check p (fuel - 1) with
+        | Error _ as e -> e
+        | Ok () ->
+          let root =
+            let rec walk v fuel =
+              if fuel = 0 then v
+              else
+                let p = Atomic.get t.cells.(v) in
+                if p < 0 then v else walk p (fuel - 1)
+            in
+            walk v (n + 1)
+          in
+          if Atomic.get t.cells.(root) >= 0 then err "element %d: walk did not end on a root" v
+          else if rank_of root < 0 then err "root %d: negative rank" root
+          else Ok ())
+  in
+  let rec all v = if v >= n then Ok () else match check v (n + 1) with Error _ as e -> e | Ok () -> all (v + 1) in
+  all 0

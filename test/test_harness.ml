@@ -242,6 +242,31 @@ let test_resume_after_failure () =
           Alcotest.(check string) "resumed report byte-identical to fresh" out_fresh
             out_resumed))
 
+(* ---- JSON \uXXXX surrogate pairs (RFC 8259 §7) ---- *)
+
+module Json = Bcclb_harness.Json
+
+let test_json_surrogate_pairs () =
+  (* 😀 combines to U+1F600 (😀), UTF-8 f0 9f 98 80. *)
+  (match Json.of_string {|"\ud83d\ude00"|} with
+  | Json.Str s -> Alcotest.(check string) "pair combines to U+1F600" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "parsed to a non-string");
+  (* The printer emits non-BMP text as raw UTF-8, so a round trip
+     through to_string/of_string is the identity. *)
+  let j = Json.Obj [ ("emoji", Json.Str "ok \xf0\x9f\x98\x80"); ("n", Json.Int 3) ] in
+  Alcotest.(check bool) "non-BMP round trip" true (Json.of_string (Json.to_string j) = j);
+  (* BMP escapes are unchanged by the fix. *)
+  (match Json.of_string {|"\u00e9A"|} with
+  | Json.Str s -> Alcotest.(check string) "BMP escapes" "\xc3\xa9A" s
+  | _ -> Alcotest.fail "parsed to a non-string");
+  (* Unpaired or ill-formed surrogates are parse errors, not mojibake. *)
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %s" s)
+    [ {|"\ud83d"|}; {|"\ud83dx"|}; {|"\ud83dA"|}; {|"\ude00"|} ]
+
 let suites =
   [ Alcotest.test_case "params canonical encoding" `Quick test_params_canonical;
     Alcotest.test_case "cache round-trip" `Quick test_cache_roundtrip;

@@ -1,0 +1,214 @@
+(* The connectivity-query daemon end to end, in process: direct Qmsg
+   round trips (including Batch and Stats), the golden replay the CI
+   serve smoke re-runs over a real pipe, config validation in the CLI's
+   error style, and the stop contract (acceptors drained, socket
+   unlinked). *)
+
+module Serve = Bcclb_dist.Serve
+module Load = Bcclb_dist.Load
+module Qmsg = Bcclb_dist.Qmsg
+module Addr = Bcclb_dist.Addr
+module Wire = Bcclb_dist.Wire
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bcclb_serve_test.%d.%d.sock" (Unix.getpid ()) !sock_counter)
+
+(* Run [f] against a live server, then stop it and assert the socket
+   path is unlinked. *)
+let with_server ?(domains = 2) f =
+  let path = fresh_sock () in
+  let addr = Addr.Unix_socket path in
+  match Serve.start ~address:addr ~domains () with
+  | Error e -> Alcotest.fail e
+  | Ok srv ->
+    Fun.protect ~finally:(fun () -> Serve.stop srv) (fun () -> f addr);
+    Serve.stop srv;
+    Alcotest.(check bool) "socket unlinked after stop" false (Sys.file_exists path)
+
+let connect addr =
+  let fd = Unix.socket ~cloexec:true (Addr.domain addr) Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Addr.sockaddr addr);
+  fd
+
+let rpc fd req =
+  Wire.write_frame fd (Qmsg.request_payload req);
+  match Wire.read_frame fd with
+  | Error e -> Alcotest.fail (Wire.error_to_string e)
+  | Ok p -> (
+    match Qmsg.response_of_payload p with Error e -> Alcotest.fail e | Ok r -> r)
+
+let check_resp what expect fd req =
+  Alcotest.(check string) what expect (Qmsg.response_text (rpc fd req))
+
+(* ---- direct queries ---- *)
+
+let test_queries () =
+  with_server (fun addr ->
+      let fd = connect addr in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          check_resp "query before load" "error no graph loaded" fd (Qmsg.Connected (0, 1));
+          check_resp "load" "loaded n=6 edges=3" fd
+            (Qmsg.Load { n = 6; edges = [| (0, 1); (1, 2); (3, 4) |] });
+          check_resp "connected" "connected true" fd (Qmsg.Connected (0, 2));
+          check_resp "not connected" "connected false" fd (Qmsg.Connected (0, 3));
+          check_resp "component" "component 3" fd (Qmsg.Component 4);
+          check_resp "union merges" "union true" fd (Qmsg.Union (2, 3));
+          check_resp "union idempotent" "union false" fd (Qmsg.Union (0, 4));
+          check_resp "out of range" "error connected: vertex 6 out of range [0, 6)" fd
+            (Qmsg.Connected (6, 0));
+          check_resp "stats" "stats n=6 edges=3 components=2 loads=1 unions=2 queries=3" fd
+            Qmsg.Stats))
+
+let test_batch () =
+  with_server (fun addr ->
+      let fd = connect addr in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          check_resp "load" "loaded n=4 edges=2" fd
+            (Qmsg.Load { n = 4; edges = [| (0, 1); (2, 3) |] });
+          check_resp "batch answers in order" "connected true; connected false; component 2" fd
+            (Qmsg.Batch [| Qmsg.Connected (0, 1); Qmsg.Connected (1, 2); Qmsg.Component 3 |]);
+          check_resp "nested batch refused" "error nested batch" fd
+            (Qmsg.Batch [| Qmsg.Batch [| Qmsg.Stats |] |])))
+
+(* Two connections see the same graph: a union through one is visible
+   through the other. *)
+let test_shared_state () =
+  with_server (fun addr ->
+      let fd1 = connect addr in
+      let fd2 = connect addr in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close fd1;
+          Unix.close fd2)
+        (fun () ->
+          check_resp "load on conn 1" "loaded n=4 edges=0" fd1 (Qmsg.Load { n = 4; edges = [||] });
+          check_resp "disconnected via conn 2" "connected false" fd2 (Qmsg.Connected (0, 1));
+          check_resp "union via conn 1" "union true" fd1 (Qmsg.Union (0, 1));
+          check_resp "merge visible via conn 2" "connected true" fd2 (Qmsg.Connected (0, 1))))
+
+(* ---- trace replay against the golden ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_replay_golden () =
+  with_server (fun addr ->
+      let buf = Buffer.create 256 in
+      match
+        Load.replay ~connect:addr ~file:"data/serve_trace.txt"
+          ~dump:(Some (fun line -> Buffer.add_string buf (line ^ "\n")))
+      with
+      | Error e -> Alcotest.fail e
+      | Ok sent ->
+        Alcotest.(check int) "nine requests replayed" 9 sent;
+        Alcotest.(check string) "replies match the golden" (read_file "data/serve_trace.golden")
+          (Buffer.contents buf))
+
+let test_trace_parsing () =
+  (match Load.request_of_trace_line "# comment" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "comment should parse to None");
+  (match Load.request_of_trace_line "   " with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "blank should parse to None");
+  (match Load.request_of_trace_line "connected 3 4" with
+  | Ok (Some (Qmsg.Connected (3, 4))) -> ()
+  | _ -> Alcotest.fail "connected line misparsed");
+  (match Load.request_of_trace_line "load 4 0-1 2-3" with
+  | Ok (Some (Qmsg.Load { n = 4; edges = [| (0, 1); (2, 3) |] })) -> ()
+  | _ -> Alcotest.fail "load line misparsed");
+  List.iter
+    (fun line ->
+      match Load.request_of_trace_line line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted bad trace line %S" line)
+    [ "connected 3"; "union x y"; "load"; "component"; "frobnicate 1" ]
+
+(* ---- validation, in the CLI's own words ---- *)
+
+let test_config_validation () =
+  let mk ~clients ~queries ~batch =
+    Load.config ~connect:(Addr.Unix_socket "x.sock") ~clients ~queries ~batch ~gen_n:8
+      ~gen_edges:8 ~seed:1
+  in
+  (match mk ~clients:0 ~queries:1 ~batch:1 with
+  | Error e -> Alcotest.(check string) "clients error" "--clients must be >= 1 (got 0)" e
+  | Ok _ -> Alcotest.fail "clients=0 accepted");
+  (match mk ~clients:1 ~queries:(-3) ~batch:1 with
+  | Error e -> Alcotest.(check string) "queries error" "--queries must be >= 1 (got -3)" e
+  | Ok _ -> Alcotest.fail "queries<0 accepted");
+  (match mk ~clients:1 ~queries:1 ~batch:0 with
+  | Error e -> Alcotest.(check string) "batch error" "--batch must be >= 1 (got 0)" e
+  | Ok _ -> Alcotest.fail "batch=0 accepted");
+  (match mk ~clients:1 ~queries:1 ~batch:1 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  match Serve.start ~address:(Addr.Unix_socket (fresh_sock ())) ~domains:0 () with
+  | Error e -> Alcotest.(check string) "domains error" "serve: domains must be >= 1 (got 0)" e
+  | Ok srv ->
+    Serve.stop srv;
+    Alcotest.fail "domains=0 accepted"
+
+(* ---- a small generated load through the real client ---- *)
+
+let test_generated_load () =
+  with_server ~domains:2 (fun addr ->
+      match
+        Load.config ~connect:addr ~clients:3 ~queries:5000 ~batch:250 ~gen_n:500 ~gen_edges:400
+          ~seed:7
+      with
+      | Error e -> Alcotest.fail e
+      | Ok cfg -> (
+        match Load.run cfg with
+        | Error e -> Alcotest.fail e
+        | Ok report ->
+          let module Json = Bcclb_harness.Json in
+          let gi path =
+            let rec go node = function
+              | [] -> Json.to_int_opt node
+              | k :: rest -> ( match Json.member k node with Some n -> go n rest | None -> None)
+            in
+            go report path
+          in
+          Alcotest.(check (option int)) "all queries fired" (Some 5000) (gi [ "queries" ]);
+          Alcotest.(check (option int)) "server saw the load" (Some 500) (gi [ "server"; "n" ]);
+          (match gi [ "server"; "queries" ] with
+          | Some q when q > 0 && q <= 5000 -> ()
+          | q -> Alcotest.failf "implausible server query count %s"
+                   (match q with Some q -> string_of_int q | None -> "none"));
+          let qps = Option.bind (Json.member "qps" report) Json.to_float_opt in
+          (match qps with
+          | Some q when q > 0.0 -> ()
+          | _ -> Alcotest.fail "qps missing or nonpositive");
+          (* The Prometheus rendering names both latency series. *)
+          let txt = Load.qps_report report in
+          List.iter
+            (fun needle ->
+              if
+                not
+                  (let nl = String.length needle and tl = String.length txt in
+                   let rec scan i = i + nl <= tl && (String.sub txt i nl = needle || scan (i + 1)) in
+                   scan 0)
+              then Alcotest.failf "qps report lacks %s" needle)
+            [ "bcclb_serve_query_seconds{quantile=\"0.99\"}"; "bcclb_load_qps" ]))
+
+let suites =
+  [ Alcotest.test_case "direct queries and stats" `Quick test_queries;
+    Alcotest.test_case "batch round trips" `Quick test_batch;
+    Alcotest.test_case "connections share the graph" `Quick test_shared_state;
+    Alcotest.test_case "replay matches the golden" `Quick test_replay_golden;
+    Alcotest.test_case "trace parsing" `Quick test_trace_parsing;
+    Alcotest.test_case "config validation messages" `Quick test_config_validation;
+    Alcotest.test_case "generated load end to end" `Quick test_generated_load ]
+
+let qsuites = []
