@@ -46,11 +46,14 @@ let backend_arg =
 let workers_arg =
   Arg.(
     value
-    & opt (some int) None
-    & info [ "workers" ] ~docv:"N"
+    & opt (some string) None
+    & info [ "workers" ] ~docv:"N|ROSTER"
         ~doc:
-          "Worker processes for $(b,--backend procs) (default: the $(b,--jobs) \
-           resolution). Ignored by the domains backend.")
+          "Worker roster. A count $(b,N) spawns that many local worker processes for \
+           $(b,--backend procs) (default: the $(b,--jobs) resolution). A comma-separated \
+           address list ($(b,tcp:HOST:PORT,tcp:[V6HOST]:PORT,unix:PATH)) connects to \
+           pre-started $(b,experiments worker --listen) processes instead — and implies \
+           the procs backend. Ignored by the domains backend when it is a count.")
 
 let tcp_arg =
   Arg.(
@@ -87,21 +90,48 @@ let require_positive flag v =
     Stdlib.exit 2
   | _ -> ()
 
+(* --workers is either a process count (self-spawned roster) or an
+   address list (pre-started roster). *)
+let parse_workers s =
+  match int_of_string_opt (String.trim s) with
+  | Some w ->
+    if w < 1 then begin
+      Printf.eprintf "experiments: --workers must be >= 1 (got %d)\n" w;
+      Stdlib.exit 2
+    end;
+    `Count w
+  | None -> (
+    match Bcclb_dist.Addr.roster_of_string s with
+    | Ok addrs -> `Roster (List.map Bcclb_dist.Addr.to_string addrs)
+    | Error e ->
+      Printf.eprintf "experiments: --workers: %s\n" e;
+      Stdlib.exit 2)
+
 (* The procs backend self-execs this very binary as `experiments worker
-   --socket ADDR`; install wires that spawn into the Runner hook. *)
+   --socket ADDR`; install wires that spawn into the Runner hook. A
+   pre-started roster never spawns, but installs the same runner. *)
 let resolve_backend ~backend ~jobs ~workers ~tcp =
   require_positive "--jobs" jobs;
-  require_positive "--workers" workers;
-  match backend with
-  | `Domains -> `Domains
-  | `Procs ->
+  let workers = Option.map parse_workers workers in
+  let install () =
     Bcclb_dist.Backend.install
       ~transport:(if tcp then `Tcp else `Unix_socket)
       ~spawn:
         (Bcclb_dist.Backend.spawn_argv (fun addr ->
              [| Sys.executable_name; "worker"; "--socket"; addr |]))
-      ();
-    `Procs (match workers with Some w -> w | None -> resolved_domains jobs)
+      ()
+  in
+  match (backend, workers) with
+  | _, Some (`Roster entries) ->
+    install ();
+    `Roster entries
+  | `Domains, _ -> `Domains
+  | `Procs, Some (`Count w) ->
+    install ();
+    `Procs w
+  | `Procs, None ->
+    install ();
+    `Procs (resolved_domains jobs)
 
 (* Tracing wraps a whole invocation: --trace wins over $BCCLB_TRACE, and
    the files are written once the run (and its manifest) is done. *)
@@ -190,14 +220,40 @@ let run_experiments ~results_dir ~no_cache ~jobs ~backend ~ns exps =
 
 let list_cmd =
   let doc = "List the registered experiments" in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the catalogue as a JSON array (id, title, cells, doc, n range).")
+  in
   Cmd.v (Cmd.info "list" ~doc)
     Term.(
-      const (fun () ->
-          List.iter
-            (fun (e : H.Experiment.t) ->
-              Printf.printf "%-16s %4d cells  %s\n" e.id (List.length e.default_grid) e.doc)
-            H.Registry.all)
-      $ const ())
+      const (fun json ->
+          if json then
+            let items =
+              List.map
+                (fun (e : H.Experiment.t) ->
+                  H.Json.Obj
+                    ([
+                       ("id", H.Json.Str e.id);
+                       ("title", H.Json.Str e.title);
+                       ("cells", H.Json.Int (List.length e.default_grid));
+                       ("doc", H.Json.Str e.doc);
+                       ("version", H.Json.Int e.version);
+                     ]
+                    @
+                    match e.n_range with
+                    | Some (lo, hi) -> [ ("n_min", H.Json.Int lo); ("n_max", H.Json.Int hi) ]
+                    | None -> []))
+                H.Registry.all
+            in
+            print_endline (H.Json.to_string ~pretty:true (H.Json.List items))
+          else
+            List.iter
+              (fun (e : H.Experiment.t) ->
+                Printf.printf "%-16s %4d cells  %s\n" e.id (List.length e.default_grid) e.doc)
+              H.Registry.all)
+      $ json_arg)
 
 let run_cmd =
   let doc = "Run one experiment (cached, resumable)" in
@@ -241,20 +297,45 @@ let all_cmd =
       $ no_cache_arg $ jobs_arg $ backend_arg $ workers_arg $ tcp_arg $ results_arg
       $ trace_arg)
 
-(* The hidden half of --backend procs: what the coordinator self-execs.
-   Not for human invocation — it connects back to ADDR and serves cells
-   until told to shut down. *)
+(* The worker process. Two modes: --socket is the hidden half of
+   --backend procs (the coordinator self-execs it, it dials back);
+   --listen is the pre-started half of --workers rosters (it binds an
+   address and serves coordinator sessions until SIGINT/SIGTERM). *)
 let worker_cmd =
   let socket_arg =
     Arg.(
-      required
+      value
       & opt (some string) None
       & info [ "socket" ] ~docv:"ADDR"
-          ~doc:"Coordinator address, $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+          ~doc:
+            "Dial-back mode (internal, spawned by $(b,--backend procs)): connect to the \
+             coordinator at $(docv), $(b,unix:PATH) or $(b,tcp:HOST:PORT).")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Pre-started roster mode: bind $(docv) (e.g. $(b,tcp:127.0.0.1:7801)) and \
+             serve coordinator sessions — one sweep after another — until SIGINT/SIGTERM, \
+             then drain and remove the endpoint. Point a coordinator at it with \
+             $(b,--workers ADDR,...).")
   in
   Cmd.v
-    (Cmd.info "worker" ~doc:"(internal) dist worker process; spawned by --backend procs")
-    Term.(const (fun address -> Bcclb_dist.Worker.main ~address ()) $ socket_arg)
+    (Cmd.info "worker"
+       ~doc:
+         "dist worker process: spawned by --backend procs, or pre-started with --listen \
+          for --workers rosters")
+    Term.(
+      const (fun socket listen ->
+          match (socket, listen) with
+          | Some address, None -> Bcclb_dist.Worker.main ~address ()
+          | None, Some address -> Bcclb_dist.Worker.main_listen ~address ()
+          | _ ->
+            Printf.eprintf "experiments worker: exactly one of --socket or --listen is required\n";
+            Stdlib.exit 2)
+      $ socket_arg $ listen_arg)
 
 (* ---- serve / load: the connectivity-query daemon and its driver ---- *)
 
@@ -298,16 +379,12 @@ let serve_cmd =
           | Ok server ->
             (* SIGINT/SIGTERM request a graceful exit: drain the
                acceptors, unlink the socket, flush the serve counters,
-               exit 0. *)
-            let stop_requested = Atomic.make false in
-            let handler = Sys.Signal_handle (fun _ -> Atomic.set stop_requested true) in
-            Sys.set_signal Sys.sigint handler;
-            Sys.set_signal Sys.sigterm handler;
+               exit 0 — the shared drain protocol from Transport. *)
+            let stop = Bcclb_dist.Transport.install_stop_signals () in
             Printf.printf "serve: listening on %s (%d domains)\n%!"
-              (Bcclb_dist.Addr.to_string address) domains;
-            while not (Atomic.get stop_requested) do
-              try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ()
-            done;
+              (Bcclb_dist.Addr.to_string (Bcclb_dist.Serve.address server))
+              domains;
+            Bcclb_dist.Transport.wait_stop stop;
             Bcclb_dist.Serve.stop server;
             List.iter
               (fun (name, v) ->

@@ -20,17 +20,31 @@ let spawn_argv argv_of_address ~address =
     ~finally:(fun () -> Unix.close devnull)
     (fun () -> Unix.create_process argv.(0) argv devnull Unix.stderr Unix.stderr)
 
-let install ?transport ?heartbeat_interval ?heartbeat_timeout ?cell_timeout ?max_retries ~spawn
-    () =
+let install ?transport ?heartbeat_interval ?heartbeat_timeout ?cell_timeout ?max_retries
+    ?lease_target_seconds ~spawn () =
   let heartbeat_timeout =
     Some (env_float heartbeat_timeout_env (Option.value heartbeat_timeout ~default:30.0))
   in
   let cell_timeout =
     Some (env_float cell_timeout_env (Option.value cell_timeout ~default:600.0))
   in
-  H.Runner.set_procs_runner (fun ~workers ~cache ~exp ~cells ->
+  H.Runner.set_procs_runner (fun ~roster ~cache ~exp ~cells ->
       let c =
-        Coordinator.config ?transport ?heartbeat_interval ?heartbeat_timeout ?cell_timeout
-          ?max_retries ~spawn ~workers ()
+        match roster with
+        | `Local workers ->
+          Coordinator.config ?transport ?heartbeat_interval ?heartbeat_timeout ?cell_timeout
+            ?max_retries ?lease_target_seconds ~spawn ~workers ()
+        | `Remote entries ->
+          let remotes =
+            List.map
+              (fun s ->
+                match Addr.of_string s with
+                | Ok a -> a
+                | Error e -> failwith ("dist: --workers roster: " ^ e))
+              entries
+          in
+          Coordinator.config ?transport ?heartbeat_interval ?heartbeat_timeout ?cell_timeout
+            ?max_retries ?lease_target_seconds ~remotes ~spawn
+            ~workers:(List.length remotes) ()
       in
       Coordinator.run c ~cache ~exp ~cells)

@@ -1,10 +1,12 @@
-(** Glue: make [`Procs] a {!Bcclb_harness.Runner} backend.
+(** Glue: make [`Procs] and [`Roster] {!Bcclb_harness.Runner} backends.
 
     The harness cannot depend on this library (it sits below it), so the
-    [`Procs] implementation is injected: call {!install} once at program
-    start — [bin/experiments.ml] does, with a spawn that re-execs itself
-    as [experiments worker]; tests install their own spawn that re-execs
-    the test binary. *)
+    implementation is injected: call {!install} once at program start —
+    [bin/experiments.ml] does, with a spawn that re-execs itself as
+    [experiments worker]; tests install their own spawn that re-execs
+    the test binary. A [`Procs w] backend becomes a self-spawned
+    [Local_spawn] roster of [w] workers; a [`Roster addrs] backend dials
+    the pre-started workers listed in [addrs]. *)
 
 val spawn_argv : (string -> string array) -> address:string -> int
 (** Build a {!Coordinator.config.spawn} from an argv function:
@@ -14,8 +16,8 @@ val spawn_argv : (string -> string array) -> address:string -> int
     coordinator's report stream. *)
 
 val cell_timeout_env : string
-(** ["BCCLB_DIST_CELL_TIMEOUT"] — overrides the busy-worker deadline
-    (seconds); CI's stall smoke shortens it. *)
+(** ["BCCLB_DIST_CELL_TIMEOUT"] — overrides the leased-worker progress
+    deadline (seconds); CI's stall smoke shortens it. *)
 
 val heartbeat_timeout_env : string
 (** ["BCCLB_DIST_HEARTBEAT_TIMEOUT"] — overrides the idle-worker
@@ -27,10 +29,13 @@ val install :
   ?heartbeat_timeout:float ->
   ?cell_timeout:float ->
   ?max_retries:int ->
+  ?lease_target_seconds:float ->
   spawn:(address:string -> int) ->
   unit ->
   unit
-(** Register the coordinator as the [`Procs] runner. Defaults follow
+(** Register the coordinator as the {!Bcclb_harness.Runner.procs_runner}
+    serving both [`Procs] and [`Roster] backends. Defaults follow
     {!Coordinator.config}, with the two timeout env overrides applied.
-    Calling again replaces the previous installation (tests use this to
-    tighten deadlines per case). *)
+    A roster entry that does not parse ({!Addr.of_string}) fails the
+    sweep with [Failure]. Calling again replaces the previous
+    installation (tests use this to tighten deadlines per case). *)

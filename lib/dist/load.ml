@@ -27,27 +27,20 @@ let config ~connect ~clients ~queries ~batch ~gen_n ~gen_edges ~seed =
 
 (* {2 Client plumbing} *)
 
+(* No retries: the server is expected to be up, and a crisp refusal
+   beats a second of silent redialing. *)
 let connect_to addr =
-  match Unix.socket ~cloexec:true (Addr.domain addr) Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (err, _, _) ->
-    Error (Printf.sprintf "load: socket: %s" (Unix.error_message err))
-  | fd -> (
-    try
-      Unix.connect fd (Addr.sockaddr addr);
-      Ok fd
-    with Unix.Unix_error (err, _, _) ->
-      (try Unix.close fd with Unix.Unix_error _ -> ());
-      Error
-        (Printf.sprintf "load: cannot connect to %s: %s" (Addr.to_string addr)
-           (Unix.error_message err)))
+  match Transport.Conn.dial ~tries:0 addr with
+  | Ok conn -> Ok conn
+  | Error e -> Error ("load: " ^ e)
 
 (* One round trip: request frame out, response frame back. *)
-let rpc fd req =
-  match Wire.write_frame fd (Qmsg.request_payload req) with
+let rpc conn req =
+  match Transport.Conn.send conn (Qmsg.request_payload req) with
   | exception Unix.Unix_error (err, _, _) ->
     Error (Printf.sprintf "load: write: %s" (Unix.error_message err))
   | () -> (
-    match Wire.read_frame fd with
+    match Transport.Conn.recv conn with
     | Error e -> Error ("load: " ^ Wire.error_to_string e)
     | Ok payload -> Qmsg.response_of_payload payload)
 
@@ -92,7 +85,7 @@ let replay ~connect ~file ~dump =
     | Error e -> Error e
     | Ok fd ->
       let finish r =
-        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Transport.Conn.close fd;
         r
       in
       let rec go sent = function
@@ -153,7 +146,7 @@ let client_worker (c : config) i count =
          | Ok r -> failure := Some ("load: unexpected response: " ^ Qmsg.response_text r)
        done
      with e -> failure := Some ("load: " ^ Printexc.to_string e));
-    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Transport.Conn.close fd;
     { sent = !sent; connected_true = !ctrue; failure = !failure }
 
 let hist_json (h : Metrics.hist) =
@@ -183,7 +176,7 @@ let run (c : config) =
   | Error e -> Error e
   | Ok fd ->
     let finish r =
-      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Transport.Conn.close fd;
       r
     in
     (match rpc fd (Qmsg.Load { n = c.gen_n; edges }) with

@@ -2,18 +2,68 @@
    byte: 'C' on coordinator->worker payloads, 'W' on worker->coordinator
    ones. *)
 
+type assignment = { cell : int; attempt : int; params : Bcclb_harness.Params.t }
+
 type to_worker =
   | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
-  | Assign of { cell : int; attempt : int; params : Bcclb_harness.Params.t }
+  | Lease of { cells : assignment array }
+  | Revoke of { cells : int list }
+  | Reject of { reason : string }
   | Shutdown
 
 type from_worker =
-  | Hello of { pid : int }
+  | Hello of { pid : int; fingerprint : string; cache_epoch : int }
   | Heartbeat
   | Result of { cell : int; outcome : Bcclb_harness.Runner.cell_outcome; seconds : float }
   | Cell_error of { cell : int; message : string }
+  | Lease_done of { metrics : (string * Bcclb_obs.Metrics.value) list }
   | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
   | Fatal of { message : string }
+
+(* ---- the join handshake ----
+
+   Wire.version catches a framing change; the fingerprint catches
+   everything else — two binaries whose marshalled representations (or
+   cell semantics) could disagree. Digesting the executable is the
+   whole same-executable contract made checkable across machines:
+   identical builds digest identically, anything else is refused at
+   join time. The env override exists so tests can force a skew without
+   building a second binary. *)
+
+let fingerprint_env = "BCCLB_DIST_FINGERPRINT"
+
+let fingerprint_lazy =
+  lazy
+    (match Sys.getenv_opt fingerprint_env with
+    | Some s when String.trim s <> "" -> String.trim s
+    | _ -> (
+      try Digest.to_hex (Digest.file Sys.executable_name)
+      with Sys_error _ | Unix.Unix_error _ -> "unreadable-executable"))
+
+let fingerprint () = Lazy.force fingerprint_lazy
+
+let handshake_error ~fingerprint:fp ~cache_epoch =
+  if not (String.equal fp (fingerprint ())) then
+    Some
+      (Printf.sprintf
+         "binary fingerprint mismatch (coordinator %s, worker %s) — the roster must run \
+          the same build"
+         (fingerprint ()) fp)
+  else if cache_epoch <> Bcclb_harness.Cache.format_epoch then
+    Some
+      (Printf.sprintf
+         "cache format epoch mismatch (coordinator %d, worker %d) — rebuild the worker \
+          before it writes into a shared cache"
+         Bcclb_harness.Cache.format_epoch cache_epoch)
+  else None
+
+let hello () =
+  Hello
+    {
+      pid = Unix.getpid ();
+      fingerprint = fingerprint ();
+      cache_epoch = Bcclb_harness.Cache.format_epoch;
+    }
 
 let tag_to_worker = 'C'
 let tag_from_worker = 'W'

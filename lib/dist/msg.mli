@@ -4,29 +4,50 @@
     wire.} The safety argument, in full: (1) payloads only reach
     {!of_payload_*} after {!Wire} has verified magic, protocol version
     and CRC, so random corruption is rejected before unmarshalling; (2)
-    both ends are the {e same executable} (workers are self-exec'd), so
-    the marshalled representations agree by construction; (3) a
-    direction tag byte leads every payload, so a coordinator frame
-    misrouted to coordinator code (or vice versa) is refused before
+    both ends are the {e same build} — self-spawned workers by
+    construction, roster workers by the fingerprint handshake below, so
+    the marshalled representations agree; (3) a direction tag byte
+    leads every payload, so a coordinator frame misrouted to
+    coordinator code (or vice versa) is refused before
     [Marshal.from_string] can misinterpret it; (4) none of the carried
     types contain closures or custom blocks — they are ints, floats,
     strings, lists, arrays and records thereof. Do not add a message
     that violates (4). *)
 
+type assignment = { cell : int; attempt : int; params : Bcclb_harness.Params.t }
+(** One cell of a lease. [attempt] counts prior grants of this cell —
+    fault injection only fires on [attempt = 0], which is what makes
+    injected crashes recoverable and keeps a stolen-then-re-leased cell
+    from re-firing. *)
+
 type to_worker =
   | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
-      (** First message after [Hello]: which experiment this sweep runs,
-          where the shared result cache lives ([None] = [--no-cache]),
-          and how often an idle worker should heartbeat. *)
-  | Assign of { cell : int; attempt : int; params : Bcclb_harness.Params.t }
-      (** Compute one cell. [attempt] counts prior assignments of this
-          cell that were lost to a crash or timeout — fault injection
-          only fires on [attempt = 0], which is what makes injected
-          crashes recoverable. *)
-  | Shutdown  (** No more work: send [Bye] and exit. *)
+      (** First message after an accepted [Hello]: which experiment this
+          sweep runs, where the shared result cache lives ([None] =
+          [--no-cache]; multi-host rosters need the root on a shared
+          filesystem), and how often an idle worker should heartbeat. *)
+  | Lease of { cells : assignment array }
+      (** A batch of cells, to be computed in order with one [Result]
+          streamed back per cell. Batching is what amortises round
+          trips; the coordinator adapts the batch size to observed cell
+          latency. *)
+  | Revoke of { cells : int list }
+      (** Work stealing: stop holding these cells (they were re-leased
+          to an idle worker). Cells already computed or in flight are
+          simply not found in the local queue — the duplicate [Result]
+          is settled by the coordinator's first-resolution rule. *)
+  | Reject of { reason : string }
+      (** The join handshake failed (fingerprint or cache-epoch skew).
+          A spawned worker exits; a pre-started one logs and returns to
+          accepting. *)
+  | Shutdown  (** No more work: send [Bye] and wind down. *)
 
 type from_worker =
-  | Hello of { pid : int }  (** First frame on a fresh connection. *)
+  | Hello of { pid : int; fingerprint : string; cache_epoch : int }
+      (** First frame on a fresh connection, now carrying the join
+          handshake: the worker binary's digest and its cache-entry
+          format epoch, both checked against the coordinator's own
+          before any work is leased. *)
   | Heartbeat  (** Sent while idle, every [heartbeat_interval]. *)
   | Result of {
       cell : int;
@@ -36,12 +57,40 @@ type from_worker =
   | Cell_error of { cell : int; message : string }
       (** The cell function raised — a deterministic failure, reported
           and not retried (matching the in-process pool's contract). *)
+  | Lease_done of { metrics : (string * Bcclb_obs.Metrics.value) list }
+      (** The local queue drained; carries the {!Bcclb_obs.Metrics.delta}
+          since the worker's previous shipment, absorbed live by the
+          coordinator — which is why a crashed worker loses only the
+          tail since its last completed lease, and why [stats] reflects
+          in-flight sweeps. *)
   | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
-      (** Goodbye, carrying the worker's full metric snapshot for the
-          coordinator to {!Bcclb_obs.Metrics.absorb}. *)
+      (** Goodbye, carrying the {e final} delta (everything since the
+          last [Lease_done]), not a full snapshot — absorbing it cannot
+          double-count what already streamed home. *)
   | Fatal of { message : string }
       (** The worker cannot serve at all (unknown experiment id, bad
           fault spec); the coordinator aborts the sweep. *)
+
+(** {2 Join handshake} *)
+
+val fingerprint : unit -> string
+(** This process's binary digest (hex MD5 of [Sys.executable_name]),
+    computed once. The [BCCLB_DIST_FINGERPRINT] env var overrides it —
+    a test hook for forcing skew without a second binary. *)
+
+val fingerprint_env : string
+(** ["BCCLB_DIST_FINGERPRINT"]. *)
+
+val handshake_error : fingerprint:string -> cache_epoch:int -> string option
+(** Check a [Hello]'s claims against this process: [Some reason] names
+    the skew (binary fingerprint, then cache epoch) in the words the
+    [Reject] should carry; [None] means the worker may join. *)
+
+val hello : unit -> from_worker
+(** The [Hello] this process sends: pid, own fingerprint, own
+    {!Bcclb_harness.Cache.format_epoch}. *)
+
+(** {2 Payload codec} *)
 
 val to_worker_payload : to_worker -> string
 val from_worker_payload : from_worker -> string

@@ -7,8 +7,7 @@ module Mclock = Bcclb_obs.Mclock
 type gstate = { gn : int; gedges : int; uf : Ufind.t }
 
 type t = {
-  addr : Addr.t;
-  listen_fd : Unix.file_descr;
+  listener : Transport.listener;
   state : gstate option Atomic.t;
   loads : int Atomic.t;
   unions : int Atomic.t;
@@ -18,7 +17,7 @@ type t = {
   mutable acceptors : unit Domain.t array;
 }
 
-let address t = t.addr
+let address t = Transport.listener_addr t.listener
 
 let m_queries = lazy (Metrics.Counter.v "serve.queries")
 let m_unions = lazy (Metrics.Counter.v "serve.unions")
@@ -126,9 +125,9 @@ let rec eval t (req : Qmsg.request) : Qmsg.response =
 
 (* One connection: request frame in, response frame out, until the peer
    closes (or the stream is poisoned — framing errors are sticky). *)
-let handle_connection t fd =
+let handle_connection t conn =
   let rec loop () =
-    match Wire.read_frame fd with
+    match Transport.Conn.recv conn with
     | Error _ -> ()
     | Ok payload ->
       let resp =
@@ -136,18 +135,19 @@ let handle_connection t fd =
         | Error e -> Qmsg.Err e
         | Ok req -> eval t req
       in
-      Wire.write_frame fd (Qmsg.response_payload resp);
+      Transport.Conn.send conn (Qmsg.response_payload resp);
       loop ()
   in
   (try loop () with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ());
-  try Unix.close fd with Unix.Unix_error _ -> ()
+  Transport.Conn.close conn
 
 let acceptor_loop t =
+  let lfd = Transport.listener_fd t.listener in
   let rec loop () =
     if not (Atomic.get t.stopping) then begin
-      match Unix.accept ~cloexec:true t.listen_fd with
+      match Unix.accept ~cloexec:true lfd with
       | fd, _ ->
-        handle_connection t fd;
+        handle_connection t (Transport.Conn.of_fd fd);
         loop ()
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
       | exception Unix.Unix_error _ -> ()  (* listen socket closed under us *)
@@ -158,27 +158,11 @@ let acceptor_loop t =
 let start ~address ~domains () =
   if domains < 1 then Error (Printf.sprintf "serve: domains must be >= 1 (got %d)" domains)
   else begin
-    match
-      let fd = Unix.socket ~cloexec:true (Addr.domain address) Unix.SOCK_STREAM 0 in
-      (try
-         (match address with
-         | Addr.Unix_socket _ -> ()
-         | Addr.Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
-         Unix.bind fd (Addr.sockaddr address);
-         Unix.listen fd 128
-       with e ->
-         (try Unix.close fd with Unix.Unix_error _ -> ());
-         raise e);
-      fd
-    with
-    | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (Printf.sprintf "serve: cannot listen on %s: %s" (Addr.to_string address)
-           (Unix.error_message err))
-    | listen_fd ->
+    match Transport.listen ~backlog:128 address with
+    | Error e -> Error ("serve: " ^ e)
+    | Ok listener ->
       let t =
-        { addr = address;
-          listen_fd;
+        { listener;
           state = Atomic.make None;
           loads = Atomic.make 0;
           unions = Atomic.make 0;
@@ -198,17 +182,17 @@ let stop t =
        another domain; wake each acceptor with a throwaway connection
        instead. An acceptor mid-connection drains it, then sees the
        flag. *)
+    let addr = Transport.listener_addr t.listener in
     Array.iter
       (fun _ ->
-        match Unix.socket ~cloexec:true (Addr.domain t.addr) Unix.SOCK_STREAM 0 with
+        match Unix.socket ~cloexec:true (Addr.domain addr) Unix.SOCK_STREAM 0 with
         | exception Unix.Unix_error _ -> ()
         | fd ->
-          (try Unix.connect fd (Addr.sockaddr t.addr) with Unix.Unix_error _ -> ());
+          (try Unix.connect fd (Addr.sockaddr addr) with Unix.Unix_error _ -> ());
           (try Unix.close fd with Unix.Unix_error _ -> ()))
       t.acceptors;
     Array.iter Domain.join t.acceptors;
-    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-    match t.addr with
-    | Addr.Unix_socket path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
-    | Addr.Tcp _ -> ()
+    (* Close + unlink in one place — the drain half of the protocol
+       lives in the acceptors above. *)
+    Transport.close_listener t.listener
   end

@@ -1,46 +1,47 @@
-(* The worker half of the dist runtime: a single-threaded select loop.
-   While idle it wakes every heartbeat_interval to send a Heartbeat;
-   while computing a cell it is silent (the coordinator's per-cell
-   deadline covers that window). Cells run through Runner.run_cell —
-   the same probe/compute/checkpoint path as the in-process backend —
-   so cache keys, stored entries and rows cannot diverge. *)
+(* The worker half of the dist runtime: a single-threaded loop around
+   one coordinator connection. While idle it wakes every
+   heartbeat_interval to send a Heartbeat; while working a lease it
+   drains control frames (more leases, revokes, shutdown) between
+   cells, so a Revoke lands before the next stolen cell is started.
+   Cells run through Runner.run_cell — the same probe/compute/
+   checkpoint path as the in-process backend — so cache keys, stored
+   entries and rows cannot diverge.
+
+   Metrics stream home as deltas: every drained lease ships the
+   Metrics.delta since the previous shipment (Lease_done), and Bye
+   carries the final delta. Absorbing every delta equals absorbing one
+   final snapshot — the partition-of-timeline property tested in
+   test_obs — so the coordinator's merged totals are exactly what the
+   old Bye-only snapshot gave, minus only what a crash loses. *)
 
 module H = Bcclb_harness
 module Obs = Bcclb_obs
+module Conn = Transport.Conn
 
 let cells_metric = Obs.Metrics.Counter.v "dist.worker.cells"
 let heartbeats_metric = Obs.Metrics.Counter.v "dist.worker.heartbeats"
+let leases_metric = Obs.Metrics.Counter.v "dist.worker.leases"
+let revoked_metric = Obs.Metrics.Counter.v "dist.worker.cells_revoked"
+let sessions_metric = Obs.Metrics.Counter.v "dist.worker.sessions"
 let cell_seconds = Obs.Metrics.Histogram.v "dist.worker.cell_seconds"
 
 exception Done  (* clean shutdown requested *)
+exception Coordinator_gone  (* EOF from the coordinator *)
+exception Rejected of string  (* handshake refused *)
 
-(* A fresh socket per attempt: a fd whose connect failed is not
-   reusable. The coordinator listens before it spawns anyone, so the
-   retries only cover scheduler lag. *)
-let connect addr =
-  let rec go tries =
-    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
-    match Unix.connect fd (Addr.sockaddr addr) with
-    | () -> fd
-    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when tries > 0 ->
-      Unix.close fd;
-      Unix.sleepf 0.05;
-      go (tries - 1)
-  in
-  go 20
+let send tc m = Conn.send tc (Msg.from_worker_payload m)
 
-let send fd m = Wire.write_frame fd (Msg.from_worker_payload m)
-
-let fatal fd message =
-  (try send fd (Msg.Fatal { message }) with _ -> ());
+let fatal tc message =
+  (try send tc (Msg.Fatal { message }) with _ -> ());
   exit 3
 
-(* One assignment. Faults fire before any computation and only on
-   attempt 0 (see Faults); a Crash is an abrupt exit — no farewell
-   frame, exactly like a SIGKILL from outside — and a Stall just never
-   answers, so the coordinator's cell deadline has something real to
-   catch. *)
-let serve_cell fd faults ~cache ~exp ~cell ~attempt ~params =
+(* One cell. Faults fire before any computation and only on attempt 0
+   (see Faults) — and a stolen cell arrives at attempt >= 1, so a fault
+   fires at most once per cell ever. A Crash is an abrupt exit — no
+   farewell frame, exactly like a SIGKILL from outside — and a Stall
+   just never answers, so the coordinator's progress deadline (and the
+   other workers' stealing) have something real to catch. *)
+let serve_cell tc faults ~cache ~exp ~cell ~attempt ~params =
   (match Faults.action faults ~cell ~attempt with
   | Some Faults.Crash -> exit 66
   | Some Faults.Stall ->
@@ -54,64 +55,177 @@ let serve_cell fd faults ~cache ~exp ~cell ~attempt ~params =
     let seconds = stop () in
     Obs.Metrics.Counter.incr cells_metric;
     Obs.Metrics.Histogram.observe cell_seconds seconds;
-    send fd (Msg.Result { cell; outcome; seconds })
-  | exception H.Runner.Cell_failed { message; _ } -> send fd (Msg.Cell_error { cell; message })
+    send tc (Msg.Result { cell; outcome; seconds })
+  | exception H.Runner.Cell_failed { message; _ } -> send tc (Msg.Cell_error { cell; message })
 
+(* One coordinator session: Hello, Init, leases until Shutdown (or the
+   peer vanishes). Shared by the dial-back (spawned) and listen-mode
+   (pre-started) workers; the latter runs one session per accepted
+   coordinator and then returns to accepting. *)
+type session = {
+  tc : Conn.t;
+  faults : Faults.t;
+  resolve : string -> H.Experiment.t option;
+  mutable exp : H.Experiment.t option;
+  mutable cache : H.Cache.t option;
+  mutable interval : float;
+  mutable work : Msg.assignment list;  (* local queue, lease order *)
+  mutable baseline : (string * Obs.Metrics.value) list;  (* last shipped snapshot *)
+}
+
+let ship_delta s =
+  let current = Obs.Metrics.snapshot () in
+  let d = Obs.Metrics.delta ~baseline:s.baseline current in
+  s.baseline <- current;
+  d
+
+let handle s = function
+  | Msg.Init { exp_id; cache_root; heartbeat_interval } ->
+    (match s.resolve exp_id with
+    | None -> fatal s.tc (Printf.sprintf "unknown experiment id %S" exp_id)
+    | Some e -> s.exp <- Some e);
+    s.cache <- Option.map (fun root -> H.Cache.create ~root) cache_root;
+    s.interval <- heartbeat_interval
+  | Msg.Lease { cells } ->
+    Obs.Metrics.Counter.incr leases_metric;
+    s.work <- s.work @ Array.to_list cells
+  | Msg.Revoke { cells } ->
+    let before = List.length s.work in
+    s.work <- List.filter (fun (a : Msg.assignment) -> not (List.mem a.cell cells)) s.work;
+    Obs.Metrics.Counter.add revoked_metric (before - List.length s.work)
+  | Msg.Reject { reason } -> raise (Rejected reason)
+  | Msg.Shutdown ->
+    send s.tc (Msg.Bye { metrics = ship_delta s });
+    raise Done
+
+let read_one s =
+  match Conn.recv s.tc with
+  | Error Wire.Closed -> raise Coordinator_gone
+  | Error e -> fatal s.tc ("bad frame from coordinator: " ^ Wire.error_to_string e)
+  | Ok payload -> (
+    match Msg.of_payload_to_worker payload with
+    | Error e -> fatal s.tc e
+    | Ok m -> handle s m)
+
+(* Handle every frame the kernel already has, without blocking for
+   more — called between cells so revokes and shutdowns take effect
+   before the next cell is started. *)
+let rec drain_control s =
+  match Unix.select [ Conn.fd s.tc ] [] [] 0.0 with
+  | [], _, _ -> ()
+  | _ ->
+    read_one s;
+    drain_control s
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let run_next s =
+  match s.work with
+  | [] -> ()
+  | { Msg.cell; attempt; params } :: rest ->
+    s.work <- rest;
+    (match s.exp with
+    | None -> fatal s.tc "Lease before Init"
+    | Some exp -> serve_cell s.tc s.faults ~cache:s.cache ~exp ~cell ~attempt ~params);
+    if s.work = [] then send s.tc (Msg.Lease_done { metrics = ship_delta s })
+
+let session ?stop ~resolve tc =
+  Obs.Metrics.Counter.incr sessions_metric;
+  let faults = match Faults.of_env () with Ok f -> f | Error e -> fatal tc e in
+  let s =
+    {
+      tc;
+      faults;
+      resolve;
+      exp = None;
+      cache = None;
+      interval = 0.25;
+      work = [];
+      baseline = Obs.Metrics.snapshot ();
+    }
+  in
+  let stopped () = match stop with Some flag -> Atomic.get flag | None -> false in
+  let result =
+    try
+      send tc (Msg.hello ());
+      while not (stopped ()) do
+        if s.work <> [] then begin
+          drain_control s;
+          run_next s
+        end
+        else
+          match Unix.select [ Conn.fd tc ] [] [] s.interval with
+          | [], _, _ ->
+            Obs.Metrics.Counter.incr heartbeats_metric;
+            send tc Msg.Heartbeat
+          | _ -> read_one s
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      done;
+      `Stopped
+    with
+    | Done -> `Done
+    | Coordinator_gone -> `Gone
+    | Rejected reason -> `Rejected reason
+    | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Gone
+  in
+  Conn.close tc;
+  result
+
+let parse_address address =
+  match Addr.of_string address with
+  | Ok a -> a
+  | Error e ->
+    prerr_endline ("dist worker: " ^ e);
+    exit 3
+
+(* Dial-back mode: one session against the coordinator that spawned us,
+   then exit. *)
 let main ?(resolve = H.Registry.find) ~address () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  let addr =
-    match Addr.of_string address with
-    | Ok a -> a
+  let addr = parse_address address in
+  let tc =
+    match Conn.dial addr with
+    | Ok tc -> tc
     | Error e ->
       prerr_endline ("dist worker: " ^ e);
       exit 3
   in
-  let fd = connect addr in
-  send fd (Msg.Hello { pid = Unix.getpid () });
-  let faults =
-    match Faults.of_env () with Ok f -> f | Error e -> fatal fd e
-  in
-  (* Sweep context, filled by Init. *)
-  let exp = ref None in
-  let cache = ref None in
-  let interval = ref 0.25 in
-  let handle = function
-    | Msg.Init { exp_id; cache_root; heartbeat_interval } ->
-      (match resolve exp_id with
-      | None -> fatal fd (Printf.sprintf "unknown experiment id %S" exp_id)
-      | Some e -> exp := Some e);
-      cache := Option.map (fun root -> H.Cache.create ~root) cache_root;
-      interval := heartbeat_interval
-    | Msg.Assign { cell; attempt; params } -> (
-      match !exp with
-      | None -> fatal fd "Assign before Init"
-      | Some exp -> serve_cell fd faults ~cache:!cache ~exp ~cell ~attempt ~params)
-    | Msg.Shutdown ->
-      send fd (Msg.Bye { metrics = Obs.Metrics.snapshot () });
-      raise Done
-  in
-  let rec loop () =
-    let readable =
-      match Unix.select [ fd ] [] [] !interval with
-      | [], _, _ -> false
-      | _ -> true
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
-    in
-    if not readable then begin
-      Obs.Metrics.Counter.incr heartbeats_metric;
-      send fd Msg.Heartbeat
-    end
-    else begin
-      match Wire.read_frame fd with
-      | Error Wire.Closed -> exit 0 (* coordinator gone: nothing left to do *)
-      | Error e -> fatal fd ("bad frame from coordinator: " ^ Wire.error_to_string e)
-      | Ok payload -> (
-        match Msg.of_payload_to_worker payload with
-        | Error e -> fatal fd e
-        | Ok m -> handle m)
-    end;
-    loop ()
-  in
-  try loop () with
-  | Done -> exit 0
-  | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> exit 0
+  match session ~resolve tc with
+  | `Done | `Gone | `Stopped -> exit 0
+  | `Rejected reason ->
+    prerr_endline ("dist worker: rejected by coordinator: " ^ reason);
+    exit 3
+
+(* Listen mode: a pre-started roster worker. Serves one coordinator
+   session per accepted connection, forever, until SIGINT/SIGTERM —
+   then drains (the in-flight session sees the flag between cells) and
+   unlinks its endpoint. A Reject is logged but not fatal: the skewed
+   coordinator goes away, and a rebuilt one may dial in later. *)
+let main_listen ?(resolve = H.Registry.find) ~address () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr = parse_address address in
+  let stop = Transport.install_stop_signals () in
+  match Transport.listen addr with
+  | Error e ->
+    prerr_endline ("dist worker: " ^ e);
+    exit 3
+  | Ok l ->
+    Printf.eprintf "[worker %d] listening on %s\n%!" (Unix.getpid ())
+      (Addr.to_string (Transport.listener_addr l));
+    let lfd = Transport.listener_fd l in
+    while not (Transport.stop_requested stop) do
+      match Unix.select [ lfd ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true lfd with
+        | fd, _ -> (
+          match session ~stop ~resolve (Conn.of_fd fd) with
+          | `Rejected reason ->
+            Printf.eprintf "[worker %d] rejected by coordinator: %s — still listening\n%!"
+              (Unix.getpid ()) reason
+          | `Done | `Gone | `Stopped -> ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    Transport.close_listener l;
+    Printf.eprintf "[worker %d] stopped, endpoint removed\n%!" (Unix.getpid ());
+    exit 0

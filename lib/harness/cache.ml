@@ -33,8 +33,12 @@ let path t k = Filename.concat (Filename.concat t.root k.exp_id) (k.hash ^ ".ent
 (* Entry layout: a magic line, a hex checksum line, then the marshalled
    (canonical key, rows) payload the checksum covers. The checksum is
    verified before unmarshalling, so a torn write can never feed garbage
-   to [Marshal]. *)
-let magic = "BCCLB-CACHE-1"
+   to [Marshal]. The epoch is part of the magic: bumping it invalidates
+   every existing entry, and the dist handshake refuses workers built
+   against a different epoch before they can checkpoint into a shared
+   cache root. *)
+let format_epoch = 1
+let magic = Printf.sprintf "BCCLB-CACHE-%d" format_epoch
 
 let store t k (rows : Experiment.row list) =
   let stop = Obs.Mclock.counter () in

@@ -21,6 +21,13 @@
 
 type t
 
+val format_epoch : int
+(** Version of the on-disk entry layout, embedded in every entry's magic
+    line. Bump it when the layout changes: existing entries then fail
+    the magic check (a clean miss), and distributed workers built
+    against a different epoch are refused at handshake time before they
+    can write incompatible entries into a shared cache root. *)
+
 val default_root : string
 (** ["results/cache"]. *)
 

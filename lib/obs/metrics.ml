@@ -254,6 +254,34 @@ let absorb entries =
         s.floats.(d.id) <- s.floats.(d.id) +. h.sum)
     entries
 
+(* The inverse direction: [delta ~baseline current] is the snapshot of
+   everything that happened between the two, shaped so that absorbing
+   the deltas of a partition of a timeline equals absorbing its final
+   snapshot once — counters and histogram buckets subtract, gauges pass
+   through unchanged (absorb maxes them, so repetition is idempotent).
+   Series that did not move are dropped, which keeps streamed deltas
+   small on chatty registries. *)
+let delta ~baseline current =
+  List.filter_map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name baseline) with
+      | Counter c, Some (Counter b) ->
+        let d = c - b in
+        if d = 0 then None
+        else if d < 0 then invalid_arg ("Metrics.delta: counter went backwards: " ^ name)
+        else Some (name, Counter d)
+      | Counter c, _ -> if c = 0 then None else Some (name, Counter c)
+      | Gauge x, _ -> if x = 0.0 then None else Some (name, Gauge x)
+      | Histogram h, Some (Histogram b) when h.le = b.le ->
+        let counts = Array.mapi (fun i c -> c - b.counts.(i)) h.counts in
+        let count = Array.fold_left ( + ) 0 counts in
+        if Array.exists (fun c -> c < 0) counts then
+          invalid_arg ("Metrics.delta: histogram went backwards: " ^ name)
+        else if count = 0 then None
+        else Some (name, Histogram { le = h.le; counts; sum = h.sum -. b.sum; count })
+      | Histogram h, _ -> if h.count = 0 then None else Some (name, v))
+    current
+
 let reset () =
   Mutex.lock lock;
   List.iter

@@ -103,6 +103,20 @@ val absorb : (string * value) list -> unit
     registered with a different kind (or different histogram buckets)
     raises [Invalid_argument], as {!Counter.v} would. *)
 
+val delta : baseline:(string * value) list -> (string * value) list -> (string * value) list
+(** [delta ~baseline current] is what happened between two snapshots of
+    the same registry: counters and histogram buckets/sums subtract,
+    gauges pass through as-is (they merge by maximum, so repeating one
+    is idempotent), and series that did not move are dropped. The
+    defining property — what makes streamed deltas safe to {!absorb}
+    mid-run — is that absorbing every delta of a partitioned timeline
+    [s0 -> s1 -> ... -> sk] accumulates exactly [delta ~baseline:s0 sk]:
+    nothing is counted twice, so a worker can ship a delta per batch
+    instead of one [Bye] snapshot, and a crash loses only the tail since
+    its last shipment. Raises [Invalid_argument] if a counter or bucket
+    decreased between the snapshots (the registry never resets
+    mid-timeline). *)
+
 val reset : unit -> unit
 (** Zero every shard of every metric (registrations survive). Only
     meaningful while no worker domain is writing — tests call it between

@@ -14,11 +14,27 @@
 
 module Dist = Bcclb_dist
 module Wire = Bcclb_dist.Wire
+module Addr = Bcclb_dist.Addr
 module Faults = Bcclb_dist.Faults
 module Msg = Bcclb_dist.Msg
 module H = Bcclb_harness
+module Obs = Bcclb_obs
 module Experiment = H.Experiment
 module Params = H.Params
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Current value of a registry counter (0 when unregistered); the e2e
+   tests assert on before/after differences because the registry is
+   cumulative across the whole test binary. *)
+let counter_value name =
+  List.fold_left
+    (fun acc (n, v) ->
+      match v with Obs.Metrics.Counter c when String.equal n name -> c | _ -> acc)
+    0 (Obs.Metrics.snapshot ())
 
 (* ---- the toy experiment served by re-exec'd workers ----
 
@@ -52,18 +68,31 @@ let resolve id = if String.equal id toy.Experiment.id then Some toy else None
 (* What the re-exec'd test binary runs instead of alcotest (test_main
    checks the env var before anything else). *)
 let worker_env = "BCCLB_DIST_TEST_WORKER"
+let listen_env = "BCCLB_DIST_TEST_LISTEN"
 
 let worker_main address = Dist.Worker.main ~resolve ~address ()
+let worker_main_listen address = Dist.Worker.main_listen ~resolve ~address ()
 
-let spawn ~address =
+let spawn_env extra_env =
   let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
   Fun.protect
     ~finally:(fun () -> Unix.close devnull)
     (fun () ->
       Unix.create_process_env Sys.executable_name
         [| Sys.executable_name |]
-        (Array.append (Unix.environment ()) [| worker_env ^ "=" ^ address |])
+        (Array.append (Unix.environment ()) extra_env)
         devnull Unix.stderr Unix.stderr)
+
+let spawn ~address = spawn_env [| worker_env ^ "=" ^ address |]
+
+(* A worker whose fingerprint cannot match the coordinator's: the env
+   override goes into the child's environment only, so the coordinator
+   keeps its own executable digest. *)
+let spawn_skewed ~address =
+  spawn_env [| worker_env ^ "=" ^ address; Msg.fingerprint_env ^ "=deadbeef" |]
+
+(* A pre-started listen-mode worker (the --workers roster fixture). *)
+let spawn_listen address = spawn_env [| listen_env ^ "=" ^ address |]
 
 (* ---- scratch dirs (as in test_harness) ---- *)
 
@@ -268,16 +297,149 @@ let test_cell_error_names_cell () =
     | exception H.Runner.Cell_failed { exp_id; params; message } ->
       Alcotest.(check string) (label ^ ": experiment id") "dist-toy" exp_id;
       Alcotest.(check string) (label ^ ": canonical params") "n=i:0" params;
-      let contains hay needle =
-        let nh = String.length hay and nn = String.length needle in
-        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
-        go 0
-      in
       Alcotest.(check bool) (label ^ ": original message kept") true
         (contains message "cell zero always fails")
   in
   check_backend "domains" None;
   check_backend "procs" (Some (`Procs 2))
+
+(* ---- addresses and rosters ---- *)
+
+let test_addr_forms () =
+  (match Addr.of_string "tcp:[::1]:7501" with
+  | Ok (Addr.Tcp ("::1", 7501)) -> ()
+  | Ok a -> Alcotest.fail ("bracketed v6 mis-parsed as " ^ Addr.to_string a)
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check string) "v6 prints bracketed" "tcp:[::1]:7501"
+    (Addr.to_string (Addr.Tcp ("::1", 7501)));
+  Alcotest.(check string) "v4 prints bare" "tcp:127.0.0.1:80"
+    (Addr.to_string (Addr.Tcp ("127.0.0.1", 80)));
+  (* An unbracketed multi-colon host is refused, and the error teaches
+     the bracket syntax instead of silently mis-splitting at the last
+     colon. *)
+  (match Addr.of_string "tcp:fe80::7501" with
+  | Error e -> Alcotest.(check bool) "error names brackets" true (contains e "bracket")
+  | Ok a -> Alcotest.fail ("multi-colon host accepted as " ^ Addr.to_string a));
+  List.iter
+    (fun bad ->
+      match Addr.of_string bad with
+      | Error _ -> ()
+      | Ok a -> Alcotest.fail (Printf.sprintf "accepted %S as %s" bad (Addr.to_string a)))
+    [ "tcp:[::1]7501"; "tcp:[::1]:"; "tcp:[]:75"; "tcp:h:0"; "tcp:h:99999"; "unix:"; "x:y" ];
+  (* Rosters: blanks are skipped, the empty roster is an error. *)
+  (match Addr.roster_of_string " tcp:a:1, ,unix:/b.sock ," with
+  | Ok [ Addr.Tcp ("a", 1); Addr.Unix_socket "/b.sock" ] -> ()
+  | Ok _ -> Alcotest.fail "roster mis-parsed"
+  | Error e -> Alcotest.fail e);
+  match Addr.roster_of_string " , ," with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "empty roster accepted"
+
+let test_handshake_check () =
+  (match Msg.hello () with
+  | Msg.Hello { fingerprint; cache_epoch; _ } ->
+    Alcotest.(check (option string)) "own hello is accepted" None
+      (Msg.handshake_error ~fingerprint ~cache_epoch);
+    (match Msg.handshake_error ~fingerprint:"deadbeef" ~cache_epoch with
+    | Some reason ->
+      Alcotest.(check bool) "names the fingerprints" true (contains reason "fingerprint")
+    | None -> Alcotest.fail "skewed fingerprint accepted");
+    (match Msg.handshake_error ~fingerprint ~cache_epoch:(cache_epoch + 1) with
+    | Some reason ->
+      Alcotest.(check bool) "names the cache epoch" true (contains reason "epoch")
+    | None -> Alcotest.fail "skewed cache epoch accepted")
+  | _ -> Alcotest.fail "hello () is not a Hello")
+
+(* ---- end-to-end: handshake, stealing, streaming deltas, rosters ---- *)
+
+let test_skewed_worker_rejected () =
+  (* A worker whose binary fingerprint differs is rejected at join time;
+     for a self-spawned roster that is a fail-fast (respawning the same
+     binary cannot help). *)
+  Dist.Backend.install ~spawn:spawn_skewed ();
+  with_faults "" @@ fun () ->
+  let rejects_before = counter_value "dist.handshake_rejects" in
+  (match render_run ~backend:(`Procs 2) toy with
+  | _ -> Alcotest.fail "skewed worker joined the sweep"
+  | exception Failure msg ->
+    Alcotest.(check bool) "failure names the fingerprint skew" true
+      (contains msg "fingerprint mismatch"));
+  Alcotest.(check bool) "reject counted in dist.handshake_rejects" true
+    (counter_value "dist.handshake_rejects" > rejects_before)
+
+let test_steal_under_stall () =
+  (* Two workers, fair-share leases of 4 cells each; the worker that
+     drew cell 1 stalls on it. The idle worker must steal the stalled
+     lease's tail (observable in dist.steals) — only the in-flight head
+     waits for the cell deadline — and the report must not change by a
+     byte. *)
+  install ~cell_timeout:2.0 ();
+  with_faults "stall:1" @@ fun () ->
+  with_dir @@ fun dir ->
+  let cache = H.Cache.create ~root:dir in
+  let steals_before = counter_value "dist.steals" in
+  let stolen_before = counter_value "dist.stolen_cells" in
+  let out, _ = render_run ~backend:(`Procs 2) ~cache toy in
+  Alcotest.(check string) "stalled sweep still byte-identical" (domains_reference ()) out;
+  Alcotest.(check bool) "a steal happened" true (counter_value "dist.steals" > steals_before);
+  Alcotest.(check bool) "stolen cells counted" true
+    (counter_value "dist.stolen_cells" > stolen_before)
+
+let test_metric_deltas_stream_before_bye () =
+  (* Each drained lease ships a metrics delta (Lease_done), absorbed
+     live — before any Bye. With 8 cells across 2 workers every cell's
+     dist.worker.cells increment must arrive, and at least two
+     Lease_done deltas must have been absorbed mid-run. *)
+  install ();
+  with_faults "" @@ fun () ->
+  let deltas_before = counter_value "dist.metric_deltas_absorbed" in
+  let byes_before = counter_value "dist.metric_snapshots_absorbed" in
+  let cells_before = counter_value "dist.worker.cells" in
+  let out, _ = render_run ~backend:(`Procs 2) toy in
+  Alcotest.(check string) "report byte-identical" (domains_reference ()) out;
+  Alcotest.(check bool) "deltas arrived before Bye" true
+    (counter_value "dist.metric_deltas_absorbed" - deltas_before >= 2);
+  Alcotest.(check bool) "workers said goodbye" true
+    (counter_value "dist.metric_snapshots_absorbed" - byes_before >= 1);
+  Alcotest.(check int) "every worker cell accounted across delta shipments" 8
+    (counter_value "dist.worker.cells" - cells_before)
+
+let test_roster_of_listen_workers () =
+  (* The pre-started roster path end to end: two listen-mode workers on
+     unix sockets, dialed via `Roster — cold run byte-identical, warm
+     run over the same still-alive workers all hits, and SIGTERM drains
+     them and unlinks their endpoints. *)
+  install ();
+  with_faults "" @@ fun () ->
+  with_dir @@ fun dir ->
+  let socks = [ Filename.concat dir "w1.sock"; Filename.concat dir "w2.sock" ] in
+  let entries = List.map (fun p -> "unix:" ^ p) socks in
+  let pids = List.map spawn_listen entries in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun pid -> try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ()) pids;
+      List.iter (fun pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()) pids)
+  @@ fun () ->
+  let cache = H.Cache.create ~root:(Filename.concat dir "cache") in
+  let joins_before = counter_value "dist.remote_workers_joined" in
+  let out_cold, cold = render_run ~backend:(`Roster entries) ~cache toy in
+  Alcotest.(check string) "roster report byte-identical to domains" (domains_reference ())
+    out_cold;
+  Alcotest.(check int) "cold run is all misses" 0 cold.H.Sink.hits;
+  Alcotest.(check int) "both roster workers joined" 2
+    (counter_value "dist.remote_workers_joined" - joins_before);
+  (* Same worker processes serve a second sweep (one session each per
+     sweep): the roster is reusable, and the warm run is pure hits. *)
+  let out_warm, warm = render_run ~backend:(`Roster entries) ~cache toy in
+  Alcotest.(check string) "warm roster report byte-identical" out_cold out_warm;
+  Alcotest.(check int) "warm run is all hits" warm.H.Sink.cells warm.H.Sink.hits;
+  (* Drain-and-unlink: SIGTERM each worker, wait, and the socket files
+     must be gone. *)
+  List.iter (fun pid -> Unix.kill pid Sys.sigterm) pids;
+  List.iter (fun pid -> ignore (Unix.waitpid [] pid)) pids;
+  List.iter
+    (fun p -> Alcotest.(check bool) ("endpoint unlinked: " ^ p) false (Sys.file_exists p))
+    socks
 
 let suites =
   [ Alcotest.test_case "wire rejects truncation, corruption, version skew" `Quick
@@ -286,6 +448,8 @@ let suites =
       test_wire_reader_split_feeds;
     Alcotest.test_case "msg payloads carry direction tags" `Quick test_msg_direction_tags;
     Alcotest.test_case "fault specs parse and are one-shot" `Quick test_faults_spec;
+    Alcotest.test_case "addresses: IPv6 brackets, bad forms, rosters" `Quick test_addr_forms;
+    Alcotest.test_case "handshake accepts self, names skews" `Quick test_handshake_check;
     Alcotest.test_case "procs backend byte-identical + shared cache" `Slow
       test_procs_matches_domains;
     Alcotest.test_case "crashed workers are replaced, cells reassigned" `Slow
@@ -293,7 +457,15 @@ let suites =
     Alcotest.test_case "stalled cells hit the deadline and reassign" `Slow
       test_stall_recovery;
     Alcotest.test_case "a raising cell names itself in Cell_failed" `Slow
-      test_cell_error_names_cell ]
+      test_cell_error_names_cell;
+    Alcotest.test_case "a fingerprint-skewed worker is rejected at join" `Slow
+      test_skewed_worker_rejected;
+    Alcotest.test_case "an idle worker steals a stalled lease's tail" `Slow
+      test_steal_under_stall;
+    Alcotest.test_case "metric deltas stream home before Bye" `Slow
+      test_metric_deltas_stream_before_bye;
+    Alcotest.test_case "pre-started roster: two sweeps, then drain-and-unlink" `Slow
+      test_roster_of_listen_workers ]
 
 let qsuites =
   let open QCheck2 in
@@ -315,4 +487,27 @@ let qsuites =
         match Wire.decode (String.sub frame 0 cut) with
         | Error Wire.Truncated -> true
         | Error _ -> false (* a strict prefix must read as truncation, nothing else *)
-        | Ok _ -> false) ]
+        | Ok _ -> false);
+    (* Roster strings round-trip: any mix of unix paths, v4/hostname and
+       bracketed-v6 TCP endpoints survives to_string/of_string both as
+       single addresses and as comma-joined rosters. (Paths are drawn
+       comma- and colon-free — the separators the roster syntax owns.) *)
+    (let addr_gen =
+       let open Gen in
+       let word = string_size ~gen:(char_range 'a' 'z') (1 -- 12) in
+       oneof
+         [ map (fun w -> Addr.Unix_socket ("/tmp/" ^ w ^ ".sock")) word;
+           map2
+             (fun h p -> Addr.Tcp (h, p))
+             (oneofl [ "127.0.0.1"; "localhost"; "worker-7.example" ])
+             (1 -- 65535);
+           map2
+             (fun h p -> Addr.Tcp (h, p))
+             (oneofl [ "::1"; "fe80::2"; "2001:db8::17" ])
+             (1 -- 65535) ]
+     in
+     Test.make ~name:"rosters round-trip through their printed form" ~count:200
+       Gen.(list_size (1 -- 6) addr_gen)
+       (fun addrs ->
+         Addr.roster_of_string (Addr.roster_to_string addrs) = Ok addrs
+         && List.for_all (fun a -> Addr.of_string (Addr.to_string a) = Ok a) addrs)) ]

@@ -159,6 +159,58 @@ let test_absorb_merges_foreign_snapshot () =
     (Invalid_argument "Metrics: test.absorb.counter re-registered with a different kind")
     (fun () -> Metrics.absorb [ ("test.absorb.counter", Metrics.Gauge 1.0) ])
 
+(* ---- deltas: what dist workers ship between leases ---- *)
+
+let test_delta_partitions_the_timeline () =
+  Metrics.reset ();
+  let c = Metrics.Counter.v "test.delta.counter" in
+  let h = Metrics.Histogram.v ~buckets:[| 1.0 |] "test.delta.hist" in
+  let s0 = Metrics.snapshot () in
+  Metrics.Counter.add c 3;
+  Metrics.Histogram.observe h 0.5;
+  let s1 = Metrics.snapshot () in
+  Metrics.Counter.add c 4;
+  Metrics.Histogram.observe h 2.0;
+  let g = Metrics.Gauge.v "test.delta.gauge" in
+  Metrics.Gauge.max g 1.25;
+  let s2 = Metrics.snapshot () in
+  (* The per-segment deltas carry exactly each segment's activity... *)
+  let d01 = Metrics.delta ~baseline:s0 s1 in
+  let d12 = Metrics.delta ~baseline:s1 s2 in
+  Alcotest.(check bool) "first segment's counter" true
+    (List.assoc_opt "test.delta.counter" d01 = Some (Metrics.Counter 3));
+  Alcotest.(check bool) "second segment's counter" true
+    (List.assoc_opt "test.delta.counter" d12 = Some (Metrics.Counter 4));
+  (match List.assoc_opt "test.delta.hist" d12 with
+  | Some (Metrics.Histogram hd) ->
+    Alcotest.(check (array int)) "hist delta buckets" [| 0; 1 |] hd.Metrics.counts;
+    Alcotest.(check int) "hist delta count" 1 hd.Metrics.count;
+    Alcotest.(check (float 1e-9)) "hist delta sum" 2.0 hd.Metrics.sum
+  | _ -> Alcotest.fail "histogram missing from second delta");
+  (* ...a quiet segment ships nothing for the quiet series... *)
+  let d22 = Metrics.delta ~baseline:s2 s2 in
+  Alcotest.(check bool) "self-delta drops unchanged counters" true
+    (List.assoc_opt "test.delta.counter" d22 = None);
+  (* ...and absorbing every segment's delta equals absorbing one final
+     snapshot — the partition-of-timeline property the coordinator's
+     live merge relies on (so streaming can never double-count). *)
+  Metrics.reset ();
+  Metrics.absorb d01;
+  Metrics.absorb d12;
+  let via_deltas = Metrics.snapshot () in
+  Metrics.reset ();
+  Metrics.absorb (Metrics.delta ~baseline:s0 s2);
+  let via_final = Metrics.snapshot () in
+  Alcotest.(check bool) "sum of deltas = one final delta" true (via_deltas = via_final);
+  (match List.assoc_opt "test.delta.counter" via_deltas with
+  | Some (Metrics.Counter 7) -> ()
+  | _ -> Alcotest.fail "delta stream lost counter increments");
+  (* A counter running backwards means the baseline is not from this
+     timeline — refused loudly rather than shipped as garbage. *)
+  Alcotest.check_raises "backwards counter rejected"
+    (Invalid_argument "Metrics.delta: counter went backwards: test.delta.counter")
+    (fun () -> ignore (Metrics.delta ~baseline:s2 s1))
+
 (* ---- span export: JSONL nesting/ordering, Chrome round-trip ---- *)
 
 let read_lines path =
@@ -288,6 +340,8 @@ let suites =
       test_shard_merge_deterministic;
     Alcotest.test_case "absorb merges a foreign snapshot by integer sum" `Quick
       test_absorb_merges_foreign_snapshot;
+    Alcotest.test_case "delta partitions the metric timeline" `Quick
+      test_delta_partitions_the_timeline;
     Alcotest.test_case "span nesting and ordering in JSONL" `Quick test_span_jsonl;
     Alcotest.test_case "Chrome trace round-trips through the JSON parser" `Quick
       test_chrome_trace_roundtrip;
