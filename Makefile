@@ -15,7 +15,8 @@ test:
 # always rebuildable) are cleaned up so they never end up in commits.
 check:
 	rm -f *.trace.json *.trace.jsonl *.sock serve-* BENCH_serve.json
-	rm -rf results/cache/arena
+	rm -f BENCH_current.json BENCH_doctored.json scrape.txt
+	rm -rf results/cache/arena telemetry-*
 	dune build && dune runtest
 
 bench:

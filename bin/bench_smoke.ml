@@ -14,6 +14,17 @@
      dune exec bin/bench_smoke.exe -- --deep          # + speedup gates, frontier
      dune exec bin/bench_smoke.exe -- --deep --n13    # + n=13 frontier row
      dune exec bin/bench_smoke.exe -- --out f.json
+     dune exec bin/bench_smoke.exe -- --baseline bench/baselines/engine.json
+     dune exec bin/bench_smoke.exe -- --baseline B.json --against CURRENT.json
+
+   --baseline FILE compares the fresh report (or, with --against FILE,
+   an existing report — no kernels run) against a committed baseline
+   and exits nonzero on regression: a timing row above baseline by more
+   than --tolerance PCT (default 25), a speedup row below it, a
+   deterministic row or counter that moved at all, or a baseline row
+   missing from the report. --write-baseline FILE records the fresh
+   numbers with headroom (timings x3, speedups /2) so the committed
+   file is a budget, not a lucky sample.
 
    --orbit-parity asserts the orbit-reduced build_full/build match the
    packed path byte-for-byte at n=8..10 (the CI gate for the quotient
@@ -221,12 +232,208 @@ let deep_frontier ~n13 () =
       end)
     ns
 
+(* ---- baseline comparison: --baseline / --against / --write-baseline ---- *)
+
+module Json = Bcclb_harness.Json
+
+let load_json path =
+  match Json.of_string (String.trim (Bcclb_harness.Fsutil.read_file path)) with
+  | j -> j
+  | exception Sys_error e ->
+    Printf.printf "bench compare: %s\n%!" e;
+    exit 2
+  | exception Failure e ->
+    Printf.printf "bench compare: %s: %s\n%!" path e;
+    exit 2
+
+let schema_of path j =
+  match Option.bind (Json.member "schema" j) Json.to_str_opt with
+  | Some s -> s
+  | None ->
+    Printf.printf "bench compare: %s: no schema field\n%!" path;
+    exit 2
+
+let bench_rows j =
+  match Json.member "benchmarks" j with
+  | Some (Json.List items) ->
+    List.filter_map
+      (fun it ->
+        match
+          ( Option.bind (Json.member "name" it) Json.to_str_opt,
+            Option.bind (Json.member "time_ns_per_run" it) Json.to_float_opt )
+        with
+        | Some n, Some v -> Some (n, v)
+        | _ -> None)
+      items
+  | _ -> []
+
+let counter_metric j name =
+  Option.bind (Json.member "metrics" j) (fun m ->
+      Option.bind (Json.member name m) (fun c ->
+          Option.bind (Json.member "value" c) Json.to_int_opt))
+
+(* Three comparison regimes per row, keyed by the naming convention the
+   recorders above follow: -speedup-x rows are ratios (higher is
+   better), orbit-census/orbit-reps rows are exact combinatorial counts
+   (any drift is a correctness bug, not noise), everything else is a
+   wall-clock timing in ns (lower is better, subject to a 10 ms noise
+   floor — sub-10ms rows jitter too much on shared runners to gate). *)
+type row_class = Exact | Higher_better | Lower_better
+
+let classify name =
+  if Filename.check_suffix name "-speedup-x" then Higher_better
+  else if
+    String.starts_with ~prefix:"orbit-census-v1-" name
+    || String.starts_with ~prefix:"orbit-reps-" name
+  then Exact
+  else Lower_better
+
+let noise_floor_ns = 1e7
+
+let regressions = ref 0
+
+let regress fmt =
+  incr regressions;
+  Printf.printf fmt
+
+let compare_engine ~tolerance baseline current =
+  let cur = bench_rows current in
+  let tol = tolerance /. 100.0 in
+  List.iter
+    (fun (name, bv) ->
+      match List.assoc_opt name cur with
+      | None -> regress "  REGRESSION %-44s missing from report\n%!" name
+      | Some cv -> (
+        match classify name with
+        | Exact ->
+          if cv <> bv then
+            regress "  REGRESSION %-44s expected exactly %.0f, got %.0f\n%!" name bv cv
+        | Higher_better ->
+          if cv < bv *. (1.0 -. tol) then
+            regress "  REGRESSION %-44s %.2fx, below baseline %.2fx - %g%%\n%!" name cv bv
+              tolerance
+        | Lower_better ->
+          if bv < noise_floor_ns then
+            Printf.printf "  skip       %-44s baseline %.2gns under noise floor\n%!" name bv
+          else if cv > bv *. (1.0 +. tol) then
+            regress "  REGRESSION %-44s %.3gns, above baseline %.3gns + %g%%\n%!" name cv bv
+              tolerance))
+    (bench_rows baseline);
+  (* The deterministic work counters: same kernels + same flags must
+     replay the same executions bit-for-bit. A drift here is an
+     algorithmic change — refresh the committed baseline deliberately. *)
+  List.iter
+    (fun m ->
+      match (counter_metric baseline m, counter_metric current m) with
+      | Some b, Some c when b <> c ->
+        regress "  REGRESSION counter %-36s %d -> %d (refresh the baseline if intended)\n%!" m b
+          c
+      | Some _, None -> regress "  REGRESSION counter %-36s missing from report\n%!" m
+      | _ -> ())
+    [ "engine.runs"; "engine.bits_broadcast" ]
+
+(* BENCH_serve.json (bcclb-serve-bench-v1): qps is higher-better,
+   latency quantiles lower-better with a 100 us floor, and the request
+   count is exact (the generator is seeded). *)
+let compare_serve ~tolerance baseline current =
+  let tol = tolerance /. 100.0 in
+  let fpath j path =
+    List.fold_left (fun acc k -> Option.bind acc (Json.member k)) (Some j) path
+  in
+  let num j path = Option.bind (fpath j path) Json.to_float_opt in
+  (match (num baseline [ "queries" ], num current [ "queries" ]) with
+  | Some b, Some c when b <> c -> regress "  REGRESSION queries %.0f -> %.0f\n%!" b c
+  | _ -> ());
+  (match (num baseline [ "qps" ], num current [ "qps" ]) with
+  | Some b, Some c when c < b *. (1.0 -. tol) ->
+    regress "  REGRESSION qps %.0f, below baseline %.0f - %g%%\n%!" c b tolerance
+  | Some _, None -> regress "  REGRESSION qps missing from report\n%!"
+  | _ -> ());
+  List.iter
+    (fun path ->
+      let name = String.concat "." path in
+      match (num baseline path, num current path) with
+      | Some b, _ when b < 1e-4 -> ()
+      | Some b, Some c when c > b *. (1.0 +. tol) ->
+        regress "  REGRESSION %-36s %.6fs, above baseline %.6fs + %g%%\n%!" name c b tolerance
+      | Some _, None -> regress "  REGRESSION %-36s missing from report\n%!" name
+      | _ -> ())
+    [ [ "server"; "latency_seconds"; "p50" ];
+      [ "server"; "latency_seconds"; "p99" ];
+      [ "client"; "batch_seconds"; "p50" ];
+      [ "client"; "batch_seconds"; "p99" ] ]
+
+let compare_files ~tolerance ~baseline_path ~current_path =
+  let b = load_json baseline_path in
+  let c = load_json current_path in
+  let bs = schema_of baseline_path b in
+  let cs = schema_of current_path c in
+  Printf.printf "baseline compare: %s vs %s (tolerance %g%%)\n%!" current_path baseline_path
+    tolerance;
+  if bs <> cs then regress "  REGRESSION schema mismatch: baseline %S, report %S\n%!" bs cs
+  else begin
+    match bs with
+    | "bcclb-bench-v2" -> compare_engine ~tolerance b c
+    | "bcclb-serve-bench-v1" -> compare_serve ~tolerance b c
+    | s ->
+      Printf.printf "bench compare: unsupported schema %S\n%!" s;
+      exit 2
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "baseline compare: %d regression(s)\n%!" !regressions;
+    1
+  end
+  else begin
+    Printf.printf "baseline compare: within tolerance\n%!";
+    0
+  end
+
+(* The committed baseline is a budget, not a lucky sample: timings get
+   3x headroom, speedups keep half their measured margin, exact rows are
+   written as measured. *)
+let headroom_rows rows =
+  List.map
+    (fun (name, v) ->
+      match classify name with
+      | Exact -> (name, v)
+      | Higher_better -> (name, v /. 2.0)
+      | Lower_better -> (name, v *. 3.0))
+    rows
+
 let () =
   let deep = Array.exists (String.equal "--deep") Sys.argv in
   let orbit_parity_mode = Array.exists (String.equal "--orbit-parity") Sys.argv in
   let n13 = Array.exists (String.equal "--n13") Sys.argv in
-  let out = ref "BENCH_engine.json" in
-  Array.iteri (fun i a -> if String.equal a "--out" && i + 1 < Array.length Sys.argv then out := Sys.argv.(i + 1)) Sys.argv;
+  let flag_value flag =
+    let r = ref None in
+    Array.iteri
+      (fun i a -> if String.equal a flag && i + 1 < Array.length Sys.argv then r := Some Sys.argv.(i + 1))
+      Sys.argv;
+    !r
+  in
+  let out = ref (Option.value ~default:"BENCH_engine.json" (flag_value "--out")) in
+  let baseline = flag_value "--baseline" in
+  let against = flag_value "--against" in
+  let write_baseline = flag_value "--write-baseline" in
+  let tolerance =
+    match flag_value "--tolerance" with
+    | None -> 25.0
+    | Some s -> (
+      match float_of_string_opt s with
+      | Some v when v >= 0.0 -> v
+      | _ ->
+        Printf.eprintf "bench_smoke: --tolerance must be a percentage >= 0 (got %s)\n" s;
+        exit 2)
+  in
+  (* Pure compare mode: gate an existing report against a baseline
+     without running any kernels (the CI injected-regression check). *)
+  (match (baseline, against) with
+  | Some baseline_path, Some current_path ->
+    exit (compare_files ~tolerance ~baseline_path ~current_path)
+  | None, Some _ ->
+    Printf.eprintf "bench_smoke: --against requires --baseline\n";
+    exit 2
+  | _ -> ());
   Bcclb_obs.Trace.start_from_env ();
   Printf.printf "bench smoke: packed vs legacy parity at n=8\n%!";
   smoke_indist ~n:8 ~t:2;
@@ -253,7 +460,18 @@ let () =
   Printf.printf "gc major words %.0f, peak rss %d MiB\n%!" gc.Gc.major_words
     (Bcclb_obs.peak_rss_bytes () / (1024 * 1024));
   Bcclb_obs.Trace.stop ();
+  (match write_baseline with
+  | Some path ->
+    Bcclb_harness.Sink.write_bench ~path (headroom_rows (List.rev !rows));
+    Printf.printf "wrote baseline %s (timings x3, speedups /2 headroom)\n%!" path
+  | None -> ());
+  let compare_rc =
+    match baseline with
+    | Some baseline_path -> compare_files ~tolerance ~baseline_path ~current_path:!out
+    | None -> 0
+  in
   if !failures > 0 then begin
     Printf.printf "%d parity/target failure(s)\n%!" !failures;
     exit 1
-  end
+  end;
+  if compare_rc <> 0 then exit compare_rc

@@ -37,6 +37,7 @@ let deltas_metric = Obs.Metrics.Counter.v "dist.metric_deltas_absorbed"
 let snapshots_metric = Obs.Metrics.Counter.v "dist.metric_snapshots_absorbed"
 let rejects_metric = Obs.Metrics.Counter.v "dist.handshake_rejects"
 let remote_joins = Obs.Metrics.Counter.v "dist.remote_workers_joined"
+let spans_ingested = Obs.Metrics.Counter.v "dist.spans_ingested"
 
 type roster = Local_spawn of int | Remote of Addr.t list
 
@@ -84,6 +85,8 @@ type conn = {
   mutable state : wstate;
   mutable lease : int list;  (* outstanding cells, current first *)
   mutable progress_at : float;  (* lease grant or last Result *)
+  established_ns : int;  (* raw Mclock at accept/dial: handshake send side *)
+  mutable offset_ns : int;  (* worker clock -> our clock, from the Hello RTT *)
 }
 
 let now = Transport.now
@@ -259,7 +262,7 @@ let run c ~cache ~exp ~cells =
         conn.progress_at <- now ();
         Obs.Metrics.Counter.incr leases_metric;
         Obs.Metrics.Counter.add leased_cells_metric (List.length idxs);
-        send conn (Msg.Lease { cells = cells_arr })
+        send conn (Msg.Lease { cells = cells_arr; trace = Obs.Trace.context () })
       end
     in
 
@@ -298,8 +301,14 @@ let run c ~cache ~exp ~cells =
     in
 
     let handle conn = function
-      | Msg.Hello { pid; fingerprint; cache_epoch } -> (
+      | Msg.Hello { pid; fingerprint; cache_epoch; now_ns } -> (
         conn.pid <- pid;
+        (* The worker read its clock between our connection setup and
+           this receipt; the midpoint estimate places every span it
+           ships at or after the moment we initiated the connection. *)
+        conn.offset_ns <-
+          Obs.Trace.offset_of_handshake ~sent_ns:conn.established_ns
+            ~recv_ns:(Obs.Mclock.now_ns ()) ~remote_ns:now_ns;
         (match conn.origin with
         | `Local -> Hashtbl.replace helloed pid ()
         | `Remote _ -> ());
@@ -334,6 +343,7 @@ let run c ~cache ~exp ~cells =
                    exp_id = exp.H.Experiment.id;
                    cache_root = Option.map H.Cache.root cache;
                    heartbeat_interval = c.heartbeat_interval;
+                   trace = Obs.Trace.context ();
                  })
           end)
       | Msg.Heartbeat -> Obs.Metrics.Counter.incr heartbeats_metric
@@ -346,12 +356,20 @@ let run c ~cache ~exp ~cells =
         resolve_failure cell message;
         conn.lease <- List.filter (fun i -> i <> cell) conn.lease;
         conn.progress_at <- now ()
-      | Msg.Lease_done { metrics } ->
+      | Msg.Lease_done { metrics; spans } ->
         Obs.Metrics.absorb metrics;
-        Obs.Metrics.Counter.incr deltas_metric
-      | Msg.Bye { metrics } ->
+        Obs.Metrics.Counter.incr deltas_metric;
+        if spans <> [] then begin
+          Obs.Trace.ingest ~offset_ns:conn.offset_ns spans;
+          Obs.Metrics.Counter.add spans_ingested (List.length spans)
+        end
+      | Msg.Bye { metrics; spans } ->
         Obs.Metrics.absorb metrics;
         Obs.Metrics.Counter.incr snapshots_metric;
+        if spans <> [] then begin
+          Obs.Trace.ingest ~offset_ns:conn.offset_ns spans;
+          Obs.Metrics.Counter.add spans_ingested (List.length spans)
+        end;
         retire conn
       | Msg.Fatal { message } -> fail "worker %d is unserviceable: %s" conn.pid message
     in
@@ -377,7 +395,16 @@ let run c ~cache ~exp ~cells =
           Unix.set_nonblock (Conn.fd tc);
           if !unconnected > 0 then decr unconnected;
           conns :=
-            { tc; origin = `Local; pid = -1; state = Greeting; lease = []; progress_at = now () }
+            {
+              tc;
+              origin = `Local;
+              pid = -1;
+              state = Greeting;
+              lease = [];
+              progress_at = now ();
+              established_ns = Obs.Mclock.now_ns ();
+              offset_ns = 0;
+            }
             :: !conns)
     in
 
@@ -398,6 +425,8 @@ let run c ~cache ~exp ~cells =
                   state = Greeting;
                   lease = [];
                   progress_at = now ();
+                  established_ns = Obs.Mclock.now_ns ();
+                  offset_ns = 0;
                 }
                 :: !conns
             | Error e -> fail "cannot reach roster worker %s: %s" (Addr.to_string a) e)

@@ -34,6 +34,15 @@ let connect_to addr =
   | Ok conn -> Ok conn
   | Error e -> Error ("load: " ^ e)
 
+(* When this process traces (e.g. `experiments load` under
+   $BCCLB_TRACE), wrap the outgoing request in the current trace
+   context so the server's handler span parents under the client span
+   that issued it. Responses are identical either way. *)
+let traced req =
+  match Bcclb_obs.Trace.context () with
+  | Some ctx -> Qmsg.Traced (ctx, req)
+  | None -> req
+
 (* One round trip: request frame out, response frame back. *)
 let rpc conn req =
   match Transport.Conn.send conn (Qmsg.request_payload req) with
@@ -95,7 +104,7 @@ let replay ~connect ~file ~dump =
           | Error e -> finish (Error e)
           | Ok None -> go sent rest
           | Ok (Some req) -> (
-            match rpc fd req with
+            match rpc fd (traced req) with
             | Error e -> finish (Error e)
             | Ok resp ->
               (match dump with Some f -> f (Qmsg.response_text resp) | None -> ());
@@ -128,7 +137,12 @@ let client_worker (c : config) i count =
              (if (!sent + j) mod 1024 = 0 then Qmsg.Union (u, v) else Qmsg.Connected (u, v))
          done;
          let elapsed = Mclock.counter () in
-         match rpc fd (Qmsg.Batch reqs) with
+         match
+           Bcclb_obs.Trace.span
+             ~attrs:[ ("client", string_of_int i); ("batch", string_of_int k) ]
+             "load.batch"
+             (fun () -> rpc fd (traced (Qmsg.Batch reqs)))
+         with
          | Error e -> failure := Some e
          | Ok (Qmsg.Ok_batch resps) ->
            Metrics.Histogram.observe hist (elapsed ());
@@ -179,7 +193,7 @@ let run (c : config) =
       Transport.Conn.close fd;
       r
     in
-    (match rpc fd (Qmsg.Load { n = c.gen_n; edges }) with
+    (match rpc fd (traced (Qmsg.Load { n = c.gen_n; edges })) with
     | Error e -> finish (Error e)
     | Ok (Qmsg.Err e) -> finish (Error ("load: server: " ^ e))
     | Ok (Qmsg.Loaded _) -> (
@@ -196,7 +210,7 @@ let run (c : config) =
       | None -> (
         let sent = Array.fold_left (fun a r -> a + r.sent) 0 results in
         let ctrue = Array.fold_left (fun a r -> a + r.connected_true) 0 results in
-        match rpc fd Qmsg.Stats with
+        match rpc fd (traced Qmsg.Stats) with
         | Error e -> finish (Error e)
         | Ok (Qmsg.Ok_stats s) ->
           let opt_hist = function Some h -> hist_json h | None -> Json.Null in

@@ -5,19 +5,30 @@
 type assignment = { cell : int; attempt : int; params : Bcclb_harness.Params.t }
 
 type to_worker =
-  | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
-  | Lease of { cells : assignment array }
+  | Init of {
+      exp_id : string;
+      cache_root : string option;
+      heartbeat_interval : float;
+      trace : Bcclb_obs.Trace.context option;
+    }
+  | Lease of { cells : assignment array; trace : Bcclb_obs.Trace.context option }
   | Revoke of { cells : int list }
   | Reject of { reason : string }
   | Shutdown
 
 type from_worker =
-  | Hello of { pid : int; fingerprint : string; cache_epoch : int }
+  | Hello of { pid : int; fingerprint : string; cache_epoch : int; now_ns : int }
   | Heartbeat
   | Result of { cell : int; outcome : Bcclb_harness.Runner.cell_outcome; seconds : float }
   | Cell_error of { cell : int; message : string }
-  | Lease_done of { metrics : (string * Bcclb_obs.Metrics.value) list }
-  | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
+  | Lease_done of {
+      metrics : (string * Bcclb_obs.Metrics.value) list;
+      spans : Bcclb_obs.Trace.event list;
+    }
+  | Bye of {
+      metrics : (string * Bcclb_obs.Metrics.value) list;
+      spans : Bcclb_obs.Trace.event list;
+    }
   | Fatal of { message : string }
 
 (* ---- the join handshake ----
@@ -63,6 +74,7 @@ let hello () =
       pid = Unix.getpid ();
       fingerprint = fingerprint ();
       cache_epoch = Bcclb_harness.Cache.format_epoch;
+      now_ns = Bcclb_obs.Mclock.now_ns ();
     }
 
 let tag_to_worker = 'C'

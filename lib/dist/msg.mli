@@ -21,16 +21,25 @@ type assignment = { cell : int; attempt : int; params : Bcclb_harness.Params.t }
     from re-firing. *)
 
 type to_worker =
-  | Init of { exp_id : string; cache_root : string option; heartbeat_interval : float }
+  | Init of {
+      exp_id : string;
+      cache_root : string option;
+      heartbeat_interval : float;
+      trace : Bcclb_obs.Trace.context option;
+    }
       (** First message after an accepted [Hello]: which experiment this
           sweep runs, where the shared result cache lives ([None] =
           [--no-cache]; multi-host rosters need the root on a shared
-          filesystem), and how often an idle worker should heartbeat. *)
-  | Lease of { cells : assignment array }
+          filesystem), how often an idle worker should heartbeat, and —
+          when the coordinator is tracing — the trace context the
+          worker should buffer spans under ([Some] switches the worker
+          to {!Bcclb_obs.Trace.start_collect} mode). *)
+  | Lease of { cells : assignment array; trace : Bcclb_obs.Trace.context option }
       (** A batch of cells, to be computed in order with one [Result]
           streamed back per cell. Batching is what amortises round
           trips; the coordinator adapts the batch size to observed cell
-          latency. *)
+          latency. [trace] carries the coordinator's sweep span as the
+          parent for the cells' spans. *)
   | Revoke of { cells : int list }
       (** Work stealing: stop holding these cells (they were re-leased
           to an idle worker). Cells already computed or in flight are
@@ -43,11 +52,14 @@ type to_worker =
   | Shutdown  (** No more work: send [Bye] and wind down. *)
 
 type from_worker =
-  | Hello of { pid : int; fingerprint : string; cache_epoch : int }
-      (** First frame on a fresh connection, now carrying the join
+  | Hello of { pid : int; fingerprint : string; cache_epoch : int; now_ns : int }
+      (** First frame on a fresh connection, carrying the join
           handshake: the worker binary's digest and its cache-entry
           format epoch, both checked against the coordinator's own
-          before any work is leased. *)
+          before any work is leased — plus the worker's raw monotonic
+          clock at send time, from which the coordinator estimates the
+          per-worker offset ({!Bcclb_obs.Trace.offset_of_handshake})
+          used to place shipped spans on its own timeline. *)
   | Heartbeat  (** Sent while idle, every [heartbeat_interval]. *)
   | Result of {
       cell : int;
@@ -57,16 +69,24 @@ type from_worker =
   | Cell_error of { cell : int; message : string }
       (** The cell function raised — a deterministic failure, reported
           and not retried (matching the in-process pool's contract). *)
-  | Lease_done of { metrics : (string * Bcclb_obs.Metrics.value) list }
+  | Lease_done of {
+      metrics : (string * Bcclb_obs.Metrics.value) list;
+      spans : Bcclb_obs.Trace.event list;
+    }
       (** The local queue drained; carries the {!Bcclb_obs.Metrics.delta}
           since the worker's previous shipment, absorbed live by the
           coordinator — which is why a crashed worker loses only the
           tail since its last completed lease, and why [stats] reflects
-          in-flight sweeps. *)
-  | Bye of { metrics : (string * Bcclb_obs.Metrics.value) list }
+          in-flight sweeps. [spans] is the worker's drained trace
+          buffer (empty when the coordinator is not tracing), ingested
+          into the merged timeline the same way. *)
+  | Bye of {
+      metrics : (string * Bcclb_obs.Metrics.value) list;
+      spans : Bcclb_obs.Trace.event list;
+    }
       (** Goodbye, carrying the {e final} delta (everything since the
           last [Lease_done]), not a full snapshot — absorbing it cannot
-          double-count what already streamed home. *)
+          double-count what already streamed home. Same for [spans]. *)
   | Fatal of { message : string }
       (** The worker cannot serve at all (unknown experiment id, bad
           fault spec); the coordinator aborts the sweep. *)

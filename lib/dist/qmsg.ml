@@ -8,6 +8,7 @@ type request =
   | Component of int
   | Stats
   | Batch of request array
+  | Traced of Bcclb_obs.Trace.context * request
 
 type stats = {
   n : int;

@@ -22,6 +22,13 @@ type request =
           member. *)
   | Stats
   | Batch of request array
+  | Traced of Bcclb_obs.Trace.context * request
+      (** The wrapped request, carrying the client's trace context: the
+          server answers exactly as for the inner request but records
+          its handler span as a child of [parent_span], so a traced
+          load run and the daemon's own trace share one span tree.
+          Responses are unchanged — replay dumps and golden files never
+          see the wrapper. *)
 
 type stats = {
   n : int;  (** Vertices of the served graph (0 before any [Load]). *)

@@ -119,9 +119,13 @@ let rec eval t (req : Qmsg.request) : Qmsg.response =
       (Array.map
          (fun r ->
            match (r : Qmsg.request) with
-           | Batch _ -> Qmsg.Err "nested batch"
+           | Batch _ | Traced (_, Batch _) -> Qmsg.Err "nested batch"
            | r -> eval t r)
          reqs)
+  | Traced (ctx, r) ->
+    (* The handler span parents under the client's span: a traced load
+       run and this daemon's own trace file share one span tree. *)
+    Bcclb_obs.Trace.span ~parent:ctx "serve.handler" (fun () -> eval t r)
 
 (* One connection: request frame in, response frame out, until the peer
    closes (or the stream is poisoned — framing errors are sticky). *)

@@ -177,13 +177,24 @@ let accept_all l ~on_conn =
    this trio (set a flag from the handler, poll it, drain in-flight
    work, unlink the socket file on the way out). Keeping it here means
    the unlink cannot be forgotten: pair [wait_stop] with
-   [close_listener]. *)
+   [close_listener].
+
+   The handler only flips the flag — a trace flush does file I/O and
+   must not run in signal context — so the span buffer is flushed by an
+   [at_exit] hook instead: whichever way the drained daemon leaves
+   (normal return, [exit 0], even a Fatal's [exit 3]), an active
+   file-backed trace is written out rather than lost. Registered once,
+   from the first [install_stop_signals]. *)
+
+let trace_flush_registered = Atomic.make false
 
 let install_stop_signals () =
   let flag = Atomic.make false in
   let handler = Sys.Signal_handle (fun _ -> Atomic.set flag true) in
   Sys.set_signal Sys.sigint handler;
   Sys.set_signal Sys.sigterm handler;
+  if not (Atomic.exchange trace_flush_registered true) then
+    at_exit (fun () -> Obs.Trace.stop ());
   flag
 
 let stop_requested flag = Atomic.get flag

@@ -88,7 +88,11 @@ val accept_all : listener -> on_conn:(Conn.t -> unit) -> unit
 val install_stop_signals : unit -> bool Atomic.t
 (** Install SIGINT/SIGTERM handlers that set (and only set) the
     returned flag — the first half of the drain protocol shared by the
-    serve daemon, the listen-mode worker and the CLI. *)
+    serve daemon, the listen-mode worker and the CLI. Also registers
+    (once per process) an [at_exit] hook calling
+    {!Bcclb_obs.Trace.stop}, so a SIGTERM'd daemon that traces via
+    [$BCCLB_TRACE] flushes a complete file on every exit path instead
+    of losing its span buffer. *)
 
 val stop_requested : bool Atomic.t -> bool
 

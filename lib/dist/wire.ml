@@ -22,7 +22,11 @@ let error_to_string = function
   | Trailing n -> Printf.sprintf "%d stray bytes after the frame" n
 
 let magic = "BCLB"
-let version = 1
+
+(* v2: Msg grew trace contexts (Init/Lease), the Hello clock reading,
+   and span shipments on Lease_done/Bye — payload shapes changed, so
+   skewed binaries must be refused at the framing layer. *)
+let version = 2
 let header_size = 13
 let max_payload = 1 lsl 30
 

@@ -5,7 +5,7 @@
     {v
       offset  size  field
       0       4     magic   "BCLB"
-      4       1     protocol version (currently 1)
+      4       1     protocol version (currently 2)
       5       4     payload length, big-endian
       9       4     CRC-32 (IEEE) of the payload, big-endian
       13      len   payload bytes

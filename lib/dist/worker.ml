@@ -40,8 +40,13 @@ let fatal tc message =
    fires at most once per cell ever. A Crash is an abrupt exit — no
    farewell frame, exactly like a SIGKILL from outside — and a Stall
    just never answers, so the coordinator's progress deadline (and the
-   other workers' stealing) have something real to catch. *)
-let serve_cell tc faults ~cache ~exp ~cell ~attempt ~params =
+   other workers' stealing) have something real to catch.
+
+   When the coordinator traces, [trace] is its sweep context: the cell
+   wrapper span parents under the coordinator's [dist.sweep], and the
+   [runner.cell] span inside Runner.run_cell nests under the wrapper —
+   one connected tree across processes. *)
+let serve_cell tc faults ?trace ~cache ~exp ~cell ~attempt ~params () =
   (match Faults.action faults ~cell ~attempt with
   | Some Faults.Crash -> exit 66
   | Some Faults.Stall ->
@@ -50,7 +55,13 @@ let serve_cell tc faults ~cache ~exp ~cell ~attempt ~params =
     done
   | None -> ());
   let stop = Obs.Mclock.counter () in
-  match H.Runner.run_cell ?cache exp params with
+  let run () =
+    Obs.Trace.span ?parent:trace
+      ~attrs:[ ("cell", string_of_int cell); ("attempt", string_of_int attempt) ]
+      "dist.cell"
+      (fun () -> H.Runner.run_cell ?cache exp params)
+  in
+  match run () with
   | outcome ->
     let seconds = stop () in
     Obs.Metrics.Counter.incr cells_metric;
@@ -71,6 +82,8 @@ type session = {
   mutable interval : float;
   mutable work : Msg.assignment list;  (* local queue, lease order *)
   mutable baseline : (string * Obs.Metrics.value) list;  (* last shipped snapshot *)
+  mutable trace : Obs.Trace.context option;  (* parent for this lease's cell spans *)
+  mutable collecting : bool;  (* we own a Trace collect buffer for this session *)
 }
 
 let ship_delta s =
@@ -79,15 +92,26 @@ let ship_delta s =
   s.baseline <- current;
   d
 
+(* Only drain a buffer this session created: a listen-mode worker
+   tracing to its own $BCCLB_TRACE file keeps its spans local. *)
+let ship_spans s = if s.collecting then Obs.Trace.drain () else []
+
 let handle s = function
-  | Msg.Init { exp_id; cache_root; heartbeat_interval } ->
+  | Msg.Init { exp_id; cache_root; heartbeat_interval; trace } ->
     (match s.resolve exp_id with
     | None -> fatal s.tc (Printf.sprintf "unknown experiment id %S" exp_id)
     | Some e -> s.exp <- Some e);
     s.cache <- Option.map (fun root -> H.Cache.create ~root) cache_root;
-    s.interval <- heartbeat_interval
-  | Msg.Lease { cells } ->
+    s.interval <- heartbeat_interval;
+    s.trace <- trace;
+    (match trace with
+    | Some ctx when not (Obs.Trace.enabled ()) ->
+      Obs.Trace.start_collect ~trace_id:ctx.trace_id ();
+      s.collecting <- true
+    | _ -> ())
+  | Msg.Lease { cells; trace } ->
     Obs.Metrics.Counter.incr leases_metric;
+    (match trace with Some _ -> s.trace <- trace | None -> ());
     s.work <- s.work @ Array.to_list cells
   | Msg.Revoke { cells } ->
     let before = List.length s.work in
@@ -95,7 +119,7 @@ let handle s = function
     Obs.Metrics.Counter.add revoked_metric (before - List.length s.work)
   | Msg.Reject { reason } -> raise (Rejected reason)
   | Msg.Shutdown ->
-    send s.tc (Msg.Bye { metrics = ship_delta s });
+    send s.tc (Msg.Bye { metrics = ship_delta s; spans = ship_spans s });
     raise Done
 
 let read_one s =
@@ -125,8 +149,10 @@ let run_next s =
     s.work <- rest;
     (match s.exp with
     | None -> fatal s.tc "Lease before Init"
-    | Some exp -> serve_cell s.tc s.faults ~cache:s.cache ~exp ~cell ~attempt ~params);
-    if s.work = [] then send s.tc (Msg.Lease_done { metrics = ship_delta s })
+    | Some exp ->
+      serve_cell s.tc s.faults ?trace:s.trace ~cache:s.cache ~exp ~cell ~attempt ~params ());
+    if s.work = [] then
+      send s.tc (Msg.Lease_done { metrics = ship_delta s; spans = ship_spans s })
 
 let session ?stop ~resolve tc =
   Obs.Metrics.Counter.incr sessions_metric;
@@ -141,6 +167,8 @@ let session ?stop ~resolve tc =
       interval = 0.25;
       work = [];
       baseline = Obs.Metrics.snapshot ();
+      trace = None;
+      collecting = false;
     }
   in
   let stopped () = match stop with Some flag -> Atomic.get flag | None -> false in
@@ -167,6 +195,9 @@ let session ?stop ~resolve tc =
     | Rejected reason -> `Rejected reason
     | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> `Gone
   in
+  (* Tear down a session-owned collect buffer so the next coordinator
+     (listen mode) starts clean; stop on Buffer_only discards. *)
+  if s.collecting then Obs.Trace.stop ();
   Conn.close tc;
   result
 
@@ -204,6 +235,10 @@ let main_listen ?(resolve = H.Registry.find) ~address () =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let addr = parse_address address in
   let stop = Transport.install_stop_signals () in
+  (* A pre-started worker may trace to its own file ($BCCLB_TRACE);
+     install_stop_signals registered the at_exit flush, so SIGTERM
+     still writes a complete trace. *)
+  Obs.Trace.start_from_env ();
   match Transport.listen addr with
   | Error e ->
     prerr_endline ("dist worker: " ^ e);

@@ -92,8 +92,21 @@ let run ?(backend = `Domains) ?cache ?num_domains ?grid ~sink (exp : Experiment.
   Obs.Metrics.Counter.incr experiments_metric;
   Obs.Metrics.Counter.add cells_metric (Array.length cells);
   let exp_stopwatch = Obs.Mclock.counter () in
+  let backend_label =
+    match backend with
+    | `Domains -> "domains"
+    | `Procs w -> Printf.sprintf "procs:%d" w
+    | `Roster addrs -> Printf.sprintf "roster:%d" (List.length addrs)
+  in
   let results =
-    Obs.span "runner.experiment" ~attrs:[ ("experiment", exp.Experiment.id) ] (fun () ->
+    Obs.span "runner.experiment"
+      ~attrs:
+        [
+          ("experiment", exp.Experiment.id);
+          ("backend", backend_label);
+          ("cells", string_of_int (Array.length cells));
+        ]
+      (fun () ->
         match backend with
         | `Domains -> Pool.map_batch_timed ?num_domains (fun params -> run_cell ?cache exp params) cells
         | (`Procs _ | `Roster _) as b -> (

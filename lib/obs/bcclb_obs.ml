@@ -5,6 +5,7 @@
 module Mclock = Mclock
 module Metrics = Metrics
 module Trace = Trace
+module Expo = Expo
 
 let span = Trace.span
 

@@ -1,0 +1,210 @@
+(* OpenMetrics text exposition for the Metrics registry.
+
+   [render] turns a {!Metrics.snapshot} into the Prometheus /
+   OpenMetrics text format: counters get a [_total] sample, gauges a
+   bare sample, histograms cumulative [_bucket{le=...}] samples plus
+   [_sum] / [_count] and a [_quantiles{quantile=...}] gauge family
+   interpolated by {!Metrics.quantile}. [parse] is the strict inverse
+   used by [stats --follow] and the CI scrape linter: it refuses
+   anything the renderer would not emit — unknown line shapes,
+   undeclared families, non-finite values, non-monotone buckets, or a
+   missing [# EOF] terminator. *)
+
+type sample = { name : string; labels : (string * string) list; value : float }
+
+let prefix = "bcclb_"
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  String.length s > 0
+  && is_name_start s.[0]
+  && String.for_all is_name_char s
+
+(* Registry names are dotted ("engine.runs"); exposition names must
+   match [a-zA-Z_:][a-zA-Z0-9_:]*. *)
+let metric_name name =
+  let b = Bytes.of_string (prefix ^ name) in
+  Bytes.iteri (fun i c -> if not (is_name_char c) then Bytes.set b i '_') b;
+  let s = Bytes.to_string b in
+  if is_name_start s.[0] then s else "_" ^ s
+
+(* Never emit NaN or infinities: degenerate values render as 0 so every
+   scrape stays parseable (the strict parser refuses non-finite). *)
+let fmt_float x = if Float.is_finite x then Printf.sprintf "%.9g" x else "0"
+
+let quantile_points = [ 0.5; 0.9; 0.99 ]
+
+let render snapshot =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = metric_name name in
+      match (v : Metrics.value) with
+      | Counter c ->
+        line "# TYPE %s counter" n;
+        line "%s_total %d" n c
+      | Gauge x ->
+        line "# TYPE %s gauge" n;
+        line "%s %s" n (fmt_float x)
+      | Histogram h ->
+        line "# TYPE %s histogram" n;
+        let cum = ref 0 in
+        Array.iteri
+          (fun i bound ->
+            cum := !cum + h.counts.(i);
+            line "%s_bucket{le=\"%s\"} %d" n (fmt_float bound) !cum)
+          h.le;
+        line "%s_bucket{le=\"+Inf\"} %d" n h.count;
+        line "%s_sum %s" n (fmt_float h.sum);
+        line "%s_count %d" n h.count;
+        line "# TYPE %s_quantiles gauge" n;
+        List.iter
+          (fun q ->
+            line "%s_quantiles{quantile=\"%s\"} %s" n (fmt_float q)
+              (fmt_float (Metrics.quantile h q)))
+          quantile_points)
+    snapshot;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* ---- strict parser / linter ---- *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Bad s)) fmt
+
+let parse_value lineno s =
+  match float_of_string_opt s with
+  | Some v when Float.is_finite v -> v
+  | Some _ -> fail "line %d: non-finite value %s" lineno s
+  | None -> fail "line %d: unparsable value %s" lineno s
+
+(* {k="v",k'="v'"} — no escapes: the renderer never emits any, so the
+   strict parser refuses them. *)
+let parse_labels lineno s =
+  let n = String.length s in
+  let rec labels i acc =
+    if i >= n then fail "line %d: unterminated label set" lineno
+    else if s.[i] = '}' then
+      if i = n - 1 then List.rev acc else fail "line %d: trailing bytes after '}'" lineno
+    else begin
+      let j = ref i in
+      while !j < n && s.[!j] <> '=' do incr j done;
+      if !j >= n then fail "line %d: label without '='" lineno;
+      let key = String.sub s i (!j - i) in
+      if not (valid_name key) then fail "line %d: bad label name %S" lineno key;
+      if !j + 1 >= n || s.[!j + 1] <> '"' then fail "line %d: label value not quoted" lineno;
+      let vstart = !j + 2 in
+      let k = ref vstart in
+      while !k < n && s.[!k] <> '"' && s.[!k] <> '\\' do incr k done;
+      if !k >= n then fail "line %d: unterminated label value" lineno;
+      if s.[!k] = '\\' then fail "line %d: escape in label value" lineno;
+      let value = String.sub s vstart (!k - vstart) in
+      let next = !k + 1 in
+      if next < n && s.[next] = ',' then labels (next + 1) ((key, value) :: acc)
+      else if next < n && s.[next] = '}' then labels next ((key, value) :: acc)
+      else fail "line %d: expected ',' or '}' after label value" lineno
+    end
+  in
+  labels 0 []
+
+type family = { fname : string; ftype : string; mutable buckets : (string * float) list }
+
+let sample_family fams lineno name =
+  let base suffix =
+    if Filename.check_suffix name suffix then
+      Some (Filename.chop_suffix name suffix)
+    else None
+  in
+  let lookup fam =
+    match Hashtbl.find_opt fams fam with
+    | Some f -> Some f
+    | None -> None
+  in
+  (* Longest-suffix rule: a histogram's _total would be a counter name
+     clash, but the renderer never emits one; check the exact shapes it
+     does emit. *)
+  let candidates =
+    List.filter_map
+      (fun (suffix, want) ->
+        match base suffix with
+        | Some fam -> (
+          match lookup fam with
+          | Some f when f.ftype = want -> Some (f, suffix)
+          | _ -> None)
+        | None -> None)
+      [ ("_total", "counter"); ("_bucket", "histogram"); ("_sum", "histogram");
+        ("_count", "histogram"); ("", "gauge") ]
+  in
+  match candidates with
+  | (f, suffix) :: _ -> (f, suffix)
+  | [] -> fail "line %d: sample %S has no matching # TYPE declaration" lineno name
+
+let parse text =
+  try
+    let fams : (string, family) Hashtbl.t = Hashtbl.create 32 in
+    let samples = ref [] in
+    let saw_eof = ref false in
+    let lines = String.split_on_char '\n' text in
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        if !saw_eof && raw <> "" then fail "line %d: content after # EOF" lineno;
+        if raw = "" then ()
+        else if raw = "# EOF" then saw_eof := true
+        else if String.length raw > 1 && raw.[0] = '#' then begin
+          match String.split_on_char ' ' raw with
+          | [ "#"; "TYPE"; name; kind ] ->
+            if not (valid_name name) then fail "line %d: bad metric name %S" lineno name;
+            if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+              fail "line %d: unknown type %S" lineno kind;
+            if Hashtbl.mem fams name then fail "line %d: duplicate # TYPE %s" lineno name;
+            Hashtbl.add fams name { fname = name; ftype = kind; buckets = [] }
+          | _ -> fail "line %d: unrecognised comment line %S" lineno raw
+        end
+        else begin
+          (* <name>[{labels}] <value> *)
+          let sp =
+            match String.rindex_opt raw ' ' with
+            | Some p -> p
+            | None -> fail "line %d: sample without value" lineno
+          in
+          let head = String.sub raw 0 sp in
+          let value = parse_value lineno (String.sub raw (sp + 1) (String.length raw - sp - 1)) in
+          let name, labels =
+            match String.index_opt head '{' with
+            | None -> (head, [])
+            | Some b ->
+              (String.sub head 0 b, parse_labels lineno (String.sub head (b + 1) (String.length head - b - 1)))
+          in
+          if not (valid_name name) then fail "line %d: bad sample name %S" lineno name;
+          let f, suffix = sample_family fams lineno name in
+          (match suffix with
+          | "_bucket" -> (
+            match List.assoc_opt "le" labels with
+            | None -> fail "line %d: _bucket sample without le label" lineno
+            | Some le -> (
+              f.buckets <- (le, value) :: f.buckets;
+              match f.buckets with
+              | (_, v) :: (_, prev) :: _ when v < prev ->
+                fail "line %d: bucket counts not cumulative in %s" lineno f.fname
+              | _ -> ()))
+          | "_count" -> (
+            match f.buckets with
+            | ("+Inf", inf) :: _ when inf <> value ->
+              fail "line %d: %s_count disagrees with +Inf bucket" lineno f.fname
+            | ("+Inf", _) :: _ -> ()
+            | _ -> fail "line %d: %s_count before +Inf bucket" lineno f.fname)
+          | _ -> ());
+          samples := { name; labels; value } :: !samples
+        end)
+      lines;
+    if not !saw_eof then fail "missing # EOF terminator";
+    Ok (List.rev !samples)
+  with Bad msg -> Error msg
+
+let lint text = match parse text with Ok _ -> Ok () | Error e -> Error e

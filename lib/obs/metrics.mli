@@ -83,8 +83,9 @@ val quantile : hist -> float -> float
 (** [quantile h q] estimates the [q]-quantile ([0 <= q <= 1]) by linear
     interpolation inside the bucket containing the target rank, with 0
     as the lower edge of the first bucket. Observations in the overflow
-    bucket clamp to the last finite bound. Returns 0 for an empty
-    histogram. *)
+    bucket clamp to the last finite bound. Total on degenerate input:
+    returns 0 for an empty histogram or one with no finite bucket
+    bounds — never NaN, never an index error. *)
 
 val hist_mean : hist -> float
 (** [sum /. count], 0 for an empty histogram. *)

@@ -207,6 +207,58 @@ let test_msg_direction_tags () =
   | Ok Msg.Heartbeat -> ()
   | _ -> Alcotest.fail "from_worker round-trip"
 
+(* Trace plumbing over the wire: the context embedded in a Lease, the
+   span shipment riding a Lease_done, and the Traced query wrapper all
+   survive frame + Marshal round-trips bit-for-bit. *)
+let test_trace_context_wire_roundtrip () =
+  let module Trace = Bcclb_obs.Trace in
+  let module Qmsg = Bcclb_dist.Qmsg in
+  let ctx = { Trace.trace_id = "0123abcd"; parent_span = (42 lsl 32) lor 7 } in
+  let lease =
+    Msg.Lease
+      {
+        cells =
+          [| { Msg.cell = 3; attempt = 1; params = Bcclb_harness.Params.v [ ("n", Bcclb_harness.Params.Int 9) ] } |];
+        trace = Some ctx;
+      }
+  in
+  let framed =
+    match Wire.decode (Wire.encode (Msg.to_worker_payload lease)) with
+    | Ok p -> p
+    | Error e -> Alcotest.failf "lease frame: %s" (Wire.error_to_string e)
+  in
+  (match Msg.of_payload_to_worker framed with
+  | Ok (Msg.Lease { trace = Some got; cells }) ->
+    Alcotest.(check string) "lease trace id survives" ctx.Trace.trace_id got.Trace.trace_id;
+    Alcotest.(check int) "lease parent span survives" ctx.Trace.parent_span
+      got.Trace.parent_span;
+    Alcotest.(check int) "lease cells intact" 1 (Array.length cells)
+  | Ok _ -> Alcotest.fail "lease decoded to something else"
+  | Error e -> Alcotest.failf "lease round-trip: %s" e);
+  let ev =
+    {
+      Trace.name = "dist.cell";
+      attrs = [ ("cell", "3") ];
+      pid = 4242;
+      tid = 1;
+      id = 99;
+      parent = ctx.Trace.parent_span;
+      start_ns = 123_456_789;
+      dur_ns = 1000;
+      depth = 0;
+    }
+  in
+  (match Msg.of_payload_from_worker (Msg.from_worker_payload (Msg.Lease_done { metrics = []; spans = [ ev ] })) with
+  | Ok (Msg.Lease_done { spans = [ got ]; _ }) ->
+    Alcotest.(check bool) "shipped span survives verbatim" true (got = ev)
+  | Ok _ -> Alcotest.fail "lease_done decoded to something else"
+  | Error e -> Alcotest.failf "lease_done round-trip: %s" e);
+  match Qmsg.request_of_payload (Qmsg.request_payload (Qmsg.Traced (ctx, Qmsg.Connected (1, 2)))) with
+  | Ok (Qmsg.Traced (got, Qmsg.Connected (1, 2))) ->
+    Alcotest.(check string) "query trace id survives" ctx.Trace.trace_id got.Trace.trace_id
+  | Ok _ -> Alcotest.fail "traced query decoded to something else"
+  | Error e -> Alcotest.failf "traced query round-trip: %s" e
+
 let test_faults_spec () =
   let f = Result.get_ok (Faults.parse "crash:2, stall:5") in
   Alcotest.(check bool) "crash at 2" true (Faults.action f ~cell:2 ~attempt:0 = Some Faults.Crash);
@@ -447,6 +499,8 @@ let suites =
     Alcotest.test_case "wire reader reassembles split frames" `Quick
       test_wire_reader_split_feeds;
     Alcotest.test_case "msg payloads carry direction tags" `Quick test_msg_direction_tags;
+    Alcotest.test_case "trace contexts and span shipments survive the wire" `Quick
+      test_trace_context_wire_roundtrip;
     Alcotest.test_case "fault specs parse and are one-shot" `Quick test_faults_spec;
     Alcotest.test_case "addresses: IPv6 brackets, bad forms, rosters" `Quick test_addr_forms;
     Alcotest.test_case "handshake accepts self, names skews" `Quick test_handshake_check;

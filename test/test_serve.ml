@@ -202,6 +202,66 @@ let test_generated_load () =
               then Alcotest.failf "qps report lacks %s" needle)
             [ "bcclb_serve_query_seconds{quantile=\"0.99\"}"; "bcclb_load_qps" ]))
 
+(* ---- the metrics endpoint, scraped over a real socket ---- *)
+
+let test_metrics_endpoint () =
+  let module Expose = Bcclb_dist.Expose in
+  let module Expo = Bcclb_obs.Expo in
+  let path = fresh_sock () in
+  match Expose.start ~address:(Addr.Unix_socket path) () with
+  | Error e -> Alcotest.fail e
+  | Ok ep ->
+    Fun.protect ~finally:(fun () -> Expose.stop ep) @@ fun () ->
+    let counter = Bcclb_obs.Metrics.Counter.v "test.expose.pings" in
+    Bcclb_obs.Metrics.Counter.add counter 3;
+    let body =
+      match Expose.scrape (Expose.address ep) with
+      | Ok b -> b
+      | Error e -> Alcotest.fail e
+    in
+    let samples =
+      match Expo.parse body with
+      | Ok s -> s
+      | Error e -> Alcotest.failf "scrape does not lint: %s" e
+    in
+    (match
+       List.find_opt (fun s -> s.Expo.name = "bcclb_test_expose_pings_total") samples
+     with
+    | Some s -> Alcotest.(check (float 0.0)) "live counter visible" 3.0 s.Expo.value
+    | None -> Alcotest.fail "test counter missing from scrape");
+    (* A second scrape sees the first one counted. *)
+    (match Expose.scrape (Expose.address ep) with
+    | Error e -> Alcotest.fail e
+    | Ok body2 -> (
+      match
+        Result.map
+          (List.find_opt (fun s -> s.Expo.name = "bcclb_obs_scrapes_total"))
+          (Expo.parse body2)
+      with
+      | Ok (Some s) ->
+        Alcotest.(check bool) "scrape counter advanced" true (s.Expo.value >= 1.0)
+      | _ -> Alcotest.fail "obs.scrapes missing from scrape"));
+    Expose.stop ep;
+    Alcotest.(check bool) "endpoint socket unlinked after stop" false (Sys.file_exists path)
+
+(* Traced requests answer identically to their bare form (the wrapper
+   only matters when the server is tracing). *)
+let test_traced_requests () =
+  with_server (fun addr ->
+      let fd = connect addr in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let ctx = { Bcclb_obs.Trace.trace_id = "feedc0de"; parent_span = 5 } in
+          check_resp "traced load" "loaded n=4 edges=1" fd
+            (Qmsg.Traced (ctx, Qmsg.Load { n = 4; edges = [| (0, 1) |] }));
+          check_resp "traced query" "connected true" fd
+            (Qmsg.Traced (ctx, Qmsg.Connected (0, 1)));
+          check_resp "traced batch" "connected true" fd
+            (Qmsg.Traced (ctx, Qmsg.Batch [| Qmsg.Connected (0, 1) |]));
+          check_resp "nested batch still refused" "error nested batch" fd
+            (Qmsg.Traced (ctx, Qmsg.Batch [| Qmsg.Batch [| Qmsg.Stats |] |]))))
+
 let suites =
   [ Alcotest.test_case "direct queries and stats" `Quick test_queries;
     Alcotest.test_case "batch round trips" `Quick test_batch;
@@ -209,6 +269,8 @@ let suites =
     Alcotest.test_case "replay matches the golden" `Quick test_replay_golden;
     Alcotest.test_case "trace parsing" `Quick test_trace_parsing;
     Alcotest.test_case "config validation messages" `Quick test_config_validation;
-    Alcotest.test_case "generated load end to end" `Quick test_generated_load ]
+    Alcotest.test_case "generated load end to end" `Quick test_generated_load;
+    Alcotest.test_case "metrics endpoint scrapes and lints" `Quick test_metrics_endpoint;
+    Alcotest.test_case "traced requests answer like bare ones" `Quick test_traced_requests ]
 
 let qsuites = []
