@@ -16,7 +16,7 @@ test:
 check:
 	rm -f *.trace.json *.trace.jsonl *.sock serve-* BENCH_serve.json
 	rm -f BENCH_current.json BENCH_doctored.json scrape.txt
-	rm -rf results/cache/arena telemetry-*
+	rm -rf results/cache/arena telemetry-* e15-*
 	dune build && dune runtest
 
 bench:

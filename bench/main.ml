@@ -188,6 +188,28 @@ let bench_agm =
   Test.make ~name:"e14-agm-sketch-n16"
     (Staged.stage @@ fun () -> ignore (Bcclb_bcc.Simulator.run algo inst))
 
+let bench_mt_syndrome =
+  let rng = Rng.create ~seed:11 in
+  let inst = Bcc_instance.kt1_of_graph (Bcclb_graph.Gen.gnp rng 16 0.15) in
+  let algo = Bcclb_algorithms.Mt_connectivity.connectivity () in
+  Test.make ~name:"e15-mt-syndrome-n16"
+    (Staged.stage @@ fun () -> ignore (Bcclb_bcc.Simulator.run algo inst))
+
+let bench_syndrome_decode =
+  let module Gfp = Bcclb_detsketch.Gfp in
+  let module Syndrome = Bcclb_detsketch.Syndrome in
+  let universe = 2016 in
+  let field = Gfp.for_universe ~universe in
+  let s = 12 in
+  let planted = Array.init s (fun i -> (i * 157 mod universe, if i land 1 = 0 then 1 else -1)) in
+  let candidates = Array.init universe Fun.id in
+  Test.make ~name:"sub-syndrome-decode-s12"
+    (Staged.stage
+    @@ fun () ->
+    let t = Syndrome.create ~field ~r:(Syndrome.elements_for ~s) in
+    Array.iter (fun (c, w) -> Syndrome.add t ~coord:c ~weight:w) planted;
+    ignore (Syndrome.decode t ~s ~candidates))
+
 let bench_l0_sampler =
   let rng = Rng.create ~seed:10 in
   let spec = Bcclb_sketch.L0_sampler.fresh_spec rng in
@@ -241,7 +263,7 @@ let tests =
       bench_min_label; bench_boruvka; bench_bell; bench_join; bench_hopcroft_karp;
       bench_ufind_unions; bench_ufind_queries;
       bench_pls_spanning; bench_token_routing; bench_split_boruvka; bench_mst; bench_agm;
-      bench_l0_sampler; bench_pool_batch_1dom; bench_pool_batch_4dom; bench_pool_indist_1dom;
+      bench_mt_syndrome; bench_syndrome_decode; bench_l0_sampler; bench_pool_batch_1dom; bench_pool_batch_4dom; bench_pool_indist_1dom;
       bench_pool_indist_4dom ]
 
 let benchmark () =

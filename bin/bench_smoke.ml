@@ -113,6 +113,69 @@ let smoke_crossing ~n ~t =
       && all.indistinguishable = sampled.indistinguishable
       && all.violations = 0 && sampled.violations = 0)
 
+(* The detsketch decode kernel: build a signed s-sparse vector over the
+   n=512 edge universe, take its 2s+3-element syndrome, and recover it
+   exactly with Prony/Berlekamp–Massey. Deterministic end to end — the
+   parity check is exact equality with the planted support. *)
+let smoke_detsketch () =
+  let module Gfp = Bcclb_detsketch.Gfp in
+  let module Syndrome = Bcclb_detsketch.Syndrome in
+  let n = 512 and s = 24 in
+  let universe = n * (n - 1) / 2 in
+  let field = Gfp.for_universe ~universe in
+  let rng = Rng.create ~seed:99 in
+  let planted =
+    let seen = Hashtbl.create 64 in
+    let rec pick k acc =
+      if k = 0 then acc
+      else
+        let c = Rng.int rng universe in
+        if Hashtbl.mem seen c then pick k acc
+        else begin
+          Hashtbl.add seen c ();
+          pick (k - 1) ((c, if Rng.bool rng then 1 else -1) :: acc)
+        end
+    in
+    pick s [] |> List.sort compare |> Array.of_list
+  in
+  let r = Syndrome.elements_for ~s in
+  let decoded, secs =
+    time (fun () ->
+        let t = Syndrome.create ~field ~r in
+        Array.iter (fun (c, w) -> Syndrome.add t ~coord:c ~weight:w) planted;
+        Syndrome.decode t ~s ~candidates:(Array.init universe Fun.id))
+  in
+  record (Printf.sprintf "smoke-detsketch-decode-n%d-s%d" n s) secs;
+  expect
+    (Printf.sprintf "detsketch-decode n=%d s=%d" n s)
+    (match decoded with Some got -> got = planted | None -> false)
+
+(* The MT deterministic-connectivity kernel: full simulator execution at
+   b = Theta(log n), checked against the Conn union-find oracle on both
+   a YES and a NO instance. Runs through Simulator, so it moves the
+   engine.runs / engine.bits_broadcast counters the baseline pins. *)
+let smoke_mt_connectivity () =
+  let module Graph = Bcclb_graph.Graph in
+  let module Conn = Bcclb_graph.Conn in
+  let module Gen = Bcclb_graph.Gen in
+  let module Simulator = Bcclb_bcc.Simulator in
+  let n = 48 in
+  let check name g =
+    let uf = Conn.create n in
+    Graph.iter_edges (fun u v -> ignore (Conn.union uf u v)) g;
+    let truth = Conn.components uf = 1 in
+    let algo = Bcclb_algorithms.Mt_connectivity.connectivity () in
+    let result, secs =
+      time (fun () -> Simulator.run ~seed:3 algo (Instance.kt1_of_graph g))
+    in
+    record (Printf.sprintf "smoke-mt-connectivity-n%d-%s" n name) secs;
+    expect
+      (Printf.sprintf "mt-connectivity n=%d %s" n name)
+      (Bcclb_bcc.Problems.system_decision result.Simulator.outputs = truth)
+  in
+  check "yes" (Gen.random_connected (Rng.create ~seed:11) n);
+  check "no" (Gen.random_two_cycles (Rng.create ~seed:12) n)
+
 (* Orbit-reduced vs packed parity: identical graphs from one execution
    per rotation class. t >= 1 with a labelled (x, y) build exercises the
    orientation-flip correction (reversed members read the rep's (y, x)
@@ -438,6 +501,8 @@ let () =
   Printf.printf "bench smoke: packed vs legacy parity at n=8\n%!";
   smoke_indist ~n:8 ~t:2;
   smoke_crossing ~n:8 ~t:2;
+  smoke_detsketch ();
+  smoke_mt_connectivity ();
   orbit_parity ~n:8 ~t:3;
   if orbit_parity_mode then orbit_parity_sweep ();
   if deep then begin

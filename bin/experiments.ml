@@ -261,24 +261,7 @@ let list_cmd =
     Term.(
       const (fun json ->
           if json then
-            let items =
-              List.map
-                (fun (e : H.Experiment.t) ->
-                  H.Json.Obj
-                    ([
-                       ("id", H.Json.Str e.id);
-                       ("title", H.Json.Str e.title);
-                       ("cells", H.Json.Int (List.length e.default_grid));
-                       ("doc", H.Json.Str e.doc);
-                       ("version", H.Json.Int e.version);
-                     ]
-                    @
-                    match e.n_range with
-                    | Some (lo, hi) -> [ ("n_min", H.Json.Int lo); ("n_max", H.Json.Int hi) ]
-                    | None -> []))
-                H.Registry.all
-            in
-            print_endline (H.Json.to_string ~pretty:true (H.Json.List items))
+            print_endline (H.Json.to_string ~pretty:true (H.Registry.index_json ()))
           else
             List.iter
               (fun (e : H.Experiment.t) ->

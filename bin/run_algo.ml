@@ -51,6 +51,20 @@ let algos =
       { algo_name = "agm";
         knowledge = Instance.KT1;
         build = (fun () -> Bcclb_algorithms.Agm_connectivity.connectivity ()) } );
+    ( "mt",
+      { algo_name = "mt";
+        knowledge = Instance.KT1;
+        build = (fun () -> Bcclb_algorithms.Mt_connectivity.connectivity ()) } );
+    ( "mt-bcc1",
+      { algo_name = "mt-bcc1";
+        knowledge = Instance.KT1;
+        build =
+          (* The 1-bit variant of the same deterministic protocol:
+             Theta(log n) rounds, the frontier's other endpoint. *)
+          (fun () ->
+            Bcclb_algorithms.Mt_connectivity.connectivity
+              ~params:{ Bcclb_algorithms.Mt_connectivity.s0 = 4; phases = 2; bandwidth = 1 }
+              ()) } );
     ( "always-yes",
       { algo_name = "always-yes"; knowledge = Instance.KT0; build = Bcclb_algorithms.Trivial.always_yes } ) ]
 

@@ -1,40 +1,36 @@
 open Bcclb_bcc
 open Bcclb_graph
 
-(* The dense-graph baseline: in KT-1 BCC(1), vertex v broadcasts in round
-   p whether its port p-1 carries an input edge. After exactly n-1 rounds
-   everyone holds the full adjacency matrix (sender identity is known per
-   port, and the sender's port ordering is the shared ID order), so any
-   graph problem is solved locally. Θ(n) rounds regardless of density —
-   the generic upper bound that the O(log n) sparse algorithms beat. *)
+(* The dense-graph baseline: in KT-1 BCC(b), vertex v broadcasts its
+   adjacency row — bit p says whether port p carries an input edge — b
+   bits per round ({!Chunked}; at the default b = 1, bit p goes out in
+   round p+1 exactly as before). After ⌈(n−1)/b⌉ rounds everyone holds
+   the full adjacency matrix (sender identity is known per port, and the
+   sender's port ordering is the shared ID order), so any graph problem
+   is solved locally. Θ(n/b) rounds regardless of density — the generic
+   upper bound that the O(log n) sparse algorithms beat. *)
 
-type state = { view : View.t; heard : bool array array (* heard.(p).(q): port q of sender behind p *) }
+type state = { view : View.t; own_bits : string; heard : Buffer.t array }
 
-let make ~name ~finish_of_graph =
-  let rounds ~n = n - 1 in
+let make ~name ?(bandwidth = 1) ~finish_of_graph () =
+  Chunked.check_bandwidth name bandwidth;
+  let rounds ~n = Chunked.rounds ~bits:(n - 1) ~bandwidth in
   let init view =
     match View.kt1 view with
     | None -> invalid_arg (name ^ ": needs a KT-1 instance")
     | Some _ ->
       let ports = View.num_ports view in
-      { view; heard = Bcclb_util.Arrayx.init_matrix ports ports (fun _ _ -> false) }
+      { view;
+        own_bits = String.init ports (fun p -> if View.is_input_port view p then '1' else '0');
+        heard = Array.init ports (fun _ -> Buffer.create ports) }
   in
   let step st ~round ~inbox =
-    (* inbox carries round-1 broadcasts: bit for sender's port round-2. *)
-    if round >= 2 then
-      Array.iteri
-        (fun p m -> match m with Msg.Word b -> st.heard.(p).(round - 2) <- Bcclb_util.Bits.to_bool b | Msg.Silent -> ())
-        inbox;
-    (st, Msg.of_bit (View.is_input_port st.view (round - 1)))
+    if round >= 2 then Chunked.absorb ~into:st.heard inbox;
+    (st, Chunked.emit ~bits:st.own_bits ~bandwidth ~chunk:(round - 1))
   in
   let reconstruct st ~inbox =
     let n = View.n st.view in
-    Array.iteri
-      (fun p m ->
-        match m with
-        | Msg.Word b -> st.heard.(p).(n - 2) <- Bcclb_util.Bits.to_bool b
-        | Msg.Silent -> ())
-      inbox;
+    Chunked.absorb ~into:st.heard inbox;
     (* Sender behind port p has some ID; its port q leads to the vertex
        with the (q+1)-th smallest ID among the others. Build the graph on
        the shared ID order. *)
@@ -52,9 +48,10 @@ let make ~name ~finish_of_graph =
     done;
     for p = 0 to n - 2 do
       let sender = Hashtbl.find index (View.neighbor_id st.view p) in
+      let row = Buffer.contents st.heard.(p) in
       (* The sender's port q skips itself in the sorted ID order. *)
       for q = 0 to n - 2 do
-        if st.heard.(p).(q) then begin
+        if row.[q] = '1' then begin
           let other = if q >= sender then q + 1 else q in
           edges := (sender, other) :: !edges
         end
@@ -63,17 +60,27 @@ let make ~name ~finish_of_graph =
     Graph.of_edges ~n !edges
   in
   let finish st ~inbox = finish_of_graph st (reconstruct st ~inbox) in
-  Algo.bcc1 ~name ~rounds ~init ~step ~finish
+  { Algo.name;
+    anonymous = false;
+    bandwidth = (fun ~n:_ -> bandwidth);
+    rounds;
+    init;
+    step;
+    finish }
 
-let connectivity () =
-  Algo.pack (make ~name:"adjacency-matrix-connectivity" ~finish_of_graph:(fun _st g -> Graph.is_connected g))
-
-let components () =
+let connectivity ?bandwidth () =
   Algo.pack
-    (make ~name:"adjacency-matrix-components"
+    (make ~name:"adjacency-matrix-connectivity" ?bandwidth
+       ~finish_of_graph:(fun _st g -> Graph.is_connected g)
+       ())
+
+let components ?bandwidth () =
+  Algo.pack
+    (make ~name:"adjacency-matrix-components" ?bandwidth
        ~finish_of_graph:(fun st g ->
          let ids = View.all_ids st.view in
          let index = Hashtbl.create (View.n st.view) in
          Array.iteri (fun i id -> Hashtbl.add index id i) ids;
          let labels = Graph.components g in
-         ids.(labels.(Hashtbl.find index (View.id st.view)))))
+         ids.(labels.(Hashtbl.find index (View.id st.view))))
+       ())

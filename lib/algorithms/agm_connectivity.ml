@@ -65,7 +65,10 @@ let sampler_bits ~n ~check_bits =
   let universe = Edge_coding.universe ~n in
   L0_sampler.levels_for ~universe * L0_sampler.bits_per_level ~universe ~check_bits
 
-let total_rounds ~n params = params.phases * params.copies * sampler_bits ~n ~check_bits:params.check_bits
+let payload_bits ~n params = params.phases * params.copies * sampler_bits ~n ~check_bits:params.check_bits
+
+let total_rounds ?(bandwidth = 1) ~n params =
+  Chunked.rounds ~bits:(payload_bits ~n params) ~bandwidth
 
 (* The local Boruvka every vertex runs identically once it has all n
    sketch families. samplers.(v).(k): vertex v's k-th sampler. *)
@@ -106,8 +109,9 @@ let local_components ~n params samplers =
   done;
   uf
 
-let make ~name ~finish_of_uf =
-  let rounds ~n = total_rounds ~n (default_params ~n) in
+let make ~name ?(bandwidth = 1) ~finish_of_uf () =
+  Chunked.check_bandwidth name bandwidth;
+  let rounds ~n = total_rounds ~bandwidth ~n (default_params ~n) in
   let init view =
     match View.kt1 view with
     | None -> invalid_arg (name ^ ": needs a KT-1 instance")
@@ -127,22 +131,11 @@ let make ~name ~finish_of_uf =
   in
   let step st ~round ~inbox =
     (* Collect the bits broadcast in the previous round. *)
-    if round >= 2 then
-      Array.iteri
-        (fun p m ->
-          match m with
-          | Msg.Word w -> Buffer.add_char st.heard.(p) (if Bcclb_util.Bits.to_bool w then '1' else '0')
-          | Msg.Silent -> ())
-        inbox;
-    (st, Msg.of_bit (st.own_bits.[round - 1] = '1'))
+    if round >= 2 then Chunked.absorb ~into:st.heard inbox;
+    (st, Chunked.emit ~bits:st.own_bits ~bandwidth ~chunk:(round - 1))
   in
   let finish st ~inbox =
-    Array.iteri
-      (fun p m ->
-        match m with
-        | Msg.Word w -> Buffer.add_char st.heard.(p) (if Bcclb_util.Bits.to_bool w then '1' else '0')
-        | Msg.Silent -> ())
-      inbox;
+    Chunked.absorb ~into:st.heard inbox;
     let n = View.n st.view in
     let universe = Edge_coding.universe ~n in
     let all = View.all_ids st.view in
@@ -162,17 +155,26 @@ let make ~name ~finish_of_uf =
     done;
     finish_of_uf st ~me (local_components ~n st.params samplers)
   in
-  Algo.bcc1 ~name ~rounds ~init ~step ~finish
+  { Algo.name;
+    anonymous = false;
+    bandwidth = (fun ~n:_ -> bandwidth);
+    rounds;
+    init;
+    step;
+    finish }
 
-let connectivity () =
+let connectivity ?bandwidth () =
   Algo.pack
-    (make ~name:"agm-sketch-connectivity" ~finish_of_uf:(fun _st ~me:_ uf ->
-         Conn.components uf = 1))
+    (make ~name:"agm-sketch-connectivity" ?bandwidth
+       ~finish_of_uf:(fun _st ~me:_ uf -> Conn.components uf = 1)
+       ())
 
-let components () =
+let components ?bandwidth () =
   Algo.pack
-    (make ~name:"agm-sketch-components" ~finish_of_uf:(fun st ~me uf ->
+    (make ~name:"agm-sketch-components" ?bandwidth
+       ~finish_of_uf:(fun st ~me uf ->
          (* Label: the smallest member ID of our component. *)
          let all = View.all_ids st.view in
          let labels = Conn.labels uf in
-         all.(labels.(me))))
+         all.(labels.(me)))
+       ())

@@ -10,17 +10,22 @@
     sketch-Borůvka. Monte Carlo: per-phase sampling can fail (retried
     across copies and extra phases) and checksum collisions can fabricate
     edges; both are rare at the default parameters and are measured in
-    experiment E14. KT-1 instances only. *)
+    experiment E14. KT-1 instances only.
+
+    The same payload runs at any bandwidth b ≥ 1 ({!Chunked}): the sketch
+    bits are broadcast b per round, so rounds = ⌈O(log³ n) / b⌉ — the
+    randomized column of the E15 bandwidth × rounds frontier. *)
 
 type params = { copies : int; check_bits : int; phases : int }
 
 val default_params : n:int -> params
 
-val total_rounds : n:int -> params -> int
-(** Broadcast rounds = phases · copies · sampler bits = O(log³ n). *)
+val total_rounds : ?bandwidth:int -> n:int -> params -> int
+(** Broadcast rounds = ⌈phases · copies · sampler bits / b⌉; at the
+    default b = 1 exactly the payload bit count, O(log³ n). *)
 
-val connectivity : unit -> bool Bcclb_bcc.Algo.packed
+val connectivity : ?bandwidth:int -> unit -> bool Bcclb_bcc.Algo.packed
 
-val components : unit -> int Bcclb_bcc.Algo.packed
+val components : ?bandwidth:int -> unit -> int Bcclb_bcc.Algo.packed
 (** Smallest member ID of the vertex's component (when the sketch
     Borůvka fully converges). *)

@@ -1,0 +1,83 @@
+(* Berlekamp–Massey over GF(p), the textbook discrepancy form. c is the
+   connection polynomial (c.(0) = 1 throughout), b the last copy made at
+   a length change, bb its discrepancy, m the gap since that change. *)
+let berlekamp_massey f s =
+  let n = Array.length s in
+  let c = Array.make (n + 1) 0 and b = Array.make (n + 1) 0 in
+  c.(0) <- 1;
+  b.(0) <- 1;
+  let l = ref 0 and m = ref 1 and bb = ref 1 in
+  for i = 0 to n - 1 do
+    let d = ref (Gfp.normalize f s.(i)) in
+    for k = 1 to !l do
+      d := Gfp.add f !d (Gfp.mul f c.(k) s.(i - k))
+    done;
+    if !d = 0 then incr m
+    else begin
+      let grow = 2 * !l <= i in
+      let saved = if grow then Array.copy c else [||] in
+      let coef = Gfp.mul f !d (Gfp.inv f !bb) in
+      for k = 0 to n - !m do
+        c.(k + !m) <- Gfp.sub f c.(k + !m) (Gfp.mul f coef b.(k))
+      done;
+      if grow then begin
+        l := i + 1 - !l;
+        Array.blit saved 0 b 0 (n + 1);
+        bb := !d;
+        m := 1
+      end
+      else incr m
+    end
+  done;
+  (!l, Array.sub c 0 (!l + 1))
+
+let eval_rev f c x =
+  let acc = ref 0 in
+  for k = 0 to Array.length c - 1 do
+    acc := Gfp.add f (Gfp.mul f !acc x) c.(k)
+  done;
+  !acc
+
+(* Gaussian elimination with partial (first-nonzero) pivoting; the
+   systems here are tiny (L ≤ a sketch's sparsity budget). *)
+let solve_vandermonde f ~roots ~rhs =
+  let l = Array.length roots in
+  if Array.length rhs <> l then invalid_arg "Poly.solve_vandermonde: size mismatch";
+  if l = 0 then Some [||]
+  else begin
+    let a = Array.init l (fun j -> Array.init l (fun i -> Gfp.pow f roots.(i) j)) in
+    let b = Array.map (Gfp.normalize f) rhs in
+    let singular = ref false in
+    (try
+       for col = 0 to l - 1 do
+         let piv = ref col in
+         while a.(!piv).(col) = 0 do
+           incr piv;
+           if !piv >= l then raise Exit
+         done;
+         if !piv <> col then begin
+           let t = a.(col) in
+           a.(col) <- a.(!piv);
+           a.(!piv) <- t;
+           let t = b.(col) in
+           b.(col) <- b.(!piv);
+           b.(!piv) <- t
+         end;
+         let ipiv = Gfp.inv f a.(col).(col) in
+         for j = col to l - 1 do
+           a.(col).(j) <- Gfp.mul f a.(col).(j) ipiv
+         done;
+         b.(col) <- Gfp.mul f b.(col) ipiv;
+         for r = 0 to l - 1 do
+           if r <> col && a.(r).(col) <> 0 then begin
+             let factor = a.(r).(col) in
+             for j = col to l - 1 do
+               a.(r).(j) <- Gfp.sub f a.(r).(j) (Gfp.mul f factor a.(col).(j))
+             done;
+             b.(r) <- Gfp.sub f b.(r) (Gfp.mul f factor b.(col))
+           end
+         done
+       done
+     with Exit -> singular := true);
+    if !singular then None else Some b
+  end

@@ -1,0 +1,25 @@
+(** Polynomial subroutines of Prony-style sparse recovery over GF(p).
+
+    A power-sum sequence s_j = Σ_{i<L} c_i·α_i^j (distinct nonzero α_i,
+    nonzero c_i) satisfies the minimal linear recurrence whose connection
+    polynomial is the locator Λ(x) = Π_i (1 − α_i·x). Berlekamp–Massey
+    recovers Λ from 2L terms; the α_i are read off as the roots of the
+    reversed locator; and the coefficients solve a transposed-Vandermonde
+    system. {!Syndrome.decode} composes the three. *)
+
+val berlekamp_massey : Gfp.t -> int array -> int * int array
+(** [berlekamp_massey f s] = [(l, c)]: the shortest LFSR generating [s],
+    as the connection polynomial c.(0) + c.(1)·x + … + c.(l)·x^l with
+    c.(0) = 1, i.e. s_j = −Σ_{k=1..l} c.(k)·s_{j−k} for l ≤ j < |s|.
+    For a power-sum sequence of an L-sparse vector with |s| ≥ 2L, [c] is
+    exactly the locator Π (1 − α_i·x). *)
+
+val eval_rev : Gfp.t -> int array -> int -> int
+(** [eval_rev f c x] = Σ_k c.(k)·x^{deg−k}, the reversed polynomial
+    x^deg·c(1/x) at [x] — zero exactly when [x] is a locator root, i.e.
+    when the coordinate with α = x is in the decoded support. *)
+
+val solve_vandermonde : Gfp.t -> roots:int array -> rhs:int array -> int array option
+(** Solve Σ_i x_i·roots.(i)^j = rhs.(j) for j = 0..L−1 (the transposed
+    Vandermonde system yielding the sparse coefficients). [None] if the
+    system is singular (repeated roots). *)

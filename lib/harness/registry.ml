@@ -1,7 +1,7 @@
 (* Thin aggregation of the per-experiment modules under experiments/.
    Each EXX module exports [experiments : Experiment.t list]; the shared
    prelude (param shorthands, cache-purity contract, algorithm families)
-   lives in Exp_common. Run order is E1..E14. *)
+   lives in Exp_common. Run order is E1..E15. *)
 
 module E = Experiment
 
@@ -10,9 +10,33 @@ let all =
   @ E04_crossing.experiments @ E05_rank.experiments @ E06_partition_cc.experiments
   @ E07_gadget.experiments @ E08_bcc_to_2party.experiments @ E09_mutual_info.experiments
   @ E10_upper_bounds.experiments @ E11_pls.experiments @ E12_range_spectrum.experiments
-  @ E13_bandwidth.experiments @ E14_general_graphs.experiments
+  @ E13_bandwidth.experiments @ E14_general_graphs.experiments @ E15_det_frontier.experiments
 
 let find id = List.find_opt (fun e -> String.equal e.E.id id) all
+
+(* The machine-readable catalogue behind `experiments list --json`.
+   n_range rides along both as a structured pair and as flat min/max
+   fields (the latter predate the pair; keep both stable). *)
+let index_json () =
+  Json.List
+    (List.map
+       (fun (e : E.t) ->
+         Json.Obj
+           ([ ("id", Json.Str e.id);
+              ("title", Json.Str e.title);
+              ("cells", Json.Int (List.length e.default_grid));
+              ("doc", Json.Str e.doc);
+              ("version", Json.Int e.version)
+            ]
+           @
+           match e.n_range with
+           | Some (lo, hi) ->
+             [ ("n_range", Json.List [ Json.Int lo; Json.Int hi ]);
+               ("n_min", Json.Int lo);
+               ("n_max", Json.Int hi)
+             ]
+           | None -> []))
+       all)
 
 (* Levenshtein distance over lowercased ids — small strings, the O(nm)
    two-row DP is plenty. Drives the CLI's "did you mean" hint. *)

@@ -317,6 +317,126 @@ let test_agm_rounds_polylog () =
     (Algo.rounds algo ~n < n - 1)
 
 
+let test_chunked_bandwidth_variants () =
+  (* The BCC(b) generalizations agree with their b = 1 selves and shrink
+     rounds by the chunking factor. *)
+  let rng = Rng.create ~seed:220 in
+  let g = Ggen.random_multicycle rng 12 in
+  let inst = Instance.kt1_of_graph g in
+  let truth = G.is_connected g in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "adjacency correct at b=%d" b)
+        truth
+        (run_decision (Adjacency_matrix.connectivity ~bandwidth:b ()) inst))
+    [ 1; 4; 11 ];
+  Alcotest.(check bool) "agm correct at b=5" truth
+    (Problems.system_decision
+       (Simulator.run ~seed:3 (Agm_connectivity.connectivity ~bandwidth:5 ()) inst).Simulator.outputs);
+  let n = 1024 in
+  Alcotest.(check int) "adjacency rounds = ceil((n-1)/b)" ((n - 1 + 7) / 8)
+    (Algo.rounds (Adjacency_matrix.connectivity ~bandwidth:8 ()) ~n);
+  let bits = Algo.rounds (Agm_connectivity.connectivity ()) ~n in
+  Alcotest.(check int) "agm rounds = ceil(bits/b)" ((bits + 15) / 16)
+    (Algo.rounds (Agm_connectivity.connectivity ~bandwidth:16 ()) ~n);
+  Alcotest.check_raises "bandwidth must fit a word"
+    (Invalid_argument "adjacency-matrix-connectivity: bandwidth 63 outside [1, 62]") (fun () ->
+      ignore (Adjacency_matrix.connectivity ~bandwidth:63 ()))
+
+(* Ground truth for the MT tests via the Conn (lock-free ufind) oracle,
+   as the acceptance criteria demand — not via the algorithm under test. *)
+let oracle_connected g =
+  let uf = Bcclb_graph.Conn.create (G.n g) in
+  G.iter_edges (fun u v -> ignore (Bcclb_graph.Conn.union uf u v)) g;
+  Bcclb_graph.Conn.components uf = 1
+
+let test_mt_connectivity () =
+  (* Deterministic: exact on every instance of the promise families. *)
+  let algo = Mt_connectivity.connectivity () in
+  let rng = Rng.create ~seed:211 in
+  for seed = 1 to 12 do
+    let n = 12 + (seed mod 5) in
+    let g =
+      match seed mod 3 with
+      | 0 -> Ggen.random_cycle rng n
+      | 1 -> Ggen.random_multicycle rng n
+      | _ -> Ggen.random_two_cycles rng n
+    in
+    let inst = Instance.kt1_of_graph g in
+    Alcotest.(check bool)
+      (Printf.sprintf "matches Conn oracle (seed %d)" seed)
+      (oracle_connected g) (run_decision algo inst)
+  done
+
+let test_mt_bounded_degree_and_sparse () =
+  let algo = Mt_connectivity.connectivity () in
+  let rng = Rng.create ~seed:212 in
+  for seed = 1 to 10 do
+    let g =
+      if seed mod 2 = 0 then Ggen.random_bounded_degree rng 16 4 else Ggen.gnp rng 16 0.1
+    in
+    let inst = Instance.kt1_of_graph g in
+    Alcotest.(check bool)
+      (Printf.sprintf "matches Conn oracle (seed %d)" seed)
+      (oracle_connected g) (run_decision algo inst)
+  done
+
+let test_mt_components () =
+  let algo = Mt_connectivity.components () in
+  let rng = Rng.create ~seed:213 in
+  for _ = 1 to 6 do
+    let g = Ggen.random_multicycle rng 14 in
+    let inst = Instance.kt1_of_graph g in
+    let r = Simulator.run algo inst in
+    Alcotest.(check bool) "valid components" true (Problems.components_correct g r.Simulator.outputs)
+  done
+
+let test_mt_rounds_constant_at_log_bandwidth () =
+  (* At the default b = element_bits = Theta(log n), the round count is a
+     constant independent of n — the O(1)-round upper bound the E15
+     frontier dramatizes. At b = 1 the same protocol costs Theta(log n). *)
+  let algo = Mt_connectivity.connectivity () in
+  let r64 = Algo.rounds algo ~n:64 in
+  Alcotest.(check bool) "positive" true (r64 > 0);
+  List.iter
+    (fun n -> Alcotest.(check int) (Printf.sprintf "constant at n=%d" n) r64 (Algo.rounds algo ~n))
+    [ 256; 1024; 4096; 16384 ];
+  Alcotest.(check int) "declared bandwidth is element width" (Mt_connectivity.element_bits ~n:1024)
+    (Algo.bandwidth algo ~n:1024);
+  let one_bit n =
+    let params = { (Mt_connectivity.default_params ~n) with Mt_connectivity.bandwidth = 1 } in
+    Mt_connectivity.total_rounds ~n params
+  in
+  Alcotest.(check bool) "1-bit cost grows with n" true (one_bit 4096 > one_bit 64);
+  Alcotest.(check int) "1-bit rounds = payload bits" (one_bit 1024)
+    (Mt_connectivity.syndrome_bits ~n:1024 (Mt_connectivity.default_params ~n:1024))
+
+let test_mt_narrow_bandwidth_chunking () =
+  (* A bandwidth that does not divide the payload exercises the partial
+     final chunk of each phase; the simulator enforces the declared b. *)
+  let rng = Rng.create ~seed:214 in
+  List.iter
+    (fun bandwidth ->
+      let params = { Mt_connectivity.s0 = 2; phases = 2; bandwidth } in
+      let algo = Mt_connectivity.connectivity ~params () in
+      let g = Ggen.random_multicycle rng 10 in
+      let inst = Instance.kt1_of_graph g in
+      Alcotest.(check bool)
+        (Printf.sprintf "correct at b=%d" bandwidth)
+        (oracle_connected g) (run_decision algo inst))
+    [ 1; 3; 7 ];
+  (* KT-0 instances are rejected (ID order is the shared coordinate
+     system). *)
+  let algo = Mt_connectivity.connectivity () in
+  let raised =
+    try
+      ignore (Simulator.run algo (Instance.kt0_circulant (Ggen.cycle 8)));
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "rejects KT-0" true raised
+
 let test_kt0_compiler_boruvka () =
   (* Boruvka (KT-1) compiled to KT-0: correct on random-wired instances. *)
   let algo = Kt0_compiler.compile (Boruvka.connectivity ()) in
@@ -399,6 +519,13 @@ let suites =
     Alcotest.test_case "agm sketch connectivity" `Slow test_agm_connectivity;
     Alcotest.test_case "agm sketch components" `Slow test_agm_components;
     Alcotest.test_case "agm rounds polylog" `Quick test_agm_rounds_polylog;
+    Alcotest.test_case "mt syndrome connectivity" `Quick test_mt_connectivity;
+    Alcotest.test_case "mt bounded degree + sparse gnp" `Quick test_mt_bounded_degree_and_sparse;
+    Alcotest.test_case "mt components" `Quick test_mt_components;
+    Alcotest.test_case "mt O(1) rounds at b=Theta(log n)" `Quick
+      test_mt_rounds_constant_at_log_bandwidth;
+    Alcotest.test_case "mt narrow-bandwidth chunking" `Quick test_mt_narrow_bandwidth_chunking;
+    Alcotest.test_case "chunked bandwidth variants" `Quick test_chunked_bandwidth_variants;
     Alcotest.test_case "mst matches kruskal" `Quick test_mst_matches_kruskal;
     Alcotest.test_case "mst total weight" `Quick test_mst_total_weight;
     Alcotest.test_case "mst on cycle" `Quick test_mst_on_promise_inputs;
@@ -426,6 +553,13 @@ let qsuites =
         let g = Ggen.gnp rng n 0.2 in
         let inst = Instance.kt1_of_graph g in
         run_decision (Boruvka.connectivity ()) inst = G.is_connected g);
+    Test.make ~name:"mt syndrome connectivity agrees with ground truth on multicycles" ~count:40
+      Gen.(pair (6 -- 18) (0 -- 100000))
+      (fun (n, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Ggen.random_multicycle rng n in
+        let inst = Instance.kt1_of_graph g in
+        run_decision (Mt_connectivity.connectivity ()) inst = G.is_connected g);
     Test.make ~name:"min-label matches discovery on multicycles" ~count:40
       Gen.(pair (6 -- 14) (0 -- 100000))
       (fun (n, seed) ->

@@ -267,8 +267,63 @@ let test_json_surrogate_pairs () =
       | _ -> Alcotest.failf "accepted malformed %s" s)
     [ {|"\ud83d"|}; {|"\ud83dx"|}; {|"\ud83dA"|}; {|"\ude00"|} ]
 
+(* ---- registry: lookup, typo suggestions, JSON catalogue ---- *)
+
+module Registry = Bcclb_harness.Registry
+
+let test_registry_suggest () =
+  Alcotest.(check bool) "det-frontier is registered" true
+    (Option.is_some (Registry.find "det-frontier"));
+  (* Plausible typos resolve to the new experiment's id. *)
+  List.iter
+    (fun typo ->
+      Alcotest.(check (option string))
+        (Printf.sprintf "suggest %S" typo)
+        (Some "det-frontier") (Registry.suggest typo))
+    [ "det-frontie"; "det_frontier"; "Det-Frontier"; "dat-frontier" ];
+  (* Garbage stays unsuggested rather than snapping to something random. *)
+  Alcotest.(check (option string)) "no suggestion for garbage" None
+    (Registry.suggest "zzzzzzzzzzzzzz")
+
+let test_registry_index_json () =
+  let catalogue =
+    match Registry.index_json () with
+    | Json.List entries -> entries
+    | _ -> Alcotest.fail "index_json is not a list"
+  in
+  Alcotest.(check int) "one entry per experiment" (List.length Registry.all)
+    (List.length catalogue);
+  let field name = function
+    | Json.Obj kvs -> List.assoc_opt name kvs
+    | _ -> None
+  in
+  let e15 =
+    match
+      List.find_opt (fun e -> field "id" e = Some (Json.Str "det-frontier")) catalogue
+    with
+    | Some e -> e
+    | None -> Alcotest.fail "det-frontier missing from the catalogue"
+  in
+  (match field "n_range" e15 with
+  | Some (Json.List [ Json.Int lo; Json.Int hi ]) ->
+    Alcotest.(check bool) "n_range is a sane pair" true (0 < lo && lo < hi);
+    Alcotest.(check (option bool)) "flat n_min agrees" (Some true)
+      (Option.map (fun j -> j = Json.Int lo) (field "n_min" e15));
+    Alcotest.(check (option bool)) "flat n_max agrees" (Some true)
+      (Option.map (fun j -> j = Json.Int hi) (field "n_max" e15))
+  | _ -> Alcotest.fail "det-frontier lacks a two-int n_range");
+  (* The whole catalogue must survive a print/parse round trip — this is
+     what `experiments list --json` ships to roster drivers. *)
+  let j = Registry.index_json () in
+  Alcotest.(check bool) "catalogue round-trips through the printer" true
+    (Json.of_string (Json.to_string ~pretty:true j) = j)
+
 let suites =
   [ Alcotest.test_case "params canonical encoding" `Quick test_params_canonical;
+    Alcotest.test_case "registry suggests det-frontier for typos" `Quick
+      test_registry_suggest;
+    Alcotest.test_case "registry catalogue carries n_range" `Quick
+      test_registry_index_json;
     Alcotest.test_case "cache round-trip" `Quick test_cache_roundtrip;
     Alcotest.test_case "corrupted entries recompute" `Quick test_cache_corruption;
     Alcotest.test_case "cache keys ignore domain count" `Quick test_key_domain_independence;

@@ -29,6 +29,7 @@ let () =
       ("plschemes", Test_plschemes.suites @ q Test_plschemes.qsuites);
       ("rcc", Test_rcc.suites @ q Test_rcc.qsuites);
       ("sketch", Test_sketch.suites @ q Test_sketch.qsuites);
+      ("detsketch", Test_detsketch.suites @ q Test_detsketch.qsuites);
       ("engine", Test_engine.suites @ q Test_engine.qsuites);
       ("harness", Test_harness.suites @ q Test_harness.qsuites);
       ("obs", Test_obs.suites @ q Test_obs.qsuites);

@@ -79,6 +79,85 @@ let test_sampler_success_rate () =
   done;
   Alcotest.(check bool) "decent success rate" true (!successes > trials / 3)
 
+let test_edge_coding_boundaries () =
+  (* Empty edge set: the smallest universes still round-trip. *)
+  Alcotest.(check int) "n=2: single-pair universe" 1 (Edge_coding.universe ~n:2);
+  Alcotest.(check int) "n=2 encode" 0 (Edge_coding.encode ~n:2 0 1);
+  Alcotest.(check (pair int int)) "n=2 decode" (0, 1) (Edge_coding.decode ~n:2 0);
+  (* Universe endpoints: first and last coordinates. *)
+  List.iter
+    (fun n ->
+      let u = Edge_coding.universe ~n in
+      Alcotest.(check int) "first coord" 0 (Edge_coding.encode ~n 0 1);
+      Alcotest.(check int) "last coord" (u - 1) (Edge_coding.encode ~n (n - 2) (n - 1));
+      Alcotest.(check (pair int int)) "last decode" (n - 2, n - 1) (Edge_coding.decode ~n (u - 1)))
+    [ 3; 5; 64 ];
+  (* Empty set: a sampler with nothing toggled is zero and silent. *)
+  let n = 12 in
+  let universe = Edge_coding.universe ~n in
+  let rng = Rng.create ~seed:31 in
+  let spec = L0_sampler.fresh_spec rng in
+  let empty = L0_sampler.create ~universe ~check_bits:16 spec in
+  Alcotest.(check bool) "empty set is zero" true (L0_sampler.is_zero empty);
+  Alcotest.(check (option int)) "empty set samples nothing" None (L0_sampler.sample empty);
+  (* Full universe: every pair toggled (the complete graph's coordinate
+     set); any sample must decode to a valid vertex pair. *)
+  let full = L0_sampler.create ~universe ~check_bits:16 spec in
+  for e = 0 to universe - 1 do
+    L0_sampler.toggle full e
+  done;
+  Alcotest.(check bool) "full universe not zero" false (L0_sampler.is_zero full);
+  (match L0_sampler.sample full with
+  | Some e ->
+    Alcotest.(check bool) "in range" true (e >= 0 && e < universe);
+    let u, v = Edge_coding.decode ~n e in
+    Alcotest.(check bool) "valid pair" true (0 <= u && u < v && v < n)
+  | None -> ());
+  (* Toggling the full universe twice cancels back to the empty set. *)
+  for e = 0 to universe - 1 do
+    L0_sampler.toggle full e
+  done;
+  Alcotest.(check bool) "full xor full = empty" true (L0_sampler.is_zero full)
+
+let test_sampler_success_envelope () =
+  (* Seeded measurement of the per-phase sampling success probability:
+     the docs promise constant success probability per merged sketch
+     (retried across copies/phases in Agm_connectivity), and the decoder
+     never returns a non-member. Measured rate by set size at these
+     seeds: ~0.66-0.75 for sizes >= 2, 1.0 for singletons — assert the
+     envelope [0.55, 1.0] per size, so a regression in the level design
+     or checksum verification trips this test. *)
+  let universe = 1000 in
+  let trials = 400 in
+  List.iter
+    (fun size ->
+      let rng = Rng.create ~seed:424242 in
+      let successes = ref 0 in
+      for _ = 1 to trials do
+        let spec = L0_sampler.fresh_spec rng in
+        let s = L0_sampler.create ~universe ~check_bits:16 spec in
+        let members = Hashtbl.create 16 in
+        while Hashtbl.length members < size do
+          let e = Rng.int rng universe in
+          if not (Hashtbl.mem members e) then begin
+            Hashtbl.add members e ();
+            L0_sampler.toggle s e
+          end
+        done;
+        match L0_sampler.sample s with
+        | Some e ->
+          Alcotest.(check bool) "sample is a member" true (Hashtbl.mem members e);
+          incr successes
+        | None -> ()
+      done;
+      let rate = float_of_int !successes /. float_of_int trials in
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d rate %.3f >= 0.55" size rate)
+        true (rate >= 0.55);
+      if size = 1 then
+        Alcotest.(check bool) "singletons always sample" true (rate = 1.0))
+    [ 1; 2; 4; 16; 64; 128 ]
+
 let test_sampler_serialization () =
   let rng = Rng.create ~seed:5 in
   let universe = 300 in
@@ -98,6 +177,10 @@ let suites =
     Alcotest.test_case "toggle cancels" `Quick test_sampler_toggle_cancels;
     Alcotest.test_case "merge is xor" `Quick test_sampler_merge_is_xor;
     Alcotest.test_case "success rate + no false members" `Quick test_sampler_success_rate;
+    Alcotest.test_case "edge coding boundaries + empty/full sets" `Quick
+      test_edge_coding_boundaries;
+    Alcotest.test_case "sampling success-probability envelope" `Quick
+      test_sampler_success_envelope;
     Alcotest.test_case "serialization" `Quick test_sampler_serialization ]
 
 let qsuites =
